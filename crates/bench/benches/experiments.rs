@@ -1,0 +1,79 @@
+//! Criterion coverage of every paper experiment's code path at a
+//! seconds-scale configuration. These are *end-to-end* benches: each
+//! iteration runs the same pipeline as the corresponding harness binary
+//! (environment reuse aside), so `cargo bench` exercises Fig. 2, Fig. 5,
+//! Table II, Fig. 6, and Table III in their entirety.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metadse::experiment::{
+    run_fig2, run_fig5, run_fig6, run_table2, run_table3, Environment, Scale,
+};
+use metadse::maml::MamlConfig;
+use metadse::trendse::TrEnDseConfig;
+
+/// An even smaller scale than `Scale::quick`, sized for repeated bench
+/// iterations.
+fn bench_scale() -> Scale {
+    Scale {
+        samples_per_workload: 60,
+        maml: MamlConfig {
+            epochs: 1,
+            iterations_per_epoch: 3,
+            inner_steps: 2,
+            val_tasks: 2,
+            ..MamlConfig::tiny()
+        },
+        eval_tasks: 1,
+        eval_support: 8,
+        eval_query: 16,
+        trendse: TrEnDseConfig {
+            source_cap: 30,
+            ..TrEnDseConfig::default()
+        },
+        ..Scale::quick()
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let scale = bench_scale();
+    let env = Environment::build(&scale, 11);
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("fig2_wasserstein_matrix", |b| {
+        b.iter(|| black_box(run_fig2(&env)))
+    });
+    group.bench_function("fig5_four_frameworks", |b| {
+        b.iter(|| black_box(run_fig5(&env, &scale)))
+    });
+    group.bench_function("table2_overall", |b| {
+        b.iter(|| black_box(run_table2(&env, &scale)))
+    });
+    group.bench_function("fig6_upstream_sweep", |b| {
+        b.iter(|| black_box(run_fig6(&env, &scale, &[5, 10])))
+    });
+    group.bench_function("table3_downstream_sweep", |b| {
+        b.iter(|| black_box(run_table3(&env, &scale, &[5, 10])))
+    });
+    group.finish();
+}
+
+fn bench_environment_build(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("environment_build_17x60", |b| {
+        b.iter(|| black_box(Environment::build(&scale, 12)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_experiments, bench_environment_build
+);
+criterion_main!(benches);

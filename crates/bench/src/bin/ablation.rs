@@ -1,0 +1,60 @@
+//! Ablation studies beyond the paper's tables: WAM mask density and
+//! first- vs second-order MAML (see DESIGN.md §5).
+//!
+//! ```text
+//! cargo run --release -p metadse-bench --bin ablation -- --quick
+//! ```
+
+use metadse::ablation::{run_order_ablation, run_wam_density_ablation};
+use metadse::experiment::Environment;
+use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("ablations — WAM density, meta-gradient order", &scale);
+    let env = Environment::build(&scale, scale.seed);
+
+    // WAM mask density sweep.
+    let thresholds = [0.0, 0.1, 0.25, 0.5, 0.75];
+    let density = run_wam_density_ablation(&env, &scale, &thresholds);
+    let mut rows = vec![vec![
+        "freq threshold".to_string(),
+        "kept interactions".to_string(),
+        "IPC RMSE".to_string(),
+    ]];
+    for p in &density {
+        rows.push(vec![
+            format!("{:.2}", p.frequency_threshold),
+            format!("{:.0}%", p.kept_fraction * 100.0),
+            f4(p.rmse),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    let _ = write_csv("ablation_wam_density", &rows);
+
+    // First- vs second-order MAML.
+    let order = run_order_ablation(&env, &scale);
+    let rows = vec![
+        vec![
+            "meta-gradient".to_string(),
+            "IPC RMSE".to_string(),
+            "pretrain secs".to_string(),
+        ],
+        vec![
+            "first-order (FOMAML)".to_string(),
+            f4(order.first_order_rmse),
+            format!("{:.1}", order.first_order_secs),
+        ],
+        vec![
+            "second-order (full MAML)".to_string(),
+            f4(order.second_order_rmse),
+            format!("{:.1}", order.second_order_secs),
+        ],
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "second-order cost multiple: {:.2}x",
+        order.second_order_secs / order.first_order_secs.max(1e-9)
+    );
+    let _ = write_csv("ablation_maml_order", &rows);
+}

@@ -1,0 +1,137 @@
+//! Runs every table/figure experiment in sequence (Fig. 2, Fig. 5,
+//! Table II, Fig. 6, Table III), sharing one simulated environment.
+//!
+//! This is the one-command reproduction entry point:
+//!
+//! ```text
+//! cargo run --release -p metadse-bench --bin all             # scaled
+//! cargo run --release -p metadse-bench --bin all -- --paper  # paper-scale
+//! ```
+
+use std::time::Instant;
+
+use metadse::experiment::{
+    run_fig2, run_fig5, run_fig6, run_table2, run_table3, Environment,
+};
+use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+use metadse_workloads::Metric;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("full reproduction (Fig. 2, Fig. 5, Table II, Fig. 6, Table III)", &scale);
+    let t0 = Instant::now();
+    let env = Environment::build(&scale, scale.seed);
+    println!(
+        "environment: {} workloads × {} design points  [{:?}]\n",
+        env.datasets.len(),
+        scale.samples_per_workload,
+        t0.elapsed()
+    );
+
+    // --- Fig. 2 ---
+    let t = Instant::now();
+    let fig2 = run_fig2(&env);
+    let mut flat: Vec<f64> = Vec::new();
+    for (i, row) in fig2.matrix.iter().enumerate() {
+        for (j, &d) in row.iter().enumerate() {
+            if i < j {
+                flat.push(d);
+            }
+        }
+    }
+    flat.sort_by(f64::total_cmp);
+    println!(
+        "[Fig. 2] {} workloads; pairwise W1 min {:.3} / median {:.3} / max {:.3}  [{:?}]",
+        fig2.names.len(),
+        flat[0],
+        flat[flat.len() / 2],
+        flat[flat.len() - 1],
+        t.elapsed()
+    );
+
+    // --- Fig. 5 ---
+    let t = Instant::now();
+    let fig5 = run_fig5(&env, &scale);
+    let mut rows = vec![vec![
+        "workload".into(),
+        "TrEnDSE".into(),
+        "TrEnDSE-Tx".into(),
+        "w/o WAM".into(),
+        "MetaDSE".into(),
+    ]];
+    for r in fig5.rows.iter().chain(std::iter::once(&fig5.geomean)) {
+        rows.push(vec![
+            r.workload.clone(),
+            f4(r.trendse),
+            f4(r.trendse_transformer),
+            f4(r.metadse_no_wam),
+            f4(r.metadse),
+        ]);
+    }
+    println!("\n[Fig. 5] IPC RMSE per test workload  [{:?}]", t.elapsed());
+    println!("{}", render_table(&rows));
+    let _ = write_csv("fig5_ipc_rmse", &rows);
+    println!(
+        "MetaDSE vs TrEnDSE geomean: {:+.1}% (paper -44.3%); WAM: {:+.1}% (paper -27%)",
+        (fig5.geomean.metadse / fig5.geomean.trendse - 1.0) * 100.0,
+        (fig5.geomean.metadse / fig5.geomean.metadse_no_wam - 1.0) * 100.0
+    );
+
+    // --- Table II ---
+    let t = Instant::now();
+    let table2 = run_table2(&env, &scale);
+    let mut rows = vec![vec![
+        "model".into(),
+        "RMSE(IPC)".into(),
+        "RMSE(Pow)".into(),
+        "MAPE(IPC)".into(),
+        "MAPE(Pow)".into(),
+        "EV(IPC)".into(),
+        "EV(Pow)".into(),
+    ]];
+    for model in ["RF", "GBRT", "TrEnDSE", "MetaDSE"] {
+        let i = table2.cell(model, Metric::Ipc).unwrap().summary;
+        let p = table2.cell(model, Metric::Power).unwrap().summary;
+        rows.push(vec![
+            model.into(),
+            format!("{:.4}±{:.4}", i.rmse_mean, i.rmse_ci),
+            format!("{:.4}±{:.4}", p.rmse_mean, p.rmse_ci),
+            format!("{:.4}±{:.4}", i.mape_mean, i.mape_ci),
+            format!("{:.4}±{:.4}", p.mape_mean, p.mape_ci),
+            format!("{:.4}±{:.4}", i.ev_mean, i.ev_ci),
+            format!("{:.4}±{:.4}", p.ev_mean, p.ev_ci),
+        ]);
+    }
+    println!("\n[Table II] overall results  [{:?}]", t.elapsed());
+    println!("{}", render_table(&rows));
+    let _ = write_csv("table2_overall", &rows);
+
+    // --- Table III ---
+    let t = Instant::now();
+    let ks = [5usize, 10, 20, 30, 40];
+    let table3 = run_table3(&env, &scale, &ks);
+    let mut header = vec!["model / K".to_string()];
+    header.extend(ks.iter().map(|k| k.to_string()));
+    let mut rows = vec![header];
+    for row in &table3.rows {
+        let mut r = vec![row.model.clone()];
+        r.extend(row.rmse_by_k.iter().map(|(_, v)| f4(*v)));
+        rows.push(r);
+    }
+    println!("\n[Table III] downstream support sweep  [{:?}]", t.elapsed());
+    println!("{}", render_table(&rows));
+    let _ = write_csv("table3_support_sweep", &rows);
+
+    // --- Fig. 6 ---
+    let t = Instant::now();
+    let fig6 = run_fig6(&env, &scale, &[5, 10, 40]);
+    let mut rows = vec![vec!["pretrain support".into(), "RMSE".into(), "EV".into()]];
+    for p in &fig6.points {
+        rows.push(vec![p.pretrain_support.to_string(), f4(p.rmse), f4(p.ev)]);
+    }
+    println!("\n[Fig. 6] upstream support sweep  [{:?}]", t.elapsed());
+    println!("{}", render_table(&rows));
+    let _ = write_csv("fig6_pretrain_sensitivity", &rows);
+
+    println!("\ntotal wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,63 @@
+//! Diagnostic: per-workload label statistics and cross-workload transfer
+//! difficulty of the simulated environment (not a paper experiment; used
+//! to sanity-check that the reproduction's learning problem has the
+//! paper's character).
+
+use metadse::experiment::Environment;
+use metadse_bench::{render_table, scale_from_args};
+use metadse_mlkit::metrics::{mean, std_dev};
+use metadse_mlkit::{GradientBoosting, Regressor};
+use metadse_workloads::Metric;
+
+fn main() {
+    let scale = scale_from_args();
+    let env = Environment::build(&scale, scale.seed);
+
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "ipc mean".to_string(),
+        "ipc std".to_string(),
+        "ipc min".to_string(),
+        "ipc max".to_string(),
+    ]];
+    for (w, ds) in &env.datasets {
+        let y = ds.labels(Metric::Ipc);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(0.0_f64, f64::max);
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{:.3}", mean(&y)),
+            format!("{:.3}", std_dev(&y)),
+            format!("{lo:.3}"),
+            format!("{hi:.3}"),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    // Cross-workload transfer probe: fit GBRT on one workload, test on
+    // another (normalized RMSE = RMSE / target std). Low values mean the
+    // environment transfers easily (unlike the paper's gem5 data).
+    println!("cross-workload GBRT transfer (train row -> test col), RMSE/std:");
+    let probe: Vec<_> = env.datasets.keys().copied().take(6).collect();
+    let mut t = vec![vec!["".to_string()]
+        .into_iter()
+        .chain(probe.iter().map(|w| w.name().chars().take(7).collect()))
+        .collect::<Vec<String>>()];
+    for &a in &probe {
+        let da = env.dataset(a);
+        let xa: Vec<Vec<f64>> = da.samples().iter().map(|s| s.features.clone()).collect();
+        let ya = da.labels(Metric::Ipc);
+        let mut g = GradientBoosting::new(120, 0.1, 3, 2);
+        g.fit(&xa, &ya);
+        let mut row = vec![a.name().chars().take(7).collect::<String>()];
+        for &b in &probe {
+            let db = env.dataset(b);
+            let xb: Vec<Vec<f64>> = db.samples().iter().map(|s| s.features.clone()).collect();
+            let yb = db.labels(Metric::Ipc);
+            let rmse = metadse_mlkit::metrics::rmse(&yb, &g.predict(&xb));
+            row.push(format!("{:.2}", rmse / std_dev(&yb)));
+        }
+        t.push(row);
+    }
+    println!("{}", render_table(&t));
+}

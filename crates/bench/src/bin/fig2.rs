@@ -1,0 +1,53 @@
+//! Regenerates paper Fig. 2: the Wasserstein-distance heatmap among
+//! SPEC CPU 2017 workloads (motivation: workloads are dissimilar, so
+//! similarity-based transfer is brittle).
+
+use metadse::experiment::{run_fig2, Environment};
+use metadse_bench::{banner, render_table, scale_from_args, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 2 — Wasserstein distances among workloads", &scale);
+    let env = Environment::build(&scale, scale.seed);
+    let result = run_fig2(&env);
+
+    // Short names for column headers (strip the numeric prefix suffix).
+    let short: Vec<String> = result
+        .names
+        .iter()
+        .map(|n| n.split('.').nth(1).unwrap_or(n).trim_end_matches("_s").to_string())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut header = vec!["workload".to_string()];
+    header.extend(short.iter().cloned());
+    rows.push(header);
+    for (i, name) in short.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(result.matrix[i].iter().map(|d| format!("{d:.3}")));
+        rows.push(row);
+    }
+    println!("{}", render_table(&rows));
+
+    // The paper's headline observation: similarity is inconsistent.
+    let mut flat: Vec<f64> = Vec::new();
+    for (i, row) in result.matrix.iter().enumerate() {
+        for (j, &d) in row.iter().enumerate() {
+            if i < j {
+                flat.push(d);
+            }
+        }
+    }
+    flat.sort_by(f64::total_cmp);
+    println!(
+        "pairwise distances: min {:.3}  median {:.3}  max {:.3}  (max/min ratio {:.1}x)",
+        flat[0],
+        flat[flat.len() / 2],
+        flat[flat.len() - 1],
+        flat[flat.len() - 1] / flat[0].max(1e-9)
+    );
+    match write_csv("fig2_wasserstein", &rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

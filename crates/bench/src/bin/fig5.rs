@@ -1,0 +1,45 @@
+//! Regenerates paper Fig. 5: IPC RMSE per test workload for TrEnDSE,
+//! TrEnDSE-Transformer, MetaDSE-w/o-WAM, and MetaDSE, plus the GEOMEAN
+//! column and the headline improvement percentages.
+
+use metadse::experiment::{run_fig5, Environment};
+use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 5 — per-workload IPC RMSE of the four frameworks", &scale);
+    let env = Environment::build(&scale, scale.seed);
+    let result = run_fig5(&env, &scale);
+
+    let mut rows = vec![vec![
+        "workload".to_string(),
+        "TrEnDSE".to_string(),
+        "TrEnDSE-Transformer".to_string(),
+        "MetaDSE-w/o-WAM".to_string(),
+        "MetaDSE".to_string(),
+    ]];
+    for row in result.rows.iter().chain(std::iter::once(&result.geomean)) {
+        rows.push(vec![
+            row.workload.clone(),
+            f4(row.trendse),
+            f4(row.trendse_transformer),
+            f4(row.metadse_no_wam),
+            f4(row.metadse),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    let g = &result.geomean;
+    println!(
+        "MetaDSE vs TrEnDSE (geomean RMSE): {:+.1}%  (paper: -44.3%)",
+        (g.metadse / g.trendse - 1.0) * 100.0
+    );
+    println!(
+        "WAM contribution (MetaDSE vs w/o WAM): {:+.1}%  (paper: -27%)",
+        (g.metadse / g.metadse_no_wam - 1.0) * 100.0
+    );
+    match write_csv("fig5_ipc_rmse", &rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates paper Fig. 6: sensitivity of transfer quality to the
+//! upstream (pre-training) support-set size, with the downstream support
+//! size fixed at ten. The paper observes an optimum where the upstream
+//! size aligns with the downstream size.
+
+use metadse::experiment::{run_fig6, Environment};
+use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 6 — pre-training support-size sensitivity", &scale);
+    let env = Environment::build(&scale, scale.seed);
+    let sizes = [5usize, 10, 20, 30, 40];
+    let result = run_fig6(&env, &scale, &sizes);
+
+    let mut rows = vec![vec![
+        "pretrain support".to_string(),
+        "IPC RMSE".to_string(),
+        "explained variance".to_string(),
+    ]];
+    for p in &result.points {
+        rows.push(vec![
+            p.pretrain_support.to_string(),
+            f4(p.rmse),
+            f4(p.ev),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "downstream support fixed at {}",
+        result.downstream_support
+    );
+    let best = result
+        .points
+        .iter()
+        .min_by(|a, b| a.rmse.total_cmp(&b.rmse))
+        .expect("non-empty sweep");
+    println!(
+        "best RMSE at upstream support {} (paper: optimum near the downstream size)",
+        best.pretrain_support
+    );
+    match write_csv("fig6_pretrain_sensitivity", &rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates paper Table II: RMSE, MAPE, and explained variance for RF,
+//! GBRT, TrEnDSE, and MetaDSE on IPC and power prediction, averaged over
+//! the five test workloads with 95% confidence half-widths.
+
+use metadse::experiment::{run_table2, Environment};
+use metadse_bench::{banner, render_table, scale_from_args, write_csv};
+use metadse_workloads::Metric;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table II — overall results on the five test datasets", &scale);
+    let env = Environment::build(&scale, scale.seed);
+    let result = run_table2(&env, &scale);
+
+    let mut rows = vec![vec![
+        "model".to_string(),
+        "RMSE(IPC)".to_string(),
+        "RMSE(Power)".to_string(),
+        "MAPE(IPC)".to_string(),
+        "MAPE(Power)".to_string(),
+        "EV(IPC)".to_string(),
+        "EV(Power)".to_string(),
+    ]];
+    for model in ["RF", "GBRT", "TrEnDSE", "MetaDSE"] {
+        let ipc = result
+            .cell(model, Metric::Ipc)
+            .expect("IPC cell present")
+            .summary;
+        let power = result
+            .cell(model, Metric::Power)
+            .expect("Power cell present")
+            .summary;
+        rows.push(vec![
+            model.to_string(),
+            format!("{:.4}±{:.4}", ipc.rmse_mean, ipc.rmse_ci),
+            format!("{:.4}±{:.4}", power.rmse_mean, power.rmse_ci),
+            format!("{:.4}±{:.4}", ipc.mape_mean, ipc.mape_ci),
+            format!("{:.4}±{:.4}", power.mape_mean, power.mape_ci),
+            format!("{:.4}±{:.4}", ipc.ev_mean, ipc.ev_ci),
+            format!("{:.4}±{:.4}", power.ev_mean, power.ev_ci),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "note: power RMSE is in normalized units (labels scaled by 1/{:.3} W)",
+        env.power_scale
+    );
+
+    let meta = result.cell("MetaDSE", Metric::Ipc).unwrap().summary;
+    let trendse = result.cell("TrEnDSE", Metric::Ipc).unwrap().summary;
+    println!(
+        "MetaDSE vs TrEnDSE on IPC RMSE: {:+.1}%",
+        (meta.rmse_mean / trendse.rmse_mean - 1.0) * 100.0
+    );
+    match write_csv("table2_overall", &rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,107 @@
+//! Hyperparameter sweep for the MetaDSE pipeline (development tool, not a
+//! paper experiment): fixes the meta-training recipe, then sweeps the
+//! downstream adaptation budget and the WAM mask learning-rate multiplier
+//! on shared evaluation tasks against the TrEnDSE reference.
+//!
+//! Run with `METADSE_CACHE=1` to reuse the pre-trained checkpoint across
+//! invocations.
+
+use std::time::Instant;
+
+use metadse::experiment::{Environment, Scale};
+use metadse::maml::MamlConfig;
+use metadse::trendse::TrEnDse;
+use metadse::wam::{adapt_and_predict, AdaptConfig};
+use metadse::TaskScores;
+use metadse_bench::{f4, render_table};
+use metadse_workloads::{Metric, TaskSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut scale = Scale::scaled();
+    scale.samples_per_workload = 300;
+    let env = Environment::build(&scale, scale.seed);
+    let metric = Metric::Ipc;
+    let sampler = TaskSampler::new(scale.eval_support, scale.eval_query);
+
+    // Shared evaluation tasks.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let tasks: Vec<metadse_workloads::Task> = env
+        .split
+        .test
+        .iter()
+        .flat_map(|&w| {
+            let ds = env.dataset(w);
+            (0..10)
+                .map(|_| sampler.sample(ds, metric, &mut rng))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // TrEnDSE reference.
+    let t0 = Instant::now();
+    let trendse = TrEnDse::new(env.train_datasets(), metric, scale.trendse.clone());
+    let mut s = TaskScores::new();
+    for task in &tasks {
+        let p = trendse.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
+        s.push(&task.query_y, &p);
+    }
+    println!(
+        "TrEnDSE reference: RMSE {} [{:?}]",
+        f4(s.summary().rmse_mean),
+        t0.elapsed()
+    );
+
+    // One meta-trained model (cacheable), many adaptation settings.
+    let maml = MamlConfig {
+        inner_lr: 0.02,
+        epochs: 10,
+        iterations_per_epoch: 40,
+        val_tasks: 5,
+        ..MamlConfig::paper()
+    };
+    let t0 = Instant::now();
+    let (model, mask) = metadse::experiment::pretrain_metadse(&env, &scale, metric, &maml);
+    println!("pretrain ready in {:.1} min", t0.elapsed().as_secs_f64() / 60.0);
+
+    let mut rows = vec![vec![
+        "adapt".to_string(),
+        "no-WAM".to_string(),
+        "WAM x1".to_string(),
+        "WAM x4".to_string(),
+        "WAM x10".to_string(),
+    ]];
+    for (lr, steps) in [(0.02, 20), (0.02, 40), (0.03, 30)] {
+        let base = AdaptConfig {
+            steps,
+            lr,
+            lr_min: lr / 50.0,
+            mask_lr_multiplier: 1.0,
+        };
+        let mut s_plain = TaskScores::new();
+        let mut s_m1 = TaskScores::new();
+        let mut s_m4 = TaskScores::new();
+        let mut s_m10 = TaskScores::new();
+        for task in &tasks {
+            let p = adapt_and_predict(&model, task, None, &base);
+            s_plain.push(&task.query_y, &p);
+            for (mult, scores) in [(1.0, &mut s_m1), (4.0, &mut s_m4), (10.0, &mut s_m10)] {
+                let cfg = AdaptConfig {
+                    mask_lr_multiplier: mult,
+                    ..base.clone()
+                };
+                let p = adapt_and_predict(&model, task, Some(&mask), &cfg);
+                scores.push(&task.query_y, &p);
+            }
+        }
+        rows.push(vec![
+            format!("lr={lr} s={steps}"),
+            f4(s_plain.summary().rmse_mean),
+            f4(s_m1.summary().rmse_mean),
+            f4(s_m4.summary().rmse_mean),
+            f4(s_m10.summary().rmse_mean),
+        ]);
+        println!("{}", render_table(&rows));
+    }
+}

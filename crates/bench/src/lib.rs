@@ -1,0 +1,147 @@
+//! Shared harness utilities for the MetaDSE benchmark binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §4) at a scale selected on the command line:
+//!
+//! ```text
+//! cargo run --release -p metadse-bench --bin fig5            # scaled (default)
+//! cargo run --release -p metadse-bench --bin fig5 -- --quick # seconds
+//! cargo run --release -p metadse-bench --bin fig5 -- --paper # paper-scale
+//! ```
+//!
+//! Results are printed as aligned text tables and mirrored as CSV under
+//! `results/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use metadse::experiment::Scale;
+
+/// Selects the experiment scale from CLI arguments (`--quick`, `--paper`)
+/// or the `METADSE_SCALE` environment variable (`quick`/`scaled`/`paper`).
+/// Defaults to [`Scale::scaled`].
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let from_env = std::env::var("METADSE_SCALE").unwrap_or_default();
+    if args.iter().any(|a| a == "--paper") || from_env == "paper" {
+        Scale::paper()
+    } else if args.iter().any(|a| a == "--quick") || from_env == "quick" {
+        Scale::quick()
+    } else {
+        Scale::scaled()
+    }
+}
+
+/// Human-readable name of the selected scale (for banners).
+pub fn scale_name(scale: &Scale) -> &'static str {
+    if *scale == Scale::paper() {
+        "paper"
+    } else if *scale == Scale::quick() {
+        "quick"
+    } else {
+        "scaled"
+    }
+}
+
+/// Prints a banner naming the experiment and scale.
+pub fn banner(experiment: &str, scale: &Scale) {
+    println!("================================================================");
+    println!(
+        "MetaDSE reproduction — {experiment} ({} scale)",
+        scale_name(scale)
+    );
+    println!("================================================================");
+}
+
+/// Renders rows as an aligned text table. The first row is the header.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent arity.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows[0].len();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (w, cell) in widths.iter().zip(row) {
+            out.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        out.push('\n');
+        if i == 0 {
+            for w in &widths {
+                out.push_str(&"-".repeat(*w));
+                out.push_str("  ");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Directory where result CSVs are written (`results/`, created on
+/// demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results").to_path_buf();
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes rows as CSV under `results/<name>.csv`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let path = results_dir().join(format!("{name}.csv"));
+    let body: String = rows
+        .iter()
+        .map(|r| r.join(","))
+        .collect::<Vec<_>>()
+        .join("\n");
+    fs::write(&path, body + "\n")?;
+    Ok(path)
+}
+
+/// Formats a float with 4 decimal places (the paper's precision).
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let rows = vec![
+            vec!["model".to_string(), "rmse".to_string()],
+            vec!["MetaDSE".to_string(), "0.22".to_string()],
+        ];
+        let s = render_table(&rows);
+        assert!(s.contains("model"));
+        assert!(s.contains("-----"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn f4_rounds() {
+        assert_eq!(f4(0.123456), "0.1235");
+    }
+
+    #[test]
+    fn default_scale_is_scaled() {
+        if std::env::var("METADSE_SCALE").is_err() {
+            assert_eq!(scale_name(&scale_from_args()), "scaled");
+        }
+    }
+}

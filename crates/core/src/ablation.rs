@@ -1,0 +1,164 @@
+//! Ablation studies of MetaDSE's design choices (DESIGN.md §5).
+//!
+//! Not paper experiments, but the natural questions a reviewer asks:
+//! how much of WAM's benefit comes from mask density, and what does the
+//! exact second-order meta-gradient buy over the first-order
+//! approximation?
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use metadse_nn::Elem;
+use metadse_workloads::{Metric, TaskSampler};
+
+use crate::evaluation::TaskScores;
+use crate::experiment::{pretrain_metadse, Environment, Scale};
+use crate::maml::MamlConfig;
+use crate::wam::{self, WamConfig};
+
+/// One point of the WAM-density ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WamAblationPoint {
+    /// Frequency threshold used to build the mask.
+    pub frequency_threshold: Elem,
+    /// Fraction of off-diagonal interactions left unmasked.
+    pub kept_fraction: Elem,
+    /// Mean IPC RMSE over test tasks with this mask.
+    pub rmse: Elem,
+}
+
+/// Sweeps the WAM frequency threshold: 0 keeps everything (mask ≈ no-op),
+/// large thresholds mask almost all interactions.
+pub fn run_wam_density_ablation(
+    env: &Environment,
+    scale: &Scale,
+    thresholds: &[Elem],
+) -> Vec<WamAblationPoint> {
+    let metric = Metric::Ipc;
+    let (model, _) = pretrain_metadse(env, scale, metric, &scale.maml);
+    let sampler = TaskSampler::new(scale.eval_support, scale.eval_query);
+
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let cfg = WamConfig {
+                frequency_threshold: threshold,
+                ..scale.wam.clone()
+            };
+            let mask = wam::generate_mask(&model, &env.train_datasets(), &cfg, 64);
+            let seq = model.config().num_params;
+            let values = mask.get().to_vec();
+            let off_diag_total = (seq * seq - seq) as Elem;
+            let kept = values
+                .iter()
+                .enumerate()
+                .filter(|(i, &v)| (i / seq) != (i % seq) && v == 0.0)
+                .count() as Elem;
+
+            let mut scores = TaskScores::new();
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xab1a);
+            for &w in &env.split.test {
+                let ds = env.dataset(w);
+                for _ in 0..scale.eval_tasks {
+                    let task = sampler.sample(ds, metric, &mut rng);
+                    let p = wam::adapt_and_predict(&model, &task, Some(&mask), &scale.adapt);
+                    scores.push(&task.query_y, &p);
+                }
+            }
+            WamAblationPoint {
+                frequency_threshold: threshold,
+                kept_fraction: kept / off_diag_total,
+                rmse: scores.summary().rmse_mean,
+            }
+        })
+        .collect()
+}
+
+/// Result of the first- vs second-order MAML ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderAblation {
+    /// Mean IPC RMSE with first-order meta-gradients (FOMAML).
+    pub first_order_rmse: Elem,
+    /// Mean IPC RMSE with exact second-order meta-gradients.
+    pub second_order_rmse: Elem,
+    /// Pre-training wall time, first order (seconds).
+    pub first_order_secs: Elem,
+    /// Pre-training wall time, second order (seconds).
+    pub second_order_secs: Elem,
+}
+
+/// Pre-trains twice — FOMAML vs full MAML — from identical initialization
+/// and compares post-adaptation accuracy and training cost.
+pub fn run_order_ablation(env: &Environment, scale: &Scale) -> OrderAblation {
+    let metric = Metric::Ipc;
+    let sampler = TaskSampler::new(scale.eval_support, scale.eval_query);
+
+    let evaluate = |maml: &MamlConfig| -> (Elem, Elem) {
+        let t0 = Instant::now();
+        let (model, mask) = pretrain_metadse(env, scale, metric, maml);
+        let secs = t0.elapsed().as_secs_f64();
+        let mut scores = TaskScores::new();
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x0a0b);
+        for &w in &env.split.test {
+            let ds = env.dataset(w);
+            for _ in 0..scale.eval_tasks {
+                let task = sampler.sample(ds, metric, &mut rng);
+                let p = wam::adapt_and_predict(&model, &task, Some(&mask), &scale.adapt);
+                scores.push(&task.query_y, &p);
+            }
+        }
+        (scores.summary().rmse_mean, secs)
+    };
+
+    let fo = MamlConfig {
+        second_order: false,
+        ..scale.maml.clone()
+    };
+    let so = MamlConfig {
+        second_order: true,
+        ..scale.maml.clone()
+    };
+    let (first_order_rmse, first_order_secs) = evaluate(&fo);
+    let (second_order_rmse, second_order_secs) = evaluate(&so);
+    OrderAblation {
+        first_order_rmse,
+        second_order_rmse,
+        first_order_secs,
+        second_order_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wam_density_ablation_reports_kept_fractions() {
+        let mut scale = Scale::quick();
+        scale.eval_tasks = 1;
+        scale.samples_per_workload = 70;
+        let env = Environment::build(&scale, 21);
+        let points = run_wam_density_ablation(&env, &scale, &[0.0, 0.9]);
+        assert_eq!(points.len(), 2);
+        // Threshold 0 keeps every interaction; 0.9 keeps almost none.
+        assert!(points[0].kept_fraction > 0.99);
+        assert!(points[1].kept_fraction < points[0].kept_fraction);
+        assert!(points.iter().all(|p| p.rmse.is_finite() && p.rmse > 0.0));
+    }
+
+    #[test]
+    fn order_ablation_runs_both_modes() {
+        let mut scale = Scale::quick();
+        scale.eval_tasks = 1;
+        scale.samples_per_workload = 70;
+        scale.maml.epochs = 1;
+        scale.maml.iterations_per_epoch = 2;
+        let env = Environment::build(&scale, 22);
+        let result = run_order_ablation(&env, &scale);
+        assert!(result.first_order_rmse.is_finite());
+        assert!(result.second_order_rmse.is_finite());
+        assert!(result.second_order_secs > 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-task evaluation bookkeeping (the paper's "mean and confidence
+//! intervals over 1000 tasks per workload").
+
+use metadse_mlkit::metrics::{explained_variance, mape, mean_with_ci95, rmse};
+use metadse_nn::Elem;
+
+/// Accumulates per-task metric values for one (model, workload) cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskScores {
+    rmse: Vec<Elem>,
+    mape: Vec<Elem>,
+    ev: Vec<Elem>,
+}
+
+impl TaskScores {
+    /// Creates an empty accumulator.
+    pub fn new() -> TaskScores {
+        TaskScores::default()
+    }
+
+    /// Scores one task's query predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or have fewer than two
+    /// points.
+    pub fn push(&mut self, actual: &[Elem], predicted: &[Elem]) {
+        self.rmse.push(rmse(actual, predicted));
+        self.mape.push(mape(actual, predicted));
+        self.ev.push(explained_variance(actual, predicted));
+    }
+
+    /// Number of scored tasks.
+    pub fn len(&self) -> usize {
+        self.rmse.len()
+    }
+
+    /// Whether no task has been scored yet.
+    pub fn is_empty(&self) -> bool {
+        self.rmse.is_empty()
+    }
+
+    /// Summary with 95% confidence half-widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task has been scored.
+    pub fn summary(&self) -> EvalSummary {
+        assert!(!self.is_empty(), "no tasks scored");
+        let (rmse_mean, rmse_ci) = mean_with_ci95(&self.rmse);
+        let (mape_mean, mape_ci) = mean_with_ci95(&self.mape);
+        let (ev_mean, ev_ci) = mean_with_ci95(&self.ev);
+        EvalSummary {
+            rmse_mean,
+            rmse_ci,
+            mape_mean,
+            mape_ci,
+            ev_mean,
+            ev_ci,
+            tasks: self.len(),
+        }
+    }
+
+    /// Merges another accumulator into this one (pooling tasks across
+    /// workloads, as Table II averages across the five test datasets).
+    pub fn merge(&mut self, other: &TaskScores) {
+        self.rmse.extend_from_slice(&other.rmse);
+        self.mape.extend_from_slice(&other.mape);
+        self.ev.extend_from_slice(&other.ev);
+    }
+
+    /// Raw per-task RMSE values.
+    pub fn rmse_values(&self) -> &[Elem] {
+        &self.rmse
+    }
+}
+
+/// Mean ± 95% CI of the three paper metrics over tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSummary {
+    /// Mean RMSE.
+    pub rmse_mean: Elem,
+    /// RMSE 95% confidence half-width.
+    pub rmse_ci: Elem,
+    /// Mean MAPE (fraction, not percent).
+    pub mape_mean: Elem,
+    /// MAPE 95% confidence half-width.
+    pub mape_ci: Elem,
+    /// Mean explained variance.
+    pub ev_mean: Elem,
+    /// EV 95% confidence half-width.
+    pub ev_ci: Elem,
+    /// Number of tasks aggregated.
+    pub tasks: usize,
+}
+
+impl std::fmt::Display for EvalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RMSE {:.4}±{:.4}  MAPE {:.4}±{:.4}  EV {:.4}±{:.4} ({} tasks)",
+            self.rmse_mean,
+            self.rmse_ci,
+            self.mape_mean,
+            self.mape_ci,
+            self.ev_mean,
+            self.ev_ci,
+            self.tasks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_summarize_cleanly() {
+        let mut s = TaskScores::new();
+        s.push(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        s.push(&[2.0, 4.0, 8.0], &[2.0, 4.0, 8.0]);
+        let sum = s.summary();
+        assert_eq!(sum.rmse_mean, 0.0);
+        assert_eq!(sum.mape_mean, 0.0);
+        assert_eq!(sum.ev_mean, 1.0);
+        assert_eq!(sum.tasks, 2);
+    }
+
+    #[test]
+    fn merge_pools_tasks() {
+        let mut a = TaskScores::new();
+        a.push(&[1.0, 2.0], &[1.0, 2.0]);
+        let mut b = TaskScores::new();
+        b.push(&[1.0, 2.0], &[2.0, 1.0]);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.summary().rmse_mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tasks scored")]
+    fn empty_summary_panics() {
+        TaskScores::new().summary();
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = TaskScores::new();
+        s.push(&[1.0, 2.0], &[1.5, 2.5]);
+        assert!(!format!("{}", s.summary()).is_empty());
+    }
+}

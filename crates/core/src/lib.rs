@@ -1,0 +1,49 @@
+//! # metadse
+//!
+//! Reproduction of **MetaDSE** (DAC 2025): cross-workload CPU design-space
+//! exploration as a few-shot meta-learning problem.
+//!
+//! The crate implements the paper's two-stage pipeline on top of the
+//! workspace substrates:
+//!
+//! 1. **Upstream pre-training** ([`maml`]): a transformer surrogate
+//!    ([`predictor::TransformerPredictor`]) is meta-trained with MAML
+//!    (Algorithm 1) across source workloads, treating each workload as a
+//!    task distribution; meta-validation selects the shipped θ*.
+//! 2. **Downstream adaptation** ([`wam`]): the workload-adaptive
+//!    architectural mask is distilled from pre-training attention
+//!    statistics (Fig. 4) and fine-tuned — together with the model — on a
+//!    few shots from the unseen target workload (Algorithm 2).
+//!
+//! Baselines ([`trendse`]), per-task evaluation ([`evaluation`]),
+//! experiment harnesses for every paper table/figure ([`experiment`]), and
+//! a surrogate-driven explorer ([`explorer`]) complete the system.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use metadse::experiment::{Environment, Scale};
+//!
+//! // Build per-workload datasets with the analytical simulator, pre-train
+//! // with MAML, adapt with WAM, and evaluate on the paper's test split.
+//! let env = Environment::build(&Scale::quick(), 7);
+//! let result = metadse::experiment::run_fig5(&env, &Scale::quick());
+//! for row in &result.rows {
+//!     println!("{}: MetaDSE RMSE {:.3}", row.workload, row.metadse);
+//! }
+//! ```
+
+pub mod ablation;
+pub mod evaluation;
+pub mod experiment;
+pub mod explorer;
+pub mod maml;
+pub mod predictor;
+pub mod trendse;
+pub mod wam;
+
+pub use evaluation::{EvalSummary, TaskScores};
+pub use maml::{MamlConfig, PretrainReport};
+pub use predictor::{PredictorConfig, TransformerPredictor};
+pub use trendse::{TrEnDse, TrEnDseConfig, TrEnDseTransformer};
+pub use wam::{AdaptConfig, AttentionStats, WamConfig};

@@ -1,0 +1,436 @@
+//! MAML-based pre-training (paper Algorithm 1).
+//!
+//! The inner loop adapts *fast weights* on a task's support set; the outer
+//! loop updates the meta-parameters θ from the adapted model's query loss.
+//! Fast weights are functional: the update `θ̂ ← θ̂ − α ∇L` is built with
+//! differentiable tensor operations and **swapped into** the model's
+//! parameter slots, so
+//!
+//! * with `second_order = false`, inner gradients are detached and the
+//!   meta-gradient is the first-order MAML approximation (FOMAML), and
+//! * with `second_order = true`, inner gradients stay in the graph and the
+//!   meta-gradient differentiates *through* the inner updates — full MAML,
+//!   enabled by the double-backward autodiff of `metadse-nn`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use metadse_nn::autograd::grad;
+use metadse_nn::layers::{self, Module};
+use metadse_nn::optim::{Adam, Optimizer};
+use metadse_nn::{Elem, Tensor};
+use metadse_workloads::{Dataset, Metric, TaskSampler};
+
+use crate::predictor::TransformerPredictor;
+
+/// Hyperparameters of the MAML pre-training stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MamlConfig {
+    /// Inner-loop (task adaptation) learning rate α.
+    pub inner_lr: Elem,
+    /// Outer-loop (meta) learning rate β for Adam.
+    pub outer_lr: Elem,
+    /// Inner-loop gradient steps per task.
+    pub inner_steps: usize,
+    /// Meta-training epochs.
+    pub epochs: usize,
+    /// Meta-iterations per epoch (each draws one task per train workload).
+    pub iterations_per_epoch: usize,
+    /// Support-set size per task.
+    pub support_size: usize,
+    /// Query-set size per task.
+    pub query_size: usize,
+    /// Validation tasks per workload per epoch.
+    pub val_tasks: usize,
+    /// Use full second-order MAML instead of FOMAML.
+    pub second_order: bool,
+    /// RNG seed for task sampling.
+    pub seed: u64,
+}
+
+impl MamlConfig {
+    /// Paper-scale settings (§VI-A): 15 epochs × 200 tasks per workload,
+    /// 5 support / 45 query, 5 inner SGD steps. The paper's learning rates
+    /// (α = 1e−5, β = 1e−4) are tuned to their dataset scale; ours default
+    /// to the values that converge on the analytical simulator's label
+    /// scale (documented in EXPERIMENTS.md).
+    pub fn paper() -> MamlConfig {
+        MamlConfig {
+            inner_lr: 0.02,
+            outer_lr: 1e-3,
+            inner_steps: 5,
+            epochs: 15,
+            iterations_per_epoch: 200,
+            support_size: 5,
+            query_size: 45,
+            val_tasks: 20,
+            second_order: false,
+            seed: 17,
+        }
+    }
+
+    /// Reduced-scale settings for a single CPU core: same structure,
+    /// fewer iterations (used by default in the harness binaries).
+    pub fn scaled() -> MamlConfig {
+        MamlConfig {
+            inner_lr: 0.02,
+            epochs: 8,
+            iterations_per_epoch: 30,
+            val_tasks: 5,
+            ..MamlConfig::paper()
+        }
+    }
+
+    /// Tiny settings for unit/integration tests.
+    pub fn tiny() -> MamlConfig {
+        MamlConfig {
+            epochs: 2,
+            iterations_per_epoch: 6,
+            inner_steps: 3,
+            val_tasks: 3,
+            ..MamlConfig::paper()
+        }
+    }
+}
+
+/// Outcome of a pre-training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PretrainReport {
+    /// Mean post-adaptation validation loss after each epoch.
+    pub val_losses: Vec<Elem>,
+    /// Epoch whose parameters were kept (meta-validation selection).
+    pub best_epoch: usize,
+    /// Best validation loss.
+    pub best_val_loss: Elem,
+    /// Mean meta-training query loss per epoch.
+    pub train_losses: Vec<Elem>,
+}
+
+/// Runs the inner loop: adapts the model's parameter slots to the support
+/// set with `steps` of functional SGD and returns the original tensors so
+/// the caller can [`layers::restore`] them.
+///
+/// With `create_graph = true` the returned originals remain connected to
+/// the fast weights (second-order MAML); with `false` the connection is
+/// first-order only.
+pub fn inner_adapt(
+    model: &TransformerPredictor,
+    support_x: &[Vec<Elem>],
+    support_y: &[Elem],
+    steps: usize,
+    lr: Elem,
+    create_graph: bool,
+) -> Vec<Tensor> {
+    let params = model.params();
+    let theta = layers::snapshot(&params);
+    let mut current = theta.clone();
+    for _ in 0..steps {
+        let loss = model.mse_on(support_x, support_y);
+        let grads = grad(&loss, &current, create_graph);
+        let updated: Vec<Tensor> = current
+            .iter()
+            .zip(&grads)
+            .map(|(t, g)| t.sub(&g.mul_scalar(lr)))
+            .collect();
+        layers::restore(&params, &updated);
+        current = updated;
+    }
+    theta
+}
+
+/// Post-adaptation loss of the model on one task, leaving the model's
+/// parameters untouched (adapt on support, evaluate on query, restore).
+pub fn adapted_query_loss(
+    model: &TransformerPredictor,
+    task: &metadse_workloads::Task,
+    steps: usize,
+    lr: Elem,
+) -> Elem {
+    let params = model.params();
+    let theta = inner_adapt(model, &task.support_x, &task.support_y, steps, lr, false);
+    let loss = metadse_nn::autograd::no_grad(|| model.mse_on(&task.query_x, &task.query_y));
+    layers::restore(&params, &theta);
+    loss.value()
+}
+
+/// Meta-trains `model` on the training datasets, selecting the best epoch
+/// by meta-validation (Algorithm 1 plus the paper's validation step).
+///
+/// # Panics
+///
+/// Panics if `train` is empty or any dataset is smaller than
+/// `support_size + query_size`.
+pub fn pretrain(
+    model: &TransformerPredictor,
+    train: &[Dataset],
+    validation: &[Dataset],
+    metric: Metric,
+    config: &MamlConfig,
+) -> PretrainReport {
+    assert!(!train.is_empty(), "need at least one training workload");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sampler = TaskSampler::new(config.support_size, config.query_size);
+    let params = model.params();
+    let mut optimizer = Adam::new(params.clone(), config.outer_lr);
+
+    let mut report = PretrainReport {
+        val_losses: Vec::with_capacity(config.epochs),
+        best_epoch: 0,
+        best_val_loss: Elem::INFINITY,
+        train_losses: Vec::with_capacity(config.epochs),
+    };
+    let mut best_params: Vec<Tensor> = layers::clone_values(&params);
+
+    for epoch in 0..config.epochs {
+        let mut epoch_loss = 0.0;
+        let mut epoch_count = 0usize;
+        for _ in 0..config.iterations_per_epoch {
+            // One task from each source workload forms the meta-batch
+            // (line 3 of Algorithm 1 samples tasks across workloads).
+            let mut accumulated: Option<Vec<Tensor>> = None;
+            for dataset in train {
+                let task = sampler.sample(dataset, metric, &mut rng);
+                let theta = inner_adapt(
+                    model,
+                    &task.support_x,
+                    &task.support_y,
+                    config.inner_steps,
+                    config.inner_lr,
+                    config.second_order,
+                );
+                let query_loss = model.mse_on(&task.query_x, &task.query_y);
+                epoch_loss += query_loss.value();
+                epoch_count += 1;
+                let meta_grads = grad(&query_loss, &theta, false);
+                layers::restore(&params, &theta);
+                accumulated = Some(match accumulated {
+                    None => meta_grads,
+                    Some(acc) => acc
+                        .iter()
+                        .zip(&meta_grads)
+                        .map(|(a, g)| a.add(g))
+                        .collect(),
+                });
+            }
+            let grads: Vec<Tensor> = accumulated
+                .expect("at least one train workload")
+                .iter()
+                .map(|g| g.mul_scalar(1.0 / train.len() as Elem))
+                .collect();
+            optimizer.step(&grads);
+        }
+        report.train_losses.push(epoch_loss / epoch_count.max(1) as Elem);
+
+        // Meta-validation (step 5 of Fig. 3): post-adaptation loss on
+        // held-out workloads decides which epoch's θ* ships.
+        let val_loss = meta_validate(model, validation, metric, config, &mut rng);
+        report.val_losses.push(val_loss);
+        if val_loss < report.best_val_loss {
+            report.best_val_loss = val_loss;
+            report.best_epoch = epoch;
+            best_params = layers::clone_values(&params);
+        }
+    }
+
+    layers::restore(&params, &best_params);
+    report
+}
+
+/// Mean post-adaptation query loss over the validation workloads.
+fn meta_validate(
+    model: &TransformerPredictor,
+    validation: &[Dataset],
+    metric: Metric,
+    config: &MamlConfig,
+    rng: &mut StdRng,
+) -> Elem {
+    if validation.is_empty() {
+        return Elem::INFINITY;
+    }
+    let sampler = TaskSampler::new(config.support_size, config.query_size);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for dataset in validation {
+        for _ in 0..config.val_tasks {
+            let task = sampler.sample(dataset, metric, rng);
+            total += adapted_query_loss(model, &task, config.inner_steps, config.inner_lr);
+            count += 1;
+        }
+    }
+    total / count as Elem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use metadse_workloads::Sample;
+    use rand::Rng;
+
+    /// Synthetic task family: y = dot(w_task, x) where w_task varies by
+    /// "workload" — meta-learnable structure with task variation.
+    fn synthetic_dataset(seed: u64, dim: usize, n: usize, shift: f64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let features: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let y: f64 = features
+                    .iter()
+                    .enumerate()
+                    .map(|(j, v)| v * ((j as f64 * 0.7 + shift).sin() + 1.0))
+                    .sum::<f64>()
+                    / dim as f64;
+                Sample {
+                    features,
+                    ipc: y,
+                    power_w: y * 10.0,
+                }
+            })
+            .collect();
+        Dataset::from_samples(format!("synthetic-{seed}"), samples)
+    }
+
+    fn tiny_model(dim: usize) -> TransformerPredictor {
+        TransformerPredictor::new(
+            PredictorConfig {
+                num_params: dim,
+                d_model: 8,
+                heads: 2,
+                depth: 1,
+                d_hidden: 16,
+                head_hidden: 8,
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn inner_adapt_reduces_support_loss_and_restores() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let ds = synthetic_dataset(1, dim, 60, 0.0);
+        let sampler = TaskSampler::new(8, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = sampler.sample(&ds, Metric::Ipc, &mut rng);
+
+        let before = model.mse_on(&task.support_x, &task.support_y).value();
+        let params = model.params();
+        let theta = inner_adapt(&model, &task.support_x, &task.support_y, 20, 0.05, false);
+        let after = model.mse_on(&task.support_x, &task.support_y).value();
+        assert!(after < before, "adaptation should reduce loss: {before} -> {after}");
+
+        layers::restore(&params, &theta);
+        let restored = model.mse_on(&task.support_x, &task.support_y).value();
+        assert!((restored - before).abs() < 1e-12, "restore must be exact");
+    }
+
+    #[test]
+    fn pretraining_improves_post_adaptation_loss() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let train: Vec<Dataset> = (0..3)
+            .map(|i| synthetic_dataset(10 + i, dim, 80, i as f64 * 0.5))
+            .collect();
+        let val = vec![synthetic_dataset(20, dim, 80, 0.25)];
+        let test = synthetic_dataset(30, dim, 80, 0.8);
+
+        let cfg = MamlConfig {
+            inner_lr: 0.05,
+            outer_lr: 3e-3,
+            inner_steps: 3,
+            epochs: 3,
+            iterations_per_epoch: 10,
+            support_size: 5,
+            query_size: 20,
+            val_tasks: 4,
+            second_order: false,
+            seed: 3,
+        };
+
+        // Baseline: random-init model adapted on test tasks.
+        let sampler = TaskSampler::new(cfg.support_size, cfg.query_size);
+        let mut rng = StdRng::seed_from_u64(4);
+        let tasks: Vec<_> = (0..6).map(|_| sampler.sample(&test, Metric::Ipc, &mut rng)).collect();
+        let before: f64 = tasks
+            .iter()
+            .map(|t| adapted_query_loss(&model, t, cfg.inner_steps, cfg.inner_lr))
+            .sum::<f64>()
+            / tasks.len() as f64;
+
+        let report = pretrain(&model, &train, &val, Metric::Ipc, &cfg);
+        let after: f64 = tasks
+            .iter()
+            .map(|t| adapted_query_loss(&model, t, cfg.inner_steps, cfg.inner_lr))
+            .sum::<f64>()
+            / tasks.len() as f64;
+
+        assert!(
+            after < before,
+            "meta-pretraining should help unseen tasks: {before} -> {after}"
+        );
+        assert_eq!(report.val_losses.len(), cfg.epochs);
+        assert!(report.best_val_loss.is_finite());
+    }
+
+    #[test]
+    fn second_order_runs_and_differs_from_first_order() {
+        let dim = 4;
+        let ds = vec![synthetic_dataset(40, dim, 60, 0.1)];
+        let val = vec![synthetic_dataset(41, dim, 60, 0.2)];
+        let cfg_fo = MamlConfig {
+            inner_lr: 0.05,
+            outer_lr: 1e-3,
+            inner_steps: 2,
+            epochs: 1,
+            iterations_per_epoch: 4,
+            support_size: 5,
+            query_size: 10,
+            val_tasks: 2,
+            second_order: false,
+            seed: 5,
+        };
+        let cfg_so = MamlConfig {
+            second_order: true,
+            ..cfg_fo.clone()
+        };
+        let m1 = tiny_model(dim);
+        let m2 = tiny_model(dim);
+        // Identical inits (same seed), different MAML order.
+        pretrain(&m1, &ds, &val, Metric::Ipc, &cfg_fo);
+        pretrain(&m2, &ds, &val, Metric::Ipc, &cfg_so);
+        let probe = vec![vec![0.3; dim]];
+        let p1 = m1.predict(&probe)[0];
+        let p2 = m2.predict(&probe)[0];
+        assert!(
+            (p1 - p2).abs() > 1e-12,
+            "second-order term should change the trajectory"
+        );
+    }
+
+    #[test]
+    fn pretrain_report_tracks_best_epoch() {
+        let dim = 4;
+        let model = tiny_model(dim);
+        let ds = vec![synthetic_dataset(50, dim, 60, 0.0)];
+        let val = vec![synthetic_dataset(51, dim, 60, 0.1)];
+        let report = pretrain(&model, &ds, &val, Metric::Ipc, &MamlConfig {
+            inner_lr: 0.05,
+            outer_lr: 1e-3,
+            inner_steps: 2,
+            epochs: 3,
+            iterations_per_epoch: 4,
+            support_size: 5,
+            query_size: 10,
+            val_tasks: 2,
+            second_order: false,
+            seed: 6,
+        });
+        assert!(report.best_epoch < 3);
+        let min = report
+            .val_losses
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best_val_loss, min);
+    }
+}

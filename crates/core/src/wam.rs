@@ -1,0 +1,443 @@
+//! Workload-adaptive architectural mask (paper §IV-C, Fig. 4,
+//! Algorithm 2).
+//!
+//! WAM replaces similarity-based knowledge transfer with an *architectural*
+//! prior: attention weights recorded from the last self-attention layer
+//! during pre-training reveal which parameter interactions matter across
+//! many workloads. High-frequency interactions are kept; the rest receive a
+//! negative additive logit bias. The mask is installed as a **learnable**
+//! parameter and fine-tuned together with the model during adaptation, with
+//! cosine-annealed SGD (§VI-A).
+
+use metadse_nn::autograd::{grad, no_grad};
+use metadse_nn::layers::{self, Module, Param};
+use metadse_nn::optim::CosineAnnealing;
+use metadse_nn::{Elem, Tensor};
+use metadse_workloads::{Dataset, Task};
+
+use crate::predictor::TransformerPredictor;
+
+/// Mask-generation hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WamConfig {
+    /// How many interactions per query row count as "active" in one
+    /// observation.
+    pub top_k: usize,
+    /// Fraction of observations in which an interaction must be active to
+    /// be kept unmasked.
+    pub frequency_threshold: Elem,
+    /// Additive logit penalty for filtered interactions (soft mask; the
+    /// adaptation stage can learn it back).
+    pub penalty: Elem,
+}
+
+impl Default for WamConfig {
+    fn default() -> Self {
+        WamConfig {
+            top_k: 6,
+            frequency_threshold: 0.25,
+            penalty: 2.0,
+        }
+    }
+}
+
+/// Accumulates attention statistics across recorded forward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttentionStats {
+    seq: usize,
+    counts: Vec<Elem>,
+    observations: usize,
+}
+
+impl AttentionStats {
+    /// Creates empty statistics for `seq` tokens.
+    pub fn new(seq: usize) -> AttentionStats {
+        AttentionStats {
+            seq,
+            counts: vec![0.0; seq * seq],
+            observations: 0,
+        }
+    }
+
+    /// Records one attention tensor `[batch, heads, seq, seq]`: for every
+    /// (batch, head, row), the `top_k` strongest interactions count as
+    /// active (the "mask candidates" of Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 with matching `seq`.
+    pub fn observe(&mut self, attention: &Tensor, top_k: usize) {
+        assert_eq!(attention.ndim(), 4, "attention must be [b, h, s, s]");
+        let (b, h, s) = (
+            attention.shape()[0],
+            attention.shape()[1],
+            attention.shape()[2],
+        );
+        assert_eq!(s, self.seq, "token count mismatch");
+        assert_eq!(attention.shape()[3], s, "attention must be square");
+        let data = attention.data();
+        let k = top_k.min(s);
+        for bh in 0..(b * h) {
+            for row in 0..s {
+                let base = (bh * s + row) * s;
+                let row_slice = &data[base..base + s];
+                // Indices of the k largest entries.
+                let mut idx: Vec<usize> = (0..s).collect();
+                idx.sort_by(|&i, &j| row_slice[j].total_cmp(&row_slice[i]));
+                for &col in idx.iter().take(k) {
+                    self.counts[row * s + col] += 1.0;
+                }
+            }
+            self.observations += 1;
+        }
+    }
+
+    /// Number of (batch × head) observations recorded.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Frequency matrix `[seq × seq]`: how often each interaction was among
+    /// the top-k.
+    pub fn frequencies(&self) -> Vec<Elem> {
+        if self.observations == 0 {
+            return vec![0.0; self.seq * self.seq];
+        }
+        self.counts
+            .iter()
+            .map(|c| c / self.observations as Elem)
+            .collect()
+    }
+
+    /// Builds the additive mask: 0 for kept interactions (frequency at or
+    /// above the threshold, and always the diagonal); filtered interactions
+    /// receive a penalty graded by how far below the threshold their
+    /// frequency falls (never-attended pairs get the full `-penalty`).
+    pub fn build_mask(&self, config: &WamConfig) -> Tensor {
+        let freq = self.frequencies();
+        let s = self.seq;
+        let data: Vec<Elem> = (0..s * s)
+            .map(|i| {
+                let (row, col) = (i / s, i % s);
+                if row == col || freq[i] >= config.frequency_threshold {
+                    0.0
+                } else {
+                    -config.penalty * (config.frequency_threshold - freq[i])
+                        / config.frequency_threshold
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[s, s])
+    }
+}
+
+/// Collects attention statistics by running the pre-trained model over the
+/// source datasets with recording enabled (the pre-training side of
+/// Fig. 4), then builds the workload-adaptive mask as a learnable
+/// parameter.
+pub fn generate_mask(
+    model: &TransformerPredictor,
+    sources: &[Dataset],
+    config: &WamConfig,
+    batch_size: usize,
+) -> Param {
+    let seq = model.config().num_params;
+    let mut stats = AttentionStats::new(seq);
+    model.set_record_attention(true);
+    for dataset in sources {
+        for chunk in dataset.samples().chunks(batch_size.max(1)) {
+            let batch: Vec<Vec<Elem>> = chunk.iter().map(|s| s.features.clone()).collect();
+            no_grad(|| model.forward_batch(&batch));
+            if let Some(attention) = model.last_attention() {
+                stats.observe(&attention, config.top_k);
+            }
+        }
+    }
+    model.set_record_attention(false);
+    let mask = stats.build_mask(config);
+    Param::new(
+        "wam.mask",
+        Tensor::param_from_vec(mask.to_vec(), mask.shape()),
+    )
+}
+
+/// Adaptation hyperparameters (Algorithm 2 + §VI-A: ten gradient steps
+/// with cosine annealing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptConfig {
+    /// Gradient steps on the target support set.
+    pub steps: usize,
+    /// Peak learning rate γ.
+    pub lr: Elem,
+    /// Anneal the rate to `lr_min` with a cosine schedule.
+    pub lr_min: Elem,
+    /// Learning-rate multiplier for the WAM mask itself. The mask is the
+    /// *workload-adaptive* element of Algorithm 2 (`M.required_grad =
+    /// True`), so it is allowed to move faster than the meta-trained
+    /// weights during the few adaptation steps.
+    pub mask_lr_multiplier: Elem,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            steps: 20,
+            lr: 0.02,
+            lr_min: 1e-3,
+            mask_lr_multiplier: 4.0,
+        }
+    }
+}
+
+/// Fine-tunes the model (fast-weight style) on a support set with
+/// cosine-annealed SGD and returns the original parameter tensors so the
+/// caller can [`layers::restore`] them afterwards.
+///
+/// If a learnable WAM mask is installed, it is part of `model.params()` and
+/// trains along with the rest — exactly Algorithm 2's
+/// `M.required_grad = True`.
+pub fn adapt(
+    model: &TransformerPredictor,
+    support_x: &[Vec<Elem>],
+    support_y: &[Elem],
+    config: &AdaptConfig,
+) -> Vec<Tensor> {
+    let params = model.params();
+    let theta = layers::snapshot(&params);
+    let schedule = CosineAnnealing::new(config.lr, config.lr_min, config.steps.max(1));
+    let lr_scales: Vec<Elem> = params
+        .iter()
+        .map(|p| {
+            if p.name() == "wam.mask" {
+                config.mask_lr_multiplier
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut current = theta.clone();
+    for step in 0..config.steps {
+        let loss = model.mse_on(support_x, support_y);
+        let grads = grad(&loss, &current, false);
+        let lr = schedule.lr_at(step);
+        let updated: Vec<Tensor> = current
+            .iter()
+            .zip(&grads)
+            .zip(&lr_scales)
+            .map(|((t, g), &scale)| t.sub(&g.mul_scalar(lr * scale)))
+            .collect();
+        layers::restore(&params, &updated);
+        current = updated;
+    }
+    theta
+}
+
+/// Adapts on a task's support set (optionally through a WAM mask) and
+/// returns predictions on its query set, restoring the model afterwards.
+pub fn adapt_and_predict(
+    model: &TransformerPredictor,
+    task: &Task,
+    mask: Option<&Param>,
+    config: &AdaptConfig,
+) -> Vec<Elem> {
+    if let Some(mask) = mask {
+        // Fresh learnable copy per task: each target task adapts its own
+        // mask starting from the shared architectural prior.
+        let fresh = Param::new(
+            "wam.mask",
+            Tensor::param_from_vec(mask.get().to_vec(), &mask.shape()),
+        );
+        model.install_mask(fresh);
+    }
+    let params = model.params();
+    let theta = adapt(model, &task.support_x, &task.support_y, config);
+    let predictions = model.predict(&task.query_x);
+    layers::restore(&params, &theta);
+    if mask.is_some() {
+        model.clear_masks();
+    }
+    predictions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use metadse_workloads::{Metric, Sample, TaskSampler};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_model(dim: usize) -> TransformerPredictor {
+        TransformerPredictor::new(
+            PredictorConfig {
+                num_params: dim,
+                d_model: 8,
+                heads: 2,
+                depth: 1,
+                d_hidden: 16,
+                head_hidden: 8,
+            },
+            11,
+        )
+    }
+
+    fn toy_dataset(dim: usize, n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let features: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let y = features.iter().sum::<f64>() / dim as f64;
+                Sample {
+                    features,
+                    ipc: y,
+                    power_w: 10.0 * y,
+                }
+            })
+            .collect();
+        Dataset::from_samples("toy", samples)
+    }
+
+    #[test]
+    fn stats_track_topk_frequencies() {
+        let mut stats = AttentionStats::new(3);
+        // One batch, one head: row attention concentrated on column 0.
+        let attn = Tensor::from_vec(
+            vec![
+                0.8, 0.1, 0.1, //
+                0.7, 0.2, 0.1, //
+                0.9, 0.05, 0.05,
+            ],
+            &[1, 1, 3, 3],
+        );
+        stats.observe(&attn, 1);
+        let freq = stats.frequencies();
+        assert_eq!(stats.observations(), 1);
+        assert_eq!(freq[0], 1.0); // (0,0)
+        assert_eq!(freq[3], 1.0); // (1,0)
+        assert_eq!(freq[6], 1.0); // (2,0)
+        assert_eq!(freq[1], 0.0);
+    }
+
+    #[test]
+    fn mask_keeps_diagonal_and_frequent_pairs() {
+        let mut stats = AttentionStats::new(3);
+        let attn = Tensor::from_vec(
+            vec![
+                0.8, 0.1, 0.1, //
+                0.1, 0.1, 0.8, //
+                0.1, 0.8, 0.1,
+            ],
+            &[1, 1, 3, 3],
+        );
+        stats.observe(&attn, 1);
+        let mask = stats.build_mask(&WamConfig {
+            top_k: 1,
+            frequency_threshold: 0.5,
+            penalty: 2.0,
+        });
+        let m = mask.to_vec();
+        // Diagonal always kept.
+        assert_eq!(m[0], 0.0);
+        assert_eq!(m[4], 0.0);
+        assert_eq!(m[8], 0.0);
+        // (1,2) and (2,1) active -> kept; (0,1) never active -> penalized.
+        assert_eq!(m[5], 0.0);
+        assert_eq!(m[7], 0.0);
+        assert_eq!(m[1], -2.0);
+    }
+
+    #[test]
+    fn generate_mask_has_model_shape_and_is_learnable() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let ds = vec![toy_dataset(dim, 30, 1)];
+        let mask = generate_mask(&model, &ds, &WamConfig::default(), 16);
+        assert_eq!(mask.shape(), vec![dim, dim]);
+        assert!(mask.get().requires_grad());
+        // Diagonal unmasked.
+        let m = mask.get().to_vec();
+        for i in 0..dim {
+            assert_eq!(m[i * dim + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn adapt_reduces_support_loss_and_restores_exactly() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let ds = toy_dataset(dim, 60, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = TaskSampler::new(10, 10).sample(&ds, Metric::Ipc, &mut rng);
+        let before = model.mse_on(&task.support_x, &task.support_y).value();
+        let params = model.params();
+        let theta = adapt(
+            &model,
+            &task.support_x,
+            &task.support_y,
+            &AdaptConfig {
+                steps: 20,
+                lr: 0.05,
+                lr_min: 1e-4,
+                mask_lr_multiplier: 1.0,
+            },
+        );
+        let after = model.mse_on(&task.support_x, &task.support_y).value();
+        assert!(after < before);
+        layers::restore(&params, &theta);
+        assert_eq!(
+            model.mse_on(&task.support_x, &task.support_y).value(),
+            before
+        );
+    }
+
+    #[test]
+    fn adapt_and_predict_with_mask_leaves_model_clean() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let ds = toy_dataset(dim, 60, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let task = TaskSampler::new(5, 8).sample(&ds, Metric::Ipc, &mut rng);
+        let mask = generate_mask(&model, &[ds], &WamConfig::default(), 16);
+
+        let probe = vec![vec![0.5; dim]];
+        let before = model.predict(&probe)[0];
+        let preds = adapt_and_predict(&model, &task, Some(&mask), &AdaptConfig::default());
+        assert_eq!(preds.len(), task.query_size());
+        // Model fully restored: no mask, same parameters.
+        assert_eq!(model.predict(&probe)[0], before);
+        assert!(model.encoder().last_attention().mask().is_none());
+    }
+
+    #[test]
+    fn masked_adaptation_trains_the_mask() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let ds = toy_dataset(dim, 60, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let task = TaskSampler::new(10, 8).sample(&ds, Metric::Ipc, &mut rng);
+        let mask = Param::new(
+            "wam.mask",
+            Tensor::param_from_vec(vec![0.0; dim * dim], &[dim, dim]),
+        );
+        model.install_mask(mask.clone());
+        let params = model.params();
+        // The learnable mask must be among the adapted parameters.
+        assert!(params.iter().any(|p| p.name() == "wam.mask"));
+        let theta = adapt(
+            &model,
+            &task.support_x,
+            &task.support_y,
+            &AdaptConfig {
+                steps: 10,
+                lr: 0.05,
+                lr_min: 1e-3,
+                mask_lr_multiplier: 1.0,
+            },
+        );
+        // After adaptation the installed mask tensor differs from zero.
+        let mask_now = model.encoder().last_attention().mask().unwrap().get();
+        assert!(mask_now.to_vec().iter().any(|&v| v != 0.0));
+        layers::restore(&params, &theta);
+        model.clear_masks();
+    }
+}

@@ -1,0 +1,158 @@
+//! Random forest regressor (bagged CART trees with feature subsetting).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::RegressionTree;
+use crate::Regressor;
+
+/// Random forest: bootstrap-resampled regression trees whose splits see a
+/// random √d feature subset, averaged at prediction time.
+///
+/// One of the Table II baselines ("RF").
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: usize,
+    min_samples_leaf: usize,
+    seed: u64,
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees`, `max_depth` or `min_samples_leaf` is zero.
+    pub fn new(n_trees: usize, max_depth: usize, min_samples_leaf: usize, seed: u64) -> RandomForest {
+        assert!(n_trees > 0, "a forest needs trees");
+        assert!(max_depth > 0 && min_samples_leaf > 0, "invalid tree hyperparameters");
+        RandomForest {
+            n_trees,
+            max_depth,
+            min_samples_leaf,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    /// The paper-style default: 100 trees of depth 12.
+    pub fn default_for_dse(seed: u64) -> RandomForest {
+        RandomForest::new(100, 12, 2, seed)
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is unfitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let d = x[0].len();
+        let k = (d as f64).sqrt().round().max(1.0) as usize;
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap resample.
+                let mut bx = Vec::with_capacity(x.len());
+                let mut by = Vec::with_capacity(y.len());
+                for _ in 0..x.len() {
+                    let i = rng.gen_range(0..x.len());
+                    bx.push(x[i].clone());
+                    by.push(y[i]);
+                }
+                let mut tree = RegressionTree::new(self.max_depth, self.min_samples_leaf)
+                    .with_max_features(k);
+                tree.fit_seeded(&bx, &by, &mut rng);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn noisy_quadratic(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| v[0] * v[0] + 0.5 * v[1] + 0.02 * rng.gen_range(-1.0..1.0))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_mean_predictor() {
+        let (x, y) = noisy_quadratic(200, 1);
+        let mut rf = RandomForest::new(30, 8, 2, 7);
+        rf.fit(&x, &y);
+        let (tx, ty) = noisy_quadratic(100, 2);
+        let preds = rf.predict(&tx);
+        let mean = crate::metrics::mean(&y);
+        let mean_preds = vec![mean; ty.len()];
+        assert!(rmse(&ty, &preds) < 0.5 * rmse(&ty, &mean_preds));
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let (x, y) = noisy_quadratic(100, 3);
+        let mut a = RandomForest::new(10, 6, 2, 42);
+        let mut b = RandomForest::new(10, 6, 2, 42);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(&[0.3, -0.2]), b.predict_one(&[0.3, -0.2]));
+    }
+
+    #[test]
+    fn different_seeds_give_different_forests() {
+        let (x, y) = noisy_quadratic(100, 3);
+        let mut a = RandomForest::new(10, 6, 2, 1);
+        let mut b = RandomForest::new(10, 6, 2, 2);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_ne!(a.predict_one(&[0.3, -0.2]), b.predict_one(&[0.3, -0.2]));
+    }
+
+    #[test]
+    fn averaging_reduces_variance_vs_single_tree() {
+        let (x, y) = noisy_quadratic(150, 5);
+        let (tx, ty) = noisy_quadratic(150, 6);
+        let mut forest = RandomForest::new(40, 10, 1, 9);
+        forest.fit(&x, &y);
+        let mut tree = crate::RegressionTree::new(10, 1);
+        tree.fit(&x, &y);
+        let forest_err = rmse(&ty, &forest.predict(&tx));
+        let tree_err = rmse(&ty, &tree.predict(&tx));
+        assert!(forest_err <= tree_err * 1.05, "forest {forest_err} vs tree {tree_err}");
+    }
+
+    #[test]
+    fn len_reports_tree_count() {
+        let (x, y) = noisy_quadratic(50, 8);
+        let mut rf = RandomForest::new(7, 4, 2, 0);
+        assert!(rf.is_empty());
+        rf.fit(&x, &y);
+        assert_eq!(rf.len(), 7);
+    }
+}

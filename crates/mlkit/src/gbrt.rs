@@ -1,0 +1,157 @@
+//! Gradient-boosted regression trees (squared loss).
+
+use crate::tree::RegressionTree;
+use crate::Regressor;
+
+/// GBRT: stage-wise additive model where each shallow tree fits the current
+/// residuals, shrunk by a learning rate.
+///
+/// One of the Table II baselines ("GBRT").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientBoosting {
+    n_estimators: usize,
+    learning_rate: f64,
+    max_depth: usize,
+    min_samples_leaf: usize,
+    base_prediction: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl GradientBoosting {
+    /// Creates an unfitted booster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_estimators` is zero or `learning_rate` is not in
+    /// `(0, 1]`.
+    pub fn new(
+        n_estimators: usize,
+        learning_rate: f64,
+        max_depth: usize,
+        min_samples_leaf: usize,
+    ) -> GradientBoosting {
+        assert!(n_estimators > 0, "need at least one estimator");
+        assert!(
+            learning_rate > 0.0 && learning_rate <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
+        GradientBoosting {
+            n_estimators,
+            learning_rate,
+            max_depth,
+            min_samples_leaf,
+            base_prediction: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// The paper-style default: 200 stages of depth-3 trees at rate 0.08.
+    pub fn default_for_dse() -> GradientBoosting {
+        GradientBoosting::new(200, 0.08, 3, 2)
+    }
+
+    /// Number of fitted stages.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the model is unfitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for GradientBoosting {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        self.base_prediction = y.iter().sum::<f64>() / y.len() as f64;
+        let mut current: Vec<f64> = vec![self.base_prediction; y.len()];
+        self.trees = Vec::with_capacity(self.n_estimators);
+        for _ in 0..self.n_estimators {
+            let residuals: Vec<f64> = y.iter().zip(&current).map(|(t, c)| t - c).collect();
+            let mut tree = RegressionTree::new(self.max_depth, self.min_samples_leaf);
+            tree.fit(x, &residuals);
+            for (c, xi) in current.iter_mut().zip(x) {
+                *c += self.learning_rate * tree.predict_one(xi);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        self.base_prediction
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_one(x))
+                    .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn wave(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (8.0 * v[0]).sin() + 2.0 * v[0]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn boosting_reduces_training_error_with_stages() {
+        let (x, y) = wave(200, 1);
+        let err = |stages: usize| -> f64 {
+            let mut g = GradientBoosting::new(stages, 0.2, 3, 2);
+            g.fit(&x, &y);
+            rmse(&y, &g.predict(&x))
+        };
+        let few = err(5);
+        let many = err(100);
+        assert!(many < few * 0.3, "100 stages {many} vs 5 stages {few}");
+    }
+
+    #[test]
+    fn generalizes_on_held_out_wave() {
+        let (x, y) = wave(300, 2);
+        let (tx, ty) = wave(150, 3);
+        let mut g = GradientBoosting::default_for_dse();
+        g.fit(&x, &y);
+        let err = rmse(&ty, &g.predict(&tx));
+        assert!(err < 0.15, "held-out rmse {err}");
+    }
+
+    #[test]
+    fn single_stage_predicts_near_the_mean_shape() {
+        let (x, y) = wave(100, 4);
+        let mut g = GradientBoosting::new(1, 0.1, 2, 2);
+        g.fit(&x, &y);
+        // After one shrunk stage, predictions stay close to the base mean.
+        let base = crate::metrics::mean(&y);
+        for p in g.predict(&x) {
+            assert!((p - base).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_refits() {
+        let (x, y) = wave(100, 5);
+        let mut a = GradientBoosting::new(20, 0.1, 3, 2);
+        let mut b = GradientBoosting::new(20, 0.1, 3, 2);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(&[0.37]), b.predict_one(&[0.37]));
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_learning_rate() {
+        let _ = GradientBoosting::new(10, 0.0, 3, 1);
+    }
+}

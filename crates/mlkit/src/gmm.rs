@@ -1,0 +1,250 @@
+//! Diagonal-covariance Gaussian mixture model fitted by EM.
+//!
+//! Implements the generative-modeling baseline family (Ding et al.'s
+//! data-augmentation approach models DSE datasets with a GMM and re-weights
+//! components to synthesize rare configurations).
+
+use rand::Rng;
+
+/// A Gaussian mixture with diagonal covariances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture {
+    /// Mixing weights (sum to 1).
+    pub weights: Vec<f64>,
+    /// Component means, `k × d`.
+    pub means: Vec<Vec<f64>>,
+    /// Component variances, `k × d` (floored for stability).
+    pub variances: Vec<Vec<f64>>,
+}
+
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianMixture {
+    /// Fits a `k`-component mixture to `data` with `iters` EM iterations,
+    /// initializing means from random data points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, `k` is zero, or `k > data.len()`.
+    pub fn fit<R: Rng + ?Sized>(
+        data: &[Vec<f64>],
+        k: usize,
+        iters: usize,
+        rng: &mut R,
+    ) -> GaussianMixture {
+        assert!(!data.is_empty(), "gmm on empty data");
+        assert!(k > 0 && k <= data.len(), "k must be in 1..=n");
+        let d = data[0].len();
+        let n = data.len();
+
+        // Global variance for initialization.
+        let mut global_mean = vec![0.0; d];
+        for x in data {
+            for (m, v) in global_mean.iter_mut().zip(x) {
+                *m += v / n as f64;
+            }
+        }
+        let mut global_var = vec![0.0; d];
+        for x in data {
+            for ((gv, v), m) in global_var.iter_mut().zip(x).zip(&global_mean) {
+                *gv += (v - m) * (v - m) / n as f64;
+            }
+        }
+        for gv in &mut global_var {
+            *gv = gv.max(VAR_FLOOR);
+        }
+
+        let mut model = GaussianMixture {
+            weights: vec![1.0 / k as f64; k],
+            means: (0..k)
+                .map(|_| data[rng.gen_range(0..n)].clone())
+                .collect(),
+            variances: vec![global_var.clone(); k],
+        };
+
+        let mut resp = vec![vec![0.0; k]; n];
+        for _ in 0..iters {
+            // E-step.
+            for (i, x) in data.iter().enumerate() {
+                let logp: Vec<f64> = (0..k)
+                    .map(|c| model.weights[c].max(1e-300).ln() + model.log_density(c, x))
+                    .collect();
+                let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut total = 0.0;
+                for (r, lp) in resp[i].iter_mut().zip(&logp) {
+                    *r = (lp - max).exp();
+                    total += *r;
+                }
+                for r in &mut resp[i] {
+                    *r /= total;
+                }
+            }
+            // M-step.
+            for c in 0..k {
+                let nk: f64 = resp.iter().map(|r| r[c]).sum();
+                if nk < 1e-9 {
+                    continue; // dead component, keep previous parameters
+                }
+                model.weights[c] = nk / n as f64;
+                for j in 0..d {
+                    let mean = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(x, r)| r[c] * x[j])
+                        .sum::<f64>()
+                        / nk;
+                    model.means[c][j] = mean;
+                    let var = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(x, r)| r[c] * (x[j] - mean) * (x[j] - mean))
+                        .sum::<f64>()
+                        / nk;
+                    model.variances[c][j] = var.max(VAR_FLOOR);
+                }
+            }
+        }
+        model
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Log density of `x` under component `c`.
+    fn log_density(&self, c: usize, x: &[f64]) -> f64 {
+        let mut lp = 0.0;
+        for ((v, m), var) in x.iter().zip(&self.means[c]).zip(&self.variances[c]) {
+            let diff = v - m;
+            lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        lp
+    }
+
+    /// Log likelihood of `x` under the full mixture.
+    pub fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let logp: Vec<f64> = (0..self.num_components())
+            .map(|c| self.weights[c].max(1e-300).ln() + self.log_density(c, x))
+            .collect();
+        let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        max + logp.iter().map(|lp| (lp - max).exp()).sum::<f64>().ln()
+    }
+
+    /// Average log likelihood over a dataset.
+    pub fn mean_log_likelihood(&self, data: &[Vec<f64>]) -> f64 {
+        data.iter().map(|x| self.log_likelihood(x)).sum::<f64>() / data.len() as f64
+    }
+
+    /// Draws one sample from the mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut pick = rng.gen_range(0.0..1.0);
+        let mut c = self.num_components() - 1;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if pick < w {
+                c = i;
+                break;
+            }
+            pick -= w;
+        }
+        self.means[c]
+            .iter()
+            .zip(&self.variances[c])
+            .map(|(m, v)| {
+                // Box-Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                m + v.sqrt() * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    /// Returns a copy with two components' mixing weights swapped — the
+    /// augmentation trick of the generative baseline (swapping rare and
+    /// common component weights to oversample rare regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn with_swapped_weights(&self, a: usize, b: usize) -> GaussianMixture {
+        let mut out = self.clone();
+        out.weights.swap(a, b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted_mixture(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let center = if i % 3 == 0 { -5.0 } else { 5.0 };
+                vec![center + rng.gen_range(-0.5..0.5)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_planted_centers() {
+        let data = planted_mixture(300, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gmm = GaussianMixture::fit(&data, 2, 50, &mut rng);
+        let mut centers: Vec<f64> = gmm.means.iter().map(|m| m[0]).collect();
+        centers.sort_by(f64::total_cmp);
+        assert!((centers[0] + 5.0).abs() < 0.3, "center {}", centers[0]);
+        assert!((centers[1] - 5.0).abs() < 0.3, "center {}", centers[1]);
+        // Mixing weights reflect the 1/3 : 2/3 split.
+        let w_small = gmm.weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((w_small - 1.0 / 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn likelihood_improves_over_em_iterations() {
+        let data = planted_mixture(200, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let early = GaussianMixture::fit(&data, 2, 1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(4);
+        let late = GaussianMixture::fit(&data, 2, 40, &mut rng);
+        assert!(late.mean_log_likelihood(&data) >= early.mean_log_likelihood(&data));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = planted_mixture(100, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let gmm = GaussianMixture::fit(&data, 3, 20, &mut rng);
+        let total: f64 = gmm.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_come_from_the_support() {
+        let data = planted_mixture(200, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let gmm = GaussianMixture::fit(&data, 2, 30, &mut rng);
+        for _ in 0..50 {
+            let s = gmm.sample(&mut rng);
+            assert!(
+                (s[0] + 5.0).abs() < 3.0 || (s[0] - 5.0).abs() < 3.0,
+                "sample {} far from both modes",
+                s[0]
+            );
+        }
+    }
+
+    #[test]
+    fn swapping_weights_preserves_everything_else() {
+        let data = planted_mixture(100, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let gmm = GaussianMixture::fit(&data, 2, 10, &mut rng);
+        let swapped = gmm.with_swapped_weights(0, 1);
+        assert_eq!(swapped.weights[0], gmm.weights[1]);
+        assert_eq!(swapped.means, gmm.means);
+        assert_eq!(swapped.variances, gmm.variances);
+    }
+}

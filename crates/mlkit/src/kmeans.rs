@@ -1,0 +1,179 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used in the TrDSE-style similarity analysis (clustering workload
+//! feature distributions) and available for SimPoint-like phase grouping.
+
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index of each input point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on `points`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k` is zero, or `k > points.len()`.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeans {
+    assert!(!points.is_empty(), "kmeans on empty data");
+    assert!(k > 0 && k <= points.len(), "k must be in 1..=n");
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // All remaining points coincide with centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if pick < w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let d = points[0].len();
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    squared_distance(p, &centroids[a])
+                        .total_cmp(&squared_distance(p, &centroids[b]))
+                })
+                .expect("k > 0");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                *c = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| squared_distance(p, &centroids[a]))
+        .sum();
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            pts.push(vec![0.0 + jitter, 0.0]);
+            pts.push(vec![10.0 + jitter, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = kmeans(&pts, 2, 50, &mut rng);
+        // Points alternate blob membership by construction.
+        let a = result.assignments[0];
+        let b = result.assignments[1];
+        assert_ne!(a, b);
+        for (i, &assign) in result.assignments.iter().enumerate() {
+            assert_eq!(assign, if i % 2 == 0 { a } else { b });
+        }
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = kmeans(&pts, 3, 20, &mut rng);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let i2 = kmeans(&pts, 2, 50, &mut rng).inertia;
+        let mut rng = StdRng::seed_from_u64(3);
+        let i4 = kmeans(&pts, 4, 50, &mut rng).inertia;
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn rejects_oversized_k() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = kmeans(&[vec![1.0]], 2, 10, &mut rng);
+    }
+
+    #[test]
+    fn identical_points_are_handled() {
+        let pts = vec![vec![2.0, 2.0]; 8];
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = kmeans(&pts, 3, 10, &mut rng);
+        assert!(result.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! # metadse-mlkit
+//!
+//! A small classical machine-learning toolkit implementing, from scratch,
+//! every non-deep model the MetaDSE evaluation compares against or builds
+//! on:
+//!
+//! * [`RegressionTree`] / [`RandomForest`] / [`GradientBoosting`] — the RF
+//!   and GBRT baselines of Table II and the members of TrEnDSE's ensemble,
+//! * [`RidgeRegression`] — the linear-fitting baseline family,
+//! * [`kmeans::kmeans`] — TrDSE-style clustering,
+//! * [`GaussianMixture`] — the generative data-augmentation baseline,
+//! * [`wasserstein::wasserstein_1d`] — TrEnDSE's workload-similarity
+//!   measure and the Fig. 2 heatmap,
+//! * [`metrics`] — RMSE / MAPE / explained variance (paper Eqs. 1–3),
+//!   geometric means, and confidence intervals.
+//!
+//! # Example
+//!
+//! ```
+//! use metadse_mlkit::{GradientBoosting, Regressor, metrics};
+//!
+//! let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+//! let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] * v[0]).collect();
+//! let mut model = GradientBoosting::new(50, 0.2, 3, 2);
+//! model.fit(&x, &y);
+//! let err = metrics::rmse(&y, &model.predict(&x));
+//! assert!(err < 0.1);
+//! ```
+
+pub mod forest;
+pub mod gbrt;
+pub mod gmm;
+pub mod kmeans;
+pub mod linear;
+pub mod metrics;
+pub mod tree;
+pub mod wasserstein;
+
+pub use forest::RandomForest;
+pub use gbrt::GradientBoosting;
+pub use gmm::GaussianMixture;
+pub use kmeans::KMeans;
+pub use linear::RidgeRegression;
+pub use tree::RegressionTree;
+
+/// A trainable single-output regression model over dense feature vectors.
+///
+/// All baselines in the MetaDSE reproduction implement this, so the
+/// experiment harness can treat them uniformly.
+pub trait Regressor {
+    /// Fits the model to feature rows `x` and labels `y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` is empty or `x.len() != y.len()`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Predicts the label of a single feature row.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before [`Regressor::fit`].
+    fn predict_one(&self, x: &[f64]) -> f64;
+
+    /// Predicts labels for many rows.
+    fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+}

@@ -1,0 +1,179 @@
+//! Ridge (L2-regularized linear) regression.
+//!
+//! Used for the linear-fitting family of cross-workload baselines
+//! (Dubach et al.-style label-space mapping) and as a sanity baseline.
+
+use crate::Regressor;
+
+/// Ridge regression fitted by the normal equations
+/// `(XᵀX + λI) w = Xᵀy` with an unregularized intercept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeRegression {
+    lambda: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl RidgeRegression {
+    /// Creates an unfitted model with regularization strength `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative.
+    pub fn new(lambda: f64) -> RidgeRegression {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        RidgeRegression {
+            lambda,
+            weights: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients (empty before fitting).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` by Gaussian
+/// elimination with partial pivoting. `A` is row-major `n × n`.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 1e-12, "singular system (increase lambda)");
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let n = x.len() as f64;
+        let d = x[0].len();
+        // Center to fit the intercept without regularizing it.
+        let x_mean: Vec<f64> = (0..d)
+            .map(|j| x.iter().map(|row| row[j]).sum::<f64>() / n)
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / n;
+
+        let mut xtx = vec![vec![0.0; d]; d];
+        let mut xty = vec![0.0; d];
+        for (row, &yi) in x.iter().zip(y) {
+            for j in 0..d {
+                let xj = row[j] - x_mean[j];
+                xty[j] += xj * (yi - y_mean);
+                for k in j..d {
+                    xtx[j][k] += xj * (row[k] - x_mean[k]);
+                }
+            }
+        }
+        for j in 0..d {
+            for k in 0..j {
+                xtx[j][k] = xtx[k][j];
+            }
+            xtx[j][j] += self.lambda.max(1e-10);
+        }
+        self.weights = solve(xtx, xty);
+        self.intercept = y_mean
+            - self
+                .weights
+                .iter()
+                .zip(&x_mean)
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
+        self.fitted = true;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "predict called before fit");
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2 x0 - 3 x1 + 5
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v[0] - 3.0 * v[1] + 5.0).collect();
+        let mut m = RidgeRegression::new(1e-8);
+        m.fit(&x, &y);
+        assert!((m.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 3.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 10.0 * v[0]).collect();
+        let mut loose = RidgeRegression::new(1e-8);
+        let mut tight = RidgeRegression::new(100.0);
+        loose.fit(&x, &y);
+        tight.fit(&x, &y);
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+    }
+
+    #[test]
+    fn handles_constant_features_via_regularization() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut m = RidgeRegression::new(1e-6);
+        m.fit(&x, &y);
+        let p = m.predict_one(&[1.0, 4.0]);
+        assert!((p - 4.0).abs() < 1e-3, "{p}");
+    }
+
+    #[test]
+    fn solver_solves_known_system() {
+        // [[2,1],[1,3]] x = [3,5] -> x = [0.8, 1.4]
+        let x = solve(vec![vec![2.0, 1.0], vec![1.0, 3.0]], vec![3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+}

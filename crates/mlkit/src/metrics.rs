@@ -1,0 +1,203 @@
+//! Regression metrics and summary statistics (paper Eqs. 1–3).
+
+/// Root mean squared error (paper Eq. 1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "rmse of empty slice");
+    let sse: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    (sse / actual.len() as f64).sqrt()
+}
+
+/// Mean absolute percentage error, as a fraction (paper Eq. 2 divides by
+/// 100 relative to this; multiply by 100 for percent).
+///
+/// # Panics
+///
+/// Panics if lengths differ, the slices are empty, or any actual value is
+/// zero.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "mape of empty slice");
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| {
+            assert!(*y != 0.0, "mape undefined for zero actual value");
+            ((y - p) / y).abs()
+        })
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Explained variance (paper Eq. 3): `1 - SSE / SST`. Equals 1 for perfect
+/// predictions, 0 for predicting the mean, negative for worse than the
+/// mean.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn explained_variance(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(actual.len() >= 2, "explained variance needs >= 2 points");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let sst: f64 = actual.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let sse: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    if sst == 0.0 {
+        if sse == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - sse / sst
+    }
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for a single value).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn std_dev(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "std_dev of empty slice");
+    if values.len() == 1 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean of positive values (the paper's GEOMEAN column).
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Mean with a 95% normal-approximation confidence half-width (the `±`
+/// column of Table II).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean_with_ci95(values: &[f64]) -> (f64, f64) {
+    let m = mean(values);
+    let half = 1.96 * std_dev(values) / (values.len() as f64).sqrt();
+    (m, half)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_hand_computed() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // Errors 1 and -1 -> RMSE 1.
+        assert!((rmse(&[1.0, 2.0], &[2.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Errors 3 and 4 -> sqrt(25/2).
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_hand_computed() {
+        // |1-1.1|/1 = 0.1, |2-1.8|/2 = 0.1 -> 0.1
+        assert!((mape(&[1.0, 2.0], &[1.1, 1.8]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero actual")]
+    fn mape_rejects_zero_actuals() {
+        let _ = mape(&[0.0], &[1.0]);
+    }
+
+    #[test]
+    fn explained_variance_reference_points() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(explained_variance(&y, &y), 1.0);
+        let mean_pred = [2.5; 4];
+        assert!(explained_variance(&y, &mean_pred).abs() < 1e-12);
+        let bad = [4.0, 3.0, 2.0, 1.0];
+        assert!(explained_variance(&y, &bad) < 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_count() {
+        let few = vec![1.0, 2.0, 3.0, 4.0];
+        let many: Vec<f64> = few.iter().cycle().take(64).copied().collect();
+        let (_, ci_few) = mean_with_ci95(&few);
+        let (_, ci_many) = mean_with_ci95(&many);
+        assert!(ci_many < ci_few);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_matches_manual() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Var of {1,3} with n-1: (1+1)/1 = 2.
+        assert!((std_dev(&[1.0, 3.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+}

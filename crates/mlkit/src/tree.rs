@@ -1,0 +1,288 @@
+//! CART regression tree.
+
+use rand::Rng;
+
+use crate::Regressor;
+
+/// Internal tree node.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART regression tree with variance-reduction splits.
+///
+/// Supports per-split random feature subsetting (`max_features`), which is
+/// what de-correlates the trees of a random forest.
+///
+/// # Example
+///
+/// ```
+/// use metadse_mlkit::{RegressionTree, Regressor};
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let y = vec![0.0, 0.0, 10.0, 10.0];
+/// let mut tree = RegressionTree::new(3, 1);
+/// tree.fit(&x, &y);
+/// assert_eq!(tree.predict_one(&[0.5]), 0.0);
+/// assert_eq!(tree.predict_one(&[2.5]), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    max_depth: usize,
+    min_samples_leaf: usize,
+    max_features: Option<usize>,
+    root: Option<Node>,
+}
+
+impl RegressionTree {
+    /// Creates an unfitted tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` or `min_samples_leaf` is zero.
+    pub fn new(max_depth: usize, min_samples_leaf: usize) -> RegressionTree {
+        assert!(max_depth > 0 && min_samples_leaf > 0, "invalid tree hyperparameters");
+        RegressionTree {
+            max_depth,
+            min_samples_leaf,
+            max_features: None,
+            root: None,
+        }
+    }
+
+    /// Limits each split to a random subset of `k` features (random-forest
+    /// style). `fit` then requires an RNG via [`RegressionTree::fit_seeded`].
+    pub fn with_max_features(mut self, k: usize) -> RegressionTree {
+        self.max_features = Some(k.max(1));
+        self
+    }
+
+    /// Whether the tree has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// Fits with an explicit RNG (needed when feature subsetting is on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths disagree.
+    pub fn fit_seeded<R: Rng + ?Sized>(&mut self, x: &[Vec<f64>], y: &[f64], rng: &mut R) {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let indices: Vec<usize> = (0..x.len()).collect();
+        self.root = Some(self.build(x, y, &indices, 0, rng));
+    }
+
+    fn build<R: Rng + ?Sized>(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        depth: usize,
+        rng: &mut R,
+    ) -> Node {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= self.max_depth || indices.len() < 2 * self.min_samples_leaf {
+            return Node::Leaf(mean);
+        }
+        let n_features = x[0].len();
+        let candidates: Vec<usize> = match self.max_features {
+            Some(k) if k < n_features => {
+                // Sample k distinct features.
+                let mut all: Vec<usize> = (0..n_features).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..all.len());
+                    all.swap(i, j);
+                }
+                all.truncate(k);
+                all
+            }
+            _ => (0..n_features).collect(),
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &f in &candidates {
+            if let Some((threshold, sse)) = best_split_on(x, y, indices, f, self.min_samples_leaf)
+            {
+                if best.is_none() || sse < best.unwrap().2 {
+                    best = Some((f, threshold, sse));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            return Node::Leaf(mean);
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf(mean);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_idx, depth + 1, rng)),
+            right: Box::new(self.build(x, y, &right_idx, depth + 1, rng)),
+        }
+    }
+}
+
+/// Best threshold for one feature by total SSE of the two children
+/// (prefix-sum scan over the sorted column). Returns `None` when no legal
+/// split exists.
+fn best_split_on(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    feature: usize,
+    min_leaf: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = indices.to_vec();
+    order.sort_by(|&a, &b| x[a][feature].total_cmp(&x[b][feature]));
+    let n = order.len();
+    // Prefix sums of y and y² in sorted order.
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let prefix: Vec<(f64, f64)> = order
+        .iter()
+        .map(|&i| {
+            sum += y[i];
+            sum_sq += y[i] * y[i];
+            (sum, sum_sq)
+        })
+        .collect();
+    let (total, total_sq) = prefix[n - 1];
+
+    let mut best: Option<(f64, f64)> = None;
+    for split in min_leaf..=(n - min_leaf) {
+        if split == n {
+            break;
+        }
+        let (xl, xr) = (x[order[split - 1]][feature], x[order[split]][feature]);
+        if xl == xr {
+            continue; // cannot separate equal values
+        }
+        let (ls, lsq) = prefix[split - 1];
+        let (rs, rsq) = (total - ls, total_sq - lsq);
+        let nl = split as f64;
+        let nr = (n - split) as f64;
+        let sse = (lsq - ls * ls / nl) + (rsq - rs * rs / nr);
+        let threshold = 0.5 * (xl + xr);
+        if best.is_none() || sse < best.unwrap().1 {
+            best = Some((threshold, sse));
+        }
+    }
+    best
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        // Deterministic fit: full feature search needs no randomness; the
+        // seeded path only matters when max_features is set.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        self.fit_seeded(x, y, &mut rng);
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut node = self
+            .root
+            .as_ref()
+            .expect("predict called before fit");
+        loop {
+            match node {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (6.0 * v[0]).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn perfectly_separable_step_function() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1.0, 1.0, 5.0, 5.0];
+        let mut t = RegressionTree::new(4, 1);
+        t.fit(&x, &y);
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        let (x, y) = grid(128);
+        let mut shallow = RegressionTree::new(2, 1);
+        let mut deep = RegressionTree::new(6, 1);
+        shallow.fit(&x, &y);
+        deep.fit(&x, &y);
+        let err = |t: &RegressionTree| -> f64 {
+            crate::metrics::rmse(&y, &t.predict(&x))
+        };
+        assert!(err(&deep) < err(&shallow) * 0.5);
+    }
+
+    #[test]
+    fn min_leaf_caps_resolution() {
+        let (x, y) = grid(64);
+        let mut coarse = RegressionTree::new(12, 16);
+        coarse.fit(&x, &y);
+        // With min 16 samples per leaf, at most 4 leaves exist.
+        let preds = coarse.predict(&x);
+        let mut distinct: Vec<f64> = preds.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert!(distinct.len() <= 4, "{} leaves", distinct.len());
+    }
+
+    #[test]
+    fn constant_labels_yield_single_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![7.0, 7.0, 7.0];
+        let mut t = RegressionTree::new(5, 1);
+        t.fit(&x, &y);
+        assert_eq!(t.predict_one(&[10.0]), 7.0);
+    }
+
+    #[test]
+    fn splits_use_the_informative_feature() {
+        // Feature 1 is noise; feature 0 determines y.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 2) as f64, (i * 7 % 13) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * 100.0).collect();
+        let mut t = RegressionTree::new(3, 1);
+        t.fit(&x, &y);
+        assert_eq!(t.predict_one(&[0.0, 3.0]), 0.0);
+        assert_eq!(t.predict_one(&[1.0, 9.0]), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_on_empty_panics() {
+        let mut t = RegressionTree::new(3, 1);
+        t.fit(&[], &[]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The central entry point is [`grad`], which walks the computation graph
+//! recorded by tensor operations. Because every backward pass is itself
+//! written with ordinary tensor operations, passing `create_graph = true`
+//! yields gradients that are themselves differentiable — the "double
+//! backward" needed by second-order MAML.
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+
+use crate::Tensor;
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether operations currently record graph edges.
+pub fn is_grad_enabled() -> bool {
+    GRAD_ENABLED.with(|g| g.get())
+}
+
+/// RAII guard restoring the previous gradient-recording mode on drop.
+#[derive(Debug)]
+pub struct GradModeGuard {
+    previous: bool,
+}
+
+impl GradModeGuard {
+    /// Sets gradient recording to `enabled` until the guard is dropped.
+    pub fn set(enabled: bool) -> GradModeGuard {
+        let previous = GRAD_ENABLED.with(|g| g.replace(enabled));
+        GradModeGuard { previous }
+    }
+}
+
+impl Drop for GradModeGuard {
+    fn drop(&mut self) {
+        GRAD_ENABLED.with(|g| g.set(self.previous));
+    }
+}
+
+/// Runs `f` with graph recording disabled (like `torch.no_grad()`).
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::{Tensor, autograd};
+///
+/// let x = Tensor::param_from_vec(vec![2.0], &[1]);
+/// let y = autograd::no_grad(|| x.mul(&x));
+/// assert!(!y.requires_grad());
+/// ```
+pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = GradModeGuard::set(false);
+    f()
+}
+
+/// Computes `d output / d input` for each tensor in `inputs`.
+///
+/// `output` may have any shape; the seed gradient is a tensor of ones (so a
+/// non-scalar output computes the gradient of its element sum). Inputs that
+/// do not influence `output` receive a zero gradient of their own shape.
+///
+/// With `create_graph = false` the returned gradients are constants; with
+/// `create_graph = true` they remain connected to the graph, so they can be
+/// differentiated again:
+///
+/// ```
+/// use metadse_nn::{Tensor, autograd};
+///
+/// let x = Tensor::param_from_vec(vec![3.0], &[1]);
+/// let y = x.powf(3.0); // y = x^3
+/// let dy = autograd::grad(&y, &[x.clone()], true);
+/// let d2y = autograd::grad(&dy[0], &[x.clone()], false);
+/// assert!((dy[0].value() - 27.0).abs() < 1e-9); // 3x^2
+/// assert!((d2y[0].value() - 18.0).abs() < 1e-9); // 6x
+/// ```
+pub fn grad(output: &Tensor, inputs: &[Tensor], create_graph: bool) -> Vec<Tensor> {
+    let order = topological_order(output);
+    let mut grads: HashMap<u64, Tensor> = HashMap::new();
+    grads.insert(output.id(), Tensor::ones(output.shape()));
+
+    {
+        let _guard = GradModeGuard::set(create_graph);
+        for t in order.iter().rev() {
+            let Some(g) = grads.get(&t.id()).cloned() else {
+                continue;
+            };
+            let Some(node) = t.node() else {
+                continue;
+            };
+            let parent_grads = (node.backward)(&g, &node.parents, t);
+            debug_assert_eq!(parent_grads.len(), node.parents.len());
+            for (parent, pg) in node.parents.iter().zip(parent_grads) {
+                if !parent.requires_grad() {
+                    continue;
+                }
+                let Some(pg) = pg else { continue };
+                debug_assert_eq!(
+                    pg.shape(),
+                    parent.shape(),
+                    "backward produced gradient of shape {:?} for parent of shape {:?}",
+                    pg.shape(),
+                    parent.shape()
+                );
+                match grads.remove(&parent.id()) {
+                    Some(existing) => {
+                        grads.insert(parent.id(), existing.add(&pg));
+                    }
+                    None => {
+                        grads.insert(parent.id(), pg);
+                    }
+                }
+            }
+        }
+    }
+
+    inputs
+        .iter()
+        .map(|input| {
+            grads
+                .get(&input.id())
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(input.shape()))
+        })
+        .collect()
+}
+
+/// Topological order (parents before children) of the differentiable
+/// subgraph reachable from `root`.
+fn topological_order(root: &Tensor) -> Vec<Tensor> {
+    let mut order = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    // Iterative DFS with explicit post-order marking to avoid recursion
+    // limits on long chains (e.g. many unrolled inner-loop steps).
+    enum Visit {
+        Enter(Tensor),
+        Exit(Tensor),
+    }
+    let mut stack = vec![Visit::Enter(root.clone())];
+    while let Some(visit) = stack.pop() {
+        match visit {
+            Visit::Enter(t) => {
+                if visited.contains(&t.id()) || !t.requires_grad() {
+                    continue;
+                }
+                visited.insert(t.id());
+                stack.push(Visit::Exit(t.clone()));
+                if let Some(node) = t.node() {
+                    for parent in &node.parents {
+                        if !visited.contains(&parent.id()) && parent.requires_grad() {
+                            stack.push(Visit::Enter(parent.clone()));
+                        }
+                    }
+                }
+            }
+            Visit::Exit(t) => order.push(t),
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_of_sum_is_ones() {
+        let x = Tensor::param_from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let y = x.sum_all();
+        let g = grad(&y, &[x.clone()], false);
+        assert_eq!(g[0].to_vec(), vec![1.0, 1.0, 1.0]);
+        assert!(!g[0].requires_grad());
+    }
+
+    #[test]
+    fn grad_accumulates_over_reused_tensors() {
+        // y = x*x + x  =>  dy/dx = 2x + 1
+        let x = Tensor::param_from_vec(vec![3.0], &[1]);
+        let y = x.mul(&x).add(&x).sum_all();
+        let g = grad(&y, &[x.clone()], false);
+        assert!((g[0].to_vec()[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_input_gets_zero_gradient() {
+        let x = Tensor::param_from_vec(vec![1.0], &[1]);
+        let z = Tensor::param_from_vec(vec![5.0], &[1]);
+        let y = x.mul_scalar(2.0).sum_all();
+        let g = grad(&y, &[z], false);
+        assert_eq!(g[0].to_vec(), vec![0.0]);
+    }
+
+    #[test]
+    fn no_grad_suppresses_graph_recording() {
+        let x = Tensor::param_from_vec(vec![2.0], &[1]);
+        let y = no_grad(|| x.mul(&x));
+        assert!(!y.requires_grad());
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn grad_mode_guard_restores_state() {
+        assert!(is_grad_enabled());
+        {
+            let _g = GradModeGuard::set(false);
+            assert!(!is_grad_enabled());
+            {
+                let _h = GradModeGuard::set(true);
+                assert!(is_grad_enabled());
+            }
+            assert!(!is_grad_enabled());
+        }
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn second_order_gradient_of_cubic() {
+        let x = Tensor::param_from_vec(vec![2.0], &[1]);
+        let y = x.powf(3.0).sum_all();
+        let dy = grad(&y, &[x.clone()], true);
+        assert!(dy[0].requires_grad(), "create_graph should keep grads live");
+        let d2y = grad(&dy[0].sum_all(), &[x.clone()], false);
+        // d2/dx2 x^3 = 6x = 12
+        assert!((d2y[0].to_vec()[0] - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn third_order_gradient_of_quartic() {
+        let x = Tensor::param_from_vec(vec![1.5], &[1]);
+        let y = x.powf(4.0).sum_all();
+        let d1 = grad(&y, &[x.clone()], true);
+        let d2 = grad(&d1[0].sum_all(), &[x.clone()], true);
+        let d3 = grad(&d2[0].sum_all(), &[x.clone()], false);
+        // d3/dx3 x^4 = 24x = 36
+        assert!((d3[0].to_vec()[0] - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_order_gradients_are_detached() {
+        let x = Tensor::param_from_vec(vec![2.0], &[1]);
+        let y = x.mul(&x).sum_all();
+        let g = grad(&y, &[x.clone()], false);
+        assert!(!g[0].requires_grad());
+    }
+}

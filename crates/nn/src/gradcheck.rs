@@ -1,0 +1,191 @@
+//! Numerical gradient checking.
+//!
+//! Central-difference verification of analytic gradients; used throughout
+//! the test-suite and exposed publicly so downstream crates can validate
+//! custom compositions.
+
+use crate::autograd::{grad, no_grad};
+use crate::{Elem, Tensor};
+
+/// Result of a gradient check for a single input tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric entries.
+    pub max_abs_diff: Elem,
+    /// Largest relative difference (normalized by magnitude, floored at 1).
+    pub max_rel_diff: Elem,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed under tolerance `tol`.
+    pub fn passes(&self, tol: Elem) -> bool {
+        self.max_rel_diff <= tol
+    }
+}
+
+/// Verifies the analytic gradient of `f` with central differences.
+///
+/// `f` must be a deterministic scalar-valued function of its inputs (it is
+/// re-evaluated many times). Returns one report per input.
+///
+/// # Panics
+///
+/// Panics if `f` returns a non-scalar tensor.
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::{Tensor, gradcheck::check_gradients};
+///
+/// let x = Tensor::param_from_vec(vec![0.3, -0.8], &[2]);
+/// let reports = check_gradients(|xs| xs[0].tanh().squared_norm(), &[x], 1e-5);
+/// assert!(reports[0].passes(1e-6));
+/// ```
+pub fn check_gradients(
+    f: impl Fn(&[Tensor]) -> Tensor,
+    inputs: &[Tensor],
+    epsilon: Elem,
+) -> Vec<GradCheckReport> {
+    let output = f(inputs);
+    assert_eq!(output.numel(), 1, "gradient check requires a scalar output");
+    let analytic = grad(&output, inputs, false);
+
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(which, input)| {
+            let base = input.to_vec();
+            let mut max_abs: Elem = 0.0;
+            let mut max_rel: Elem = 0.0;
+            let a = analytic[which].to_vec();
+            for j in 0..base.len() {
+                let mut plus = base.clone();
+                plus[j] += epsilon;
+                let mut minus = base.clone();
+                minus[j] -= epsilon;
+                let f_plus = eval_perturbed(&f, inputs, which, &plus);
+                let f_minus = eval_perturbed(&f, inputs, which, &minus);
+                let numeric = (f_plus - f_minus) / (2.0 * epsilon);
+                let abs = (a[j] - numeric).abs();
+                let rel = abs / numeric.abs().max(a[j].abs()).max(1.0);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+            }
+            GradCheckReport {
+                max_abs_diff: max_abs,
+                max_rel_diff: max_rel,
+            }
+        })
+        .collect()
+}
+
+fn eval_perturbed(
+    f: &impl Fn(&[Tensor]) -> Tensor,
+    inputs: &[Tensor],
+    which: usize,
+    values: &[Elem],
+) -> Elem {
+    let perturbed: Vec<Tensor> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i == which {
+                Tensor::param_from_vec(values.to_vec(), t.shape())
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    no_grad(|| f(&perturbed).value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(shape, &mut rng);
+        Tensor::param_from_vec(t.to_vec(), shape)
+    }
+
+    #[test]
+    fn elementwise_chain_checks() {
+        let x = params(&[2, 3], 1);
+        let r = check_gradients(
+            |xs| xs[0].tanh().mul_scalar(2.0).add_scalar(0.5).squared_norm(),
+            &[x],
+            1e-5,
+        );
+        assert!(r[0].passes(1e-6), "report {:?}", r[0]);
+    }
+
+    #[test]
+    fn exp_ln_sqrt_chain_checks() {
+        let x0 = params(&[4], 2);
+        // Keep inputs positive for ln/sqrt.
+        let x = Tensor::param_from_vec(
+            x0.to_vec().iter().map(|v| v.abs() + 0.5).collect(),
+            &[4],
+        );
+        let r = check_gradients(
+            |xs| xs[0].ln().exp().sqrt().sum_all(),
+            &[x],
+            1e-6,
+        );
+        assert!(r[0].passes(1e-5), "report {:?}", r[0]);
+    }
+
+    #[test]
+    fn matmul_and_softmax_check() {
+        let a = params(&[3, 4], 3);
+        let b = params(&[4, 2], 4);
+        let r = check_gradients(
+            |xs| xs[0].matmul(&xs[1]).softmax(1).squared_norm(),
+            &[a, b],
+            1e-5,
+        );
+        assert!(r[0].passes(1e-6), "A report {:?}", r[0]);
+        assert!(r[1].passes(1e-6), "B report {:?}", r[1]);
+    }
+
+    #[test]
+    fn broadcast_div_check() {
+        let a = params(&[2, 3], 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let b0 = Tensor::rand_uniform(&[3], 0.5, 2.0, &mut rng);
+        let b = Tensor::param_from_vec(b0.to_vec(), &[3]);
+        let r = check_gradients(|xs| xs[0].div(&xs[1]).squared_norm(), &[a, b], 1e-6);
+        assert!(r[0].passes(1e-5), "A report {:?}", r[0]);
+        assert!(r[1].passes(1e-5), "B report {:?}", r[1]);
+    }
+
+    #[test]
+    fn gelu_and_sigmoid_check() {
+        let x = params(&[5], 7);
+        let r = check_gradients(
+            |xs| xs[0].gelu().sigmoid().sum_all(),
+            &[x],
+            1e-5,
+        );
+        assert!(r[0].passes(1e-6), "report {:?}", r[0]);
+    }
+
+    #[test]
+    fn layernorm_style_composition_check() {
+        let x = params(&[2, 4], 8);
+        let r = check_gradients(
+            |xs| {
+                let mean = xs[0].mean_axis(1, true);
+                let var = xs[0].var_axis(1, true);
+                let normalized = xs[0].sub(&mean).div(&var.add_scalar(1e-5).sqrt());
+                normalized.squared_norm()
+            },
+            &[x],
+            1e-5,
+        );
+        assert!(r[0].passes(1e-5), "report {:?}", r[0]);
+    }
+}

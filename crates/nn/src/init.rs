@@ -1,0 +1,62 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::{Elem, Tensor};
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+///
+/// Samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`; keeps
+/// activation variance stable through linear layers with tanh-like
+/// nonlinearities.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as Elem).sqrt();
+    Tensor::rand_uniform(&[fan_in, fan_out], -a, a, rng)
+}
+
+/// Kaiming/He normal initialization for ReLU-family networks.
+///
+/// Samples from `N(0, 2 / fan_in)`.
+pub fn kaiming_normal<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in as Elem).sqrt();
+    Tensor::randn(&[fan_in, fan_out], rng).mul_scalar(std)
+}
+
+/// Small-scale normal initialization, `N(0, std^2)`.
+pub fn normal<R: Rng + ?Sized>(shape: &[usize], std: Elem, rng: &mut R) -> Tensor {
+    Tensor::randn(shape, rng).mul_scalar(std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0 / 128.0_f64).sqrt();
+        assert!(w.to_vec().iter().all(|&x| x > -a && x < a));
+        assert_eq!(w.shape(), &[64, 64]);
+    }
+
+    #[test]
+    fn kaiming_variance_close_to_two_over_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = kaiming_normal(100, 100, &mut rng);
+        let v = w.to_vec();
+        let var: f64 = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        assert!((var - 0.02).abs() < 0.005, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scales_std() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = normal(&[10_000], 0.01, &mut rng);
+        let v = w.to_vec();
+        let var: f64 = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        assert!((var.sqrt() - 0.01).abs() < 0.002);
+    }
+}

@@ -1,0 +1,97 @@
+//! Inverted dropout.
+
+use std::cell::{Cell, RefCell};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Elem, Tensor};
+
+/// Inverted dropout: zeroes activations with probability `p` during
+/// training and rescales survivors by `1/(1-p)`, so evaluation needs no
+/// correction.
+///
+/// The layer owns its RNG so forward passes stay reproducible given the
+/// construction seed.
+#[derive(Debug)]
+pub struct Dropout {
+    p: Elem,
+    training: Cell<bool>,
+    rng: RefCell<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: Elem, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            training: Cell::new(true),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Switches between training (dropping) and evaluation (identity).
+    pub fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> Elem {
+        self.p
+    }
+
+    /// Applies dropout to `x`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        if !self.training.get() || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mut rng = self.rng.borrow_mut();
+        let mask: Vec<Elem> = (0..x.numel())
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        x.mul(&Tensor::from_vec(mask, x.shape()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::ones(&[4]);
+        assert_eq!(d.forward(&x).to_vec(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let d = Dropout::new(0.0, 1);
+        let x = Tensor::ones(&[4]);
+        assert_eq!(d.forward(&x).to_vec(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn training_mode_preserves_expectation() {
+        let d = Dropout::new(0.3, 42);
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x).to_vec();
+        let mean: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} should stay near 1");
+        // Survivors are scaled by 1/keep.
+        assert!(y.iter().all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,112 @@
+//! Lookup-table embedding.
+
+use rand::Rng;
+
+use super::{Module, Param};
+use crate::{init, Tensor};
+
+/// Learnable lookup table mapping discrete indices to dense vectors.
+///
+/// Used by the MetaDSE predictor to give each architectural parameter its
+/// own identity embedding.
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::layers::{Embedding, Module};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let emb = Embedding::new("tok", 10, 4, &mut rng);
+/// let out = emb.forward(&[3, 1, 3]);
+/// assert_eq!(out.shape(), &[3, 4]);
+/// // Identical indices produce identical rows.
+/// assert_eq!(out.to_vec()[0..4], out.to_vec()[8..12]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates a `[vocab, dim]` table initialized from `N(0, 0.02²)`.
+    pub fn new<R: Rng + ?Sized>(name: &str, vocab: usize, dim: usize, rng: &mut R) -> Embedding {
+        let w = init::normal(&[vocab, dim], 0.02, rng);
+        Embedding {
+            table: Param::new(
+                format!("{name}.table"),
+                Tensor::param_from_vec(w.to_vec(), &[vocab, dim]),
+            ),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up `indices`, returning shape `[indices.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn forward(&self, indices: &[usize]) -> Tensor {
+        self.table.get().index_select_rows(indices)
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<Param> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = Embedding::new("e", 6, 3, &mut rng);
+        let a = emb.forward(&[0, 5]);
+        assert_eq!(a.shape(), &[2, 3]);
+        let b = emb.forward(&[0, 5]);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn gradient_accumulates_on_repeated_indices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let emb = Embedding::new("e", 4, 2, &mut rng);
+        let out = emb.forward(&[1, 1, 2]);
+        let loss = out.sum_all();
+        let g = grad(&loss, &[emb.params()[0].get()], false);
+        let gv = g[0].to_vec();
+        // Row 1 selected twice, row 2 once, rows 0/3 untouched.
+        assert_eq!(&gv[0..2], &[0.0, 0.0]);
+        assert_eq!(&gv[2..4], &[2.0, 2.0]);
+        assert_eq!(&gv[4..6], &[1.0, 1.0]);
+        assert_eq!(&gv[6..8], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_index_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = Embedding::new("e", 4, 2, &mut rng);
+        let _ = emb.forward(&[4]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Position-wise feed-forward block.
+
+use rand::Rng;
+
+use super::{Linear, Module, Param};
+use crate::Tensor;
+
+/// Two-layer MLP with GELU, applied position-wise (the transformer FFN).
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    lift: Linear,
+    project: Linear,
+}
+
+impl FeedForward {
+    /// Creates a `d_model → d_hidden → d_model` block.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        d_model: usize,
+        d_hidden: usize,
+        rng: &mut R,
+    ) -> FeedForward {
+        FeedForward {
+            lift: Linear::new(&format!("{name}.lift"), d_model, d_hidden, true, rng),
+            project: Linear::new(&format!("{name}.project"), d_hidden, d_model, true, rng),
+        }
+    }
+
+    /// Applies the block over the trailing feature axis.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.project.forward(&self.lift.forward(x).gelu())
+    }
+}
+
+impl Module for FeedForward {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.lift.params();
+        ps.extend(self.project.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ffn = FeedForward::new("ffn", 8, 32, &mut rng);
+        let x = Tensor::ones(&[2, 3, 8]);
+        assert_eq!(ffn.forward(&x).shape(), &[2, 3, 8]);
+        assert_eq!(ffn.num_weights(), 8 * 32 + 32 + 32 * 8 + 8);
+    }
+
+    #[test]
+    fn nonlinearity_present() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ffn = FeedForward::new("ffn", 4, 8, &mut rng);
+        let x = Tensor::ones(&[1, 1, 4]);
+        let y1 = ffn.forward(&x);
+        let y2 = ffn.forward(&x.mul_scalar(2.0));
+        // A linear map would give y2 = 2*y1 exactly; GELU breaks that.
+        let linear_residual: f64 = y2
+            .to_vec()
+            .iter()
+            .zip(y1.to_vec().iter())
+            .map(|(a, b)| (a - 2.0 * b).abs())
+            .sum();
+        assert!(linear_residual > 1e-6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Layer normalization.
+
+use super::{Module, Param};
+use crate::{Elem, Tensor};
+
+/// Layer normalization over the trailing feature axis with learnable scale
+/// and shift.
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::layers::LayerNorm;
+/// use metadse_nn::Tensor;
+///
+/// let ln = LayerNorm::new("ln", 4);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+/// let y = ln.forward(&x);
+/// let mean: f64 = y.to_vec().iter().sum::<f64>() / 4.0;
+/// assert!(mean.abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    eps: Elem,
+}
+
+impl LayerNorm {
+    /// Creates a layer normalizing over a trailing axis of size `dim`
+    /// (γ = 1, β = 0, ε = 1e-5).
+    pub fn new(name: &str, dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::param_from_vec(vec![1.0; dim], &[dim]),
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                Tensor::param_from_vec(vec![0.0; dim], &[dim]),
+            ),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalized feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies normalization to `x` of shape `[.., dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing axis is not `dim`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.shape().last().copied(),
+            Some(self.dim),
+            "LayerNorm expects trailing dim {}, got {:?}",
+            self.dim,
+            x.shape()
+        );
+        let axis = x.ndim() - 1;
+        let mean = x.mean_axis(axis, true);
+        let var = x.var_axis(axis, true);
+        let normalized = x.sub(&mean).div(&var.add_scalar(self.eps).sqrt());
+        normalized.mul(&self.gamma.get()).add(&self.beta.get())
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+
+    #[test]
+    fn output_rows_are_standardized() {
+        let ln = LayerNorm::new("ln", 3);
+        let x = Tensor::from_vec(vec![10.0, 20.0, 30.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let y = ln.forward(&x).to_vec();
+        for row in y.chunks(3) {
+            let mean: f64 = row.iter().sum::<f64>() / 3.0;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let ln = LayerNorm::new("ln", 2);
+        ln.params()[0].get().assign_vec(&[2.0, 2.0]);
+        ln.params()[1].get().assign_vec(&[1.0, 1.0]);
+        let x = Tensor::from_vec(vec![0.0, 2.0], &[1, 2]);
+        let y = ln.forward(&x).to_vec();
+        // Normalized row is (-1, 1) up to eps; scaled by 2 and shifted by 1.
+        assert!((y[0] + 1.0).abs() < 1e-2);
+        assert!((y[1] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_reach_gamma_and_beta() {
+        let ln = LayerNorm::new("ln", 3);
+        let x = Tensor::from_vec(vec![1.0, 5.0, -2.0], &[1, 3]);
+        let loss = ln.forward(&x).squared_norm();
+        let tensors: Vec<_> = ln.params().iter().map(|p| p.get()).collect();
+        let g = grad(&loss, &tensors, false);
+        assert!(g[0].to_vec().iter().any(|&v| v != 0.0));
+        // beta gradient = 2 * output, nonzero in general.
+        assert!(g[1].to_vec().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn constant_rows_do_not_blow_up() {
+        let ln = LayerNorm::new("ln", 4);
+        let x = Tensor::full(&[1, 4], 3.0);
+        let y = ln.forward(&x).to_vec();
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(y.iter().all(|&v| v.abs() < 1e-6));
+    }
+}

@@ -1,0 +1,152 @@
+//! Fully connected layer.
+
+use rand::Rng;
+
+use super::{Module, Param};
+use crate::{init, Tensor};
+
+/// Affine transformation `y = x W + b` applied over the last axis.
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::layers::{Linear, Module};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use metadse_nn::Tensor;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let layer = Linear::new("proj", 4, 2, true, &mut rng);
+/// let x = Tensor::ones(&[3, 4]);
+/// assert_eq!(layer.forward(&x).shape(), &[3, 2]);
+/// assert_eq!(layer.num_weights(), 4 * 2 + 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Linear {
+        let w = init::xavier_uniform(in_dim, out_dim, rng);
+        let weight = Param::new(
+            format!("{name}.weight"),
+            Tensor::param_from_vec(w.to_vec(), &[in_dim, out_dim]),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                format!("{name}.bias"),
+                Tensor::param_from_vec(vec![0.0; out_dim], &[out_dim]),
+            )
+        });
+        Linear {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to `x` of shape `[.., in_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last axis of `x` is not `in_dim`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.shape().last().copied(),
+            Some(self.in_dim),
+            "Linear expects trailing dim {}, got {:?}",
+            self.in_dim,
+            x.shape()
+        );
+        // Collapse leading dims so a rank-N input works with a 2-D weight.
+        let lead: Vec<usize> = x.shape()[..x.ndim() - 1].to_vec();
+        let flat = x.reshape(&[lead.iter().product::<usize>(), self.in_dim]);
+        let mut y = flat.matmul(&self.weight.get());
+        if let Some(bias) = &self.bias {
+            y = y.add(&bias.get());
+        }
+        let mut out_shape = lead;
+        out_shape.push(self.out_dim);
+        y.reshape(&out_shape)
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            ps.push(b.clone());
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new("l", 2, 2, true, &mut rng);
+        layer.params()[0].get().assign_vec(&[1.0, 2.0, 3.0, 4.0]);
+        layer.params()[1].get().assign_vec(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = layer.forward(&x);
+        assert_eq!(y.to_vec(), vec![4.5, 5.5]);
+    }
+
+    #[test]
+    fn forward_handles_3d_batches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new("l", 4, 3, true, &mut rng);
+        let x = Tensor::ones(&[2, 5, 4]);
+        assert_eq!(layer.forward(&x).shape(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn gradients_flow_to_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new("l", 3, 1, true, &mut rng);
+        let x = Tensor::ones(&[4, 3]);
+        let loss = layer.forward(&x).sum_all();
+        let params = layer.params();
+        let tensors: Vec<_> = params.iter().map(|p| p.get()).collect();
+        let g = grad(&loss, &tensors, false);
+        assert_eq!(g[0].shape(), &[3, 1]);
+        assert_eq!(g[0].to_vec(), vec![4.0, 4.0, 4.0]);
+        assert_eq!(g[1].to_vec(), vec![4.0]);
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Linear::new("l", 2, 2, false, &mut rng);
+        assert_eq!(layer.params().len(), 1);
+        assert_eq!(layer.num_weights(), 4);
+    }
+}

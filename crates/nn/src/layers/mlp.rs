@@ -1,0 +1,91 @@
+//! Simple multi-layer perceptron.
+
+use rand::Rng;
+
+use super::{Linear, Module, Param};
+use crate::Tensor;
+
+/// A stack of [`Linear`] layers with GELU between them (none after the
+/// last), used e.g. as the regression head of the MetaDSE predictor.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates an MLP from a list of layer widths, e.g. `[32, 64, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(name: &str, widths: &[usize], rng: &mut R) -> Mlp {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Number of linear layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Applies the MLP over the trailing feature axis.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h = h.gelu();
+            }
+        }
+        h
+    }
+}
+
+impl Module for Mlp {
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(Linear::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn widths_define_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new("head", &[8, 16, 2], &mut rng);
+        assert_eq!(mlp.depth(), 2);
+        let y = mlp.forward(&Tensor::ones(&[5, 8]));
+        assert_eq!(y.shape(), &[5, 2]);
+    }
+
+    #[test]
+    fn can_fit_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new("m", &[1, 8, 1], &mut rng);
+        let x = Tensor::from_vec((0..16).map(|i| i as f64 / 8.0 - 1.0).collect(), &[16, 1]);
+        let y = x.mul_scalar(3.0).add_scalar(-0.5);
+        let params = mlp.params();
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            let loss = mse(&mlp.forward(&x), &y);
+            last = loss.value();
+            let tensors: Vec<_> = params.iter().map(|p| p.get()).collect();
+            let grads = grad(&loss, &tensors, false);
+            for (t, g) in tensors.iter().zip(&grads) {
+                t.sub_assign_scaled(g, 0.05);
+            }
+        }
+        assert!(last < 1e-2, "final loss {last} should be small");
+    }
+}

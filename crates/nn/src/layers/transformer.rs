@@ -1,0 +1,166 @@
+//! Transformer encoder (pre-LayerNorm variant).
+
+use rand::Rng;
+
+use super::{FeedForward, LayerNorm, Module, MultiHeadAttention, Param};
+use crate::Tensor;
+
+/// One pre-LN transformer encoder layer:
+/// `x + Attn(LN(x))` followed by `x + FFN(LN(x))`.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoderLayer {
+    ln1: LayerNorm,
+    attention: MultiHeadAttention,
+    ln2: LayerNorm,
+    ffn: FeedForward,
+}
+
+impl TransformerEncoderLayer {
+    /// Creates a layer with the given model width, head count, and FFN
+    /// hidden width.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        d_hidden: usize,
+        rng: &mut R,
+    ) -> TransformerEncoderLayer {
+        TransformerEncoderLayer {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), d_model),
+            attention: MultiHeadAttention::new(&format!("{name}.attn"), d_model, heads, rng),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), d_model),
+            ffn: FeedForward::new(&format!("{name}.ffn"), d_model, d_hidden, rng),
+        }
+    }
+
+    /// The layer's attention sublayer (for masking / attention capture).
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attention
+    }
+
+    /// Applies the layer to `[batch, seq, d_model]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let x = x.add(&self.attention.forward(&self.ln1.forward(x)));
+        x.add(&self.ffn.forward(&self.ln2.forward(&x)))
+    }
+}
+
+impl Module for TransformerEncoderLayer {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.ln1.params();
+        ps.extend(self.attention.params());
+        ps.extend(self.ln2.params());
+        ps.extend(self.ffn.params());
+        ps
+    }
+}
+
+/// A stack of encoder layers with a final LayerNorm.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoder {
+    layers: Vec<TransformerEncoderLayer>,
+    final_ln: LayerNorm,
+}
+
+impl TransformerEncoder {
+    /// Creates `depth` encoder layers of the given geometry.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        depth: usize,
+        d_model: usize,
+        heads: usize,
+        d_hidden: usize,
+        rng: &mut R,
+    ) -> TransformerEncoder {
+        let layers = (0..depth)
+            .map(|i| {
+                TransformerEncoderLayer::new(&format!("{name}.layer{i}"), d_model, heads, d_hidden, rng)
+            })
+            .collect();
+        TransformerEncoder {
+            layers,
+            final_ln: LayerNorm::new(&format!("{name}.final_ln"), d_model),
+        }
+    }
+
+    /// The encoder layers, in order.
+    pub fn layers(&self) -> &[TransformerEncoderLayer] {
+        &self.layers
+    }
+
+    /// The last layer's attention sublayer — the one WAM statistics are
+    /// extracted from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoder has zero layers.
+    pub fn last_attention(&self) -> &MultiHeadAttention {
+        self.layers
+            .last()
+            .expect("encoder has at least one layer")
+            .attention()
+    }
+
+    /// Applies all layers and the final normalization.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        self.final_ln.forward(&h)
+    }
+}
+
+impl Module for TransformerEncoder {
+    fn params(&self) -> Vec<Param> {
+        let mut ps: Vec<Param> = self
+            .layers
+            .iter()
+            .flat_map(TransformerEncoderLayer::params)
+            .collect();
+        ps.extend(self.final_ln.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = TransformerEncoder::new("enc", 2, 8, 2, 16, &mut rng);
+        let x = Tensor::ones(&[3, 5, 8]);
+        assert_eq!(enc.forward(&x).shape(), &[3, 5, 8]);
+        assert_eq!(enc.layers().len(), 2);
+    }
+
+    #[test]
+    fn all_params_receive_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = TransformerEncoder::new("enc", 1, 4, 2, 8, &mut rng);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng);
+        let loss = enc.forward(&x).squared_norm();
+        let tensors: Vec<_> = enc.params().iter().map(|p| p.get()).collect();
+        let grads = grad(&loss, &tensors, false);
+        for (p, g) in enc.params().iter().zip(&grads) {
+            let nonzero = g.to_vec().iter().any(|&v| v != 0.0);
+            assert!(nonzero, "parameter {} received an all-zero gradient", p.name());
+        }
+    }
+
+    #[test]
+    fn residual_path_keeps_input_influence() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = TransformerEncoder::new("enc", 2, 8, 2, 16, &mut rng);
+        let a = Tensor::randn(&[1, 4, 8], &mut rng);
+        let b = Tensor::randn(&[1, 4, 8], &mut rng);
+        let ya = enc.forward(&a).to_vec();
+        let yb = enc.forward(&b).to_vec();
+        assert!(ya.iter().zip(&yb).any(|(u, v)| (u - v).abs() > 1e-9));
+    }
+}

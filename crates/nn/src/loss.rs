@@ -1,0 +1,90 @@
+//! Regression losses.
+
+use crate::{Elem, Tensor};
+
+/// Mean-squared-error loss (scalar).
+///
+/// # Panics
+///
+/// Panics if the shapes are not broadcast-compatible.
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::{Tensor, loss};
+///
+/// let pred = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+/// let target = Tensor::from_vec(vec![0.0, 4.0], &[2]);
+/// assert_eq!(loss::mse(&pred, &target).value(), 2.5);
+/// ```
+pub fn mse(pred: &Tensor, target: &Tensor) -> Tensor {
+    let diff = pred.sub(target);
+    diff.mul(&diff).mean_all()
+}
+
+/// Mean-absolute-error loss (scalar).
+pub fn mae(pred: &Tensor, target: &Tensor) -> Tensor {
+    pred.sub(target).abs().mean_all()
+}
+
+/// Huber loss with threshold `delta` (scalar).
+///
+/// Quadratic within `|e| <= delta`, linear outside; smooth and robust to
+/// outliers. The region selection uses detached masks, matching the usual
+/// piecewise definition.
+pub fn huber(pred: &Tensor, target: &Tensor, delta: Elem) -> Tensor {
+    let err = pred.sub(target);
+    let abs_err = err.abs();
+    // mask = 1 where |e| <= delta.
+    let inside = abs_err.sub_scalar(delta).neg().step_mask();
+    let outside = inside.neg().add_scalar(1.0);
+    let quad = err.mul(&err).mul_scalar(0.5);
+    let lin = abs_err.mul_scalar(delta).sub_scalar(0.5 * delta * delta);
+    quad.mul(&inside).add(&lin.mul(&outside)).mean_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+
+    #[test]
+    fn mse_zero_on_identical() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(mse(&a, &a).value(), 0.0);
+    }
+
+    #[test]
+    fn mae_matches_manual() {
+        let a = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        assert_eq!(mae(&a, &b).value(), 1.5);
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let pred = Tensor::from_vec(vec![0.5, 3.0], &[2]);
+        let target = Tensor::zeros(&[2]);
+        // Elementwise: 0.5*0.25 = 0.125 (inside), 1*3 - 0.5 = 2.5 (outside).
+        let l = huber(&pred, &target, 1.0).value();
+        assert!((l - (0.125 + 2.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_gradient_is_clipped() {
+        let pred = Tensor::param_from_vec(vec![10.0], &[1]);
+        let target = Tensor::zeros(&[1]);
+        let l = huber(&pred, &target, 1.0);
+        let g = grad(&l, &[pred], false);
+        // Far outside the quadratic region the gradient magnitude is delta.
+        assert!((g[0].to_vec()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_gradient() {
+        let pred = Tensor::param_from_vec(vec![3.0], &[1]);
+        let target = Tensor::from_vec(vec![1.0], &[1]);
+        let g = grad(&mse(&pred, &target), &[pred], false);
+        assert_eq!(g[0].to_vec(), vec![4.0]);
+    }
+}

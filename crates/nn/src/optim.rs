@@ -1,0 +1,298 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! Optimizers update the tensors held by [`Param`] slots in place, matching
+//! the leaf-update semantics of mainstream frameworks. MAML's inner loop
+//! does *not* use these — it swaps in functional "fast weights" so the
+//! update itself stays differentiable.
+
+use crate::layers::Param;
+use crate::{Elem, Tensor};
+
+/// A first-order optimizer over a fixed parameter list.
+pub trait Optimizer {
+    /// Applies one update step given gradients aligned with the parameter
+    /// list supplied at construction.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `grads.len()` differs from the parameter
+    /// count.
+    fn step(&mut self, grads: &[Tensor]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> Elem;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: Elem);
+}
+
+/// Stochastic gradient descent with optional momentum.
+///
+/// # Example
+///
+/// ```
+/// use metadse_nn::layers::Param;
+/// use metadse_nn::optim::{Optimizer, Sgd};
+/// use metadse_nn::Tensor;
+///
+/// let p = Param::new("w", Tensor::param_from_vec(vec![1.0], &[1]));
+/// let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+/// opt.step(&[Tensor::from_vec(vec![2.0], &[1])]);
+/// assert!((p.get().to_vec()[0] - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: Elem,
+    momentum: Elem,
+    velocity: Vec<Vec<Elem>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<Param>, lr: Elem, momentum: Elem) -> Sgd {
+        let velocity = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, grads: &[Tensor]) {
+        assert_eq!(grads.len(), self.params.len(), "gradient count mismatch");
+        for ((param, grad), vel) in self.params.iter().zip(grads).zip(&mut self.velocity) {
+            let tensor = param.get();
+            assert_eq!(tensor.shape(), grad.shape(), "gradient shape mismatch");
+            let g = grad.data();
+            if self.momentum == 0.0 {
+                let lr = self.lr;
+                tensor.map_inplace(|i, w| w - lr * g[i]);
+            } else {
+                for (v, &gi) in vel.iter_mut().zip(g.iter()) {
+                    *v = self.momentum * *v + gi;
+                }
+                let lr = self.lr;
+                tensor.map_inplace(|i, w| w - lr * vel[i]);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> Elem {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: Elem) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Param>,
+    lr: Elem,
+    beta1: Elem,
+    beta2: Elem,
+    eps: Elem,
+    t: u64,
+    m: Vec<Vec<Elem>>,
+    v: Vec<Vec<Elem>>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(params: Vec<Param>, lr: Elem) -> Adam {
+        Adam::with_betas(params, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyperparameters.
+    pub fn with_betas(params: Vec<Param>, lr: Elem, beta1: Elem, beta2: Elem, eps: Elem) -> Adam {
+        let m = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m,
+            v,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, grads: &[Tensor]) {
+        assert_eq!(grads.len(), self.params.len(), "gradient count mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((param, grad), m), v) in self
+            .params
+            .iter()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            let tensor = param.get();
+            assert_eq!(tensor.shape(), grad.shape(), "gradient shape mismatch");
+            let g = grad.data();
+            for ((mi, vi), &gi) in m.iter_mut().zip(v.iter_mut()).zip(g.iter()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (lr, eps) = (self.lr, self.eps);
+            tensor.map_inplace(|i, w| {
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                w - lr * m_hat / (v_hat.sqrt() + eps)
+            });
+        }
+    }
+
+    fn learning_rate(&self) -> Elem {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: Elem) {
+        self.lr = lr;
+    }
+}
+
+/// Cosine-annealing learning-rate schedule (the paper's downstream
+/// adaptation schedule): decays from `lr_max` to `lr_min` over
+/// `total_steps`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosineAnnealing {
+    lr_max: Elem,
+    lr_min: Elem,
+    total_steps: usize,
+}
+
+impl CosineAnnealing {
+    /// Creates a schedule from `lr_max` down to `lr_min` across
+    /// `total_steps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_steps` is zero.
+    pub fn new(lr_max: Elem, lr_min: Elem, total_steps: usize) -> CosineAnnealing {
+        assert!(total_steps > 0, "schedule needs at least one step");
+        CosineAnnealing {
+            lr_max,
+            lr_min,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at `step` (clamped to the final value afterwards).
+    pub fn lr_at(&self, step: usize) -> Elem {
+        let t = (step.min(self.total_steps)) as Elem / self.total_steps as Elem;
+        self.lr_min
+            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f64::consts::PI * t).cos())
+    }
+
+    /// Applies the schedule to an optimizer for the given step.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, step: usize) {
+        optimizer.set_learning_rate(self.lr_at(step));
+    }
+}
+
+/// Rescales gradients in place so their global L2 norm is at most
+/// `max_norm`; returns the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: Elem) -> Elem {
+    let mut total = 0.0;
+    for g in grads.iter() {
+        total += g.data().iter().map(|v| v * v).sum::<Elem>();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            *g = g.mul_scalar(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::grad;
+    use crate::loss::mse;
+
+    fn quadratic_probe(mut opt: impl Optimizer, steps: usize, param: &Param) -> Elem {
+        // Minimize (w - 3)^2.
+        let target = Tensor::from_vec(vec![3.0], &[1]);
+        for _ in 0..steps {
+            let w = param.get();
+            let loss = mse(&w, &target);
+            let g = grad(&loss, &[w], false);
+            opt.step(&g);
+        }
+        (param.get().to_vec()[0] - 3.0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::param_from_vec(vec![0.0], &[1]));
+        let err = quadratic_probe(Sgd::new(vec![p.clone()], 0.1, 0.0), 100, &p);
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let p1 = Param::new("w", Tensor::param_from_vec(vec![0.0], &[1]));
+        let p2 = Param::new("w", Tensor::param_from_vec(vec![0.0], &[1]));
+        let err_plain = quadratic_probe(Sgd::new(vec![p1.clone()], 0.02, 0.0), 40, &p1);
+        let err_momentum = quadratic_probe(Sgd::new(vec![p2.clone()], 0.02, 0.9), 40, &p2);
+        assert!(err_momentum < err_plain);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::param_from_vec(vec![0.0], &[1]));
+        let err = quadratic_probe(Adam::new(vec![p.clone()], 0.2), 200, &p);
+        assert!(err < 1e-3, "error {err}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, |Δw| of the very first Adam step ≈ lr.
+        let p = Param::new("w", Tensor::param_from_vec(vec![5.0], &[1]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        opt.step(&[Tensor::from_vec(vec![123.0], &[1])]);
+        assert!((p.get().to_vec()[0] - 4.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_annealing_endpoints_and_midpoint() {
+        let s = CosineAnnealing::new(1.0, 0.1, 10);
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-12);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(5) - 0.55).abs() < 1e-12);
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-12, "clamps past the end");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let mut grads = vec![Tensor::from_vec(vec![3.0, 4.0], &[2])];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-12);
+        let v = grads[0].to_vec();
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients_alone() {
+        let mut grads = vec![Tensor::from_vec(vec![0.3], &[1])];
+        clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(grads[0].to_vec(), vec![0.3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Parameter checkpointing.
+//!
+//! A deliberately simple, dependency-free binary format:
+//!
+//! ```text
+//! magic "MDSE" | u32 version | u32 param count |
+//!   per param: u32 name len | name bytes | u32 ndim | u64 dims… | f64 data…
+//! ```
+//!
+//! All integers are little-endian. Checkpoints are loaded back into an
+//! existing model's [`Param`] list by name, so parameter ordering may
+//! differ between save and load as long as names and shapes match.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::layers::Param;
+use crate::{Elem, Tensor};
+
+const MAGIC: &[u8; 4] = b"MDSE";
+const VERSION: u32 = 1;
+
+/// Errors produced when loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a MetaDSE checkpoint or uses an unknown version.
+    Format(String),
+    /// The checkpoint does not match the model (missing name, wrong shape).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint format: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint/model mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Saves the current values of `params` to `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be created or written.
+pub fn save_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let name = p.name().as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let t = p.get();
+        w.write_all(&(t.ndim() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for v in t.to_vec() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a checkpoint into `params`, matching entries by name.
+///
+/// Every model parameter must be present in the file with an identical
+/// shape; extra entries in the file are ignored.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] for malformed files and
+/// [`CheckpointError::Mismatch`] when names or shapes disagree.
+pub fn load_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let entries = read_entries(path)?;
+    for p in params {
+        let (shape, data) = entries.get(p.name()).ok_or_else(|| {
+            CheckpointError::Mismatch(format!("parameter {:?} not found in checkpoint", p.name()))
+        })?;
+        if *shape != p.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {:?} has shape {:?} in checkpoint but {:?} in model",
+                p.name(),
+                shape,
+                p.shape()
+            )));
+        }
+        p.set(Tensor::param_from_vec(data.clone(), shape));
+    }
+    Ok(())
+}
+
+type Entries = HashMap<String, (Vec<usize>, Vec<Elem>)>;
+
+fn read_entries(path: impl AsRef<Path>) -> Result<Entries, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut entries = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Format("non-UTF8 parameter name".into()))?;
+        let ndim = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u64(&mut r)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            data.push(Elem::from_le_bytes(buf));
+        }
+        entries.insert(name, (shape, data));
+    }
+    Ok(entries)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, io::Error> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, io::Error> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("metadse-nn-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new("l", 3, 2, true, &mut rng);
+        let params = layer.params();
+        let original: Vec<Vec<f64>> = params.iter().map(|p| p.get().to_vec()).collect();
+        let path = temp_path("roundtrip");
+        save_params(&params, &path).unwrap();
+        // Wreck the weights, then restore.
+        for p in &params {
+            p.get().assign_vec(&vec![0.0; p.numel()]);
+        }
+        load_params(&params, &path).unwrap();
+        for (p, o) in params.iter().zip(&original) {
+            assert_eq!(&p.get().to_vec(), o);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let saved = Linear::new("a", 2, 2, false, &mut rng);
+        let loaded = Linear::new("b", 2, 2, false, &mut rng);
+        let path = temp_path("missing");
+        save_params(&saved.params(), &path).unwrap();
+        let err = load_params(&loaded.params(), &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let saved = Linear::new("l", 2, 2, false, &mut rng);
+        let loaded = Linear::new("l", 2, 3, false, &mut rng);
+        let path = temp_path("shape");
+        save_params(&saved.params(), &path).unwrap();
+        let err = load_params(&loaded.params(), &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_a_format_error() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let err = read_entries(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

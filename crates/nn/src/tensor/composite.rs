@@ -1,0 +1,143 @@
+//! Composite operations built from primitives.
+//!
+//! Because these are compositions of differentiable primitives, their
+//! (double-)backward passes come for free.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Numerically stable softmax along `axis`.
+    ///
+    /// The row maximum is subtracted as a detached constant — softmax is
+    /// shift-invariant, so this does not change any derivative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use metadse_nn::Tensor;
+    ///
+    /// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+    /// let p = x.softmax(1);
+    /// let row_sum: f64 = p.to_vec().iter().sum();
+    /// assert!((row_sum - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn softmax(&self, axis: usize) -> Tensor {
+        let shifted = self.sub(&self.max_axis_detached(axis));
+        let e = shifted.exp();
+        let denom = e.sum_axis(axis, true);
+        e.div(&denom)
+    }
+
+    /// Log-softmax along `axis` (stable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn log_softmax(&self, axis: usize) -> Tensor {
+        let shifted = self.sub(&self.max_axis_detached(axis));
+        let lse = shifted.exp().sum_axis(axis, true).ln();
+        shifted.sub(&lse)
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by GPT-style
+    /// transformers).
+    pub fn gelu(&self) -> Tensor {
+        // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
+        let c = (2.0 / std::f64::consts::PI).sqrt();
+        let inner = self.add(&self.powf(3.0).mul_scalar(0.044715)).mul_scalar(c);
+        self.mul(&inner.tanh().add_scalar(1.0)).mul_scalar(0.5)
+    }
+
+    /// Population variance along `axis` (keepdim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn var_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let mean = self.mean_axis(axis, true);
+        let centered = self.sub(&mean);
+        centered.mul(&centered).mean_axis(axis, keepdim)
+    }
+
+    /// Squared Frobenius norm (sum of squared elements, scalar).
+    pub fn squared_norm(&self) -> Tensor {
+        self.mul(self).sum_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::autograd::grad;
+    use crate::Tensor;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = x.softmax(1);
+        let v = p.to_vec();
+        assert!((v[0] + v[1] + v[2] - 1.0).abs() < 1e-12);
+        assert!((v[3] + v[4] + v[5] - 1.0).abs() < 1e-12);
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[1, 3]);
+        let p = x.softmax(1).to_vec();
+        let y = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]);
+        let q = y.softmax(1).to_vec();
+        for (a, b) in p.iter().zip(q.iter()) {
+            assert!((a - b).abs() < 1e-12);
+            assert!(a.is_finite());
+        }
+    }
+
+    #[test]
+    fn softmax_gradient_sums_to_zero_per_row() {
+        // d(sum of softmax)/dx = 0 because rows always sum to 1... but take
+        // a weighted sum to get a nontrivial gradient and check it sums to 0
+        // per row (softmax gradient lies in the simplex tangent space).
+        let x = Tensor::param_from_vec(vec![0.5, -0.2, 0.1], &[1, 3]);
+        let w = Tensor::from_vec(vec![3.0, -1.0, 2.0], &[1, 3]);
+        let loss = x.softmax(1).mul(&w).sum_all();
+        let g = grad(&loss, &[x], false);
+        let s: f64 = g[0].to_vec().iter().sum();
+        assert!(s.abs() < 1e-12, "row gradient sum {s} should vanish");
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]);
+        let a = x.log_softmax(1).to_vec();
+        let b: Vec<f64> = x.softmax(1).to_vec().iter().map(|v| v.ln()).collect();
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gelu_limits() {
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]);
+        let y = x.gelu().to_vec();
+        assert!(y[0].abs() < 1e-6, "gelu(-10) ~ 0");
+        assert_eq!(y[1], 0.0);
+        assert!((y[2] - 10.0).abs() < 1e-6, "gelu(10) ~ 10");
+    }
+
+    #[test]
+    fn var_axis_matches_manual() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let v = x.var_axis(1, false);
+        assert!((v.to_vec()[0] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_norm() {
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(x.squared_norm().value(), 25.0);
+    }
+}

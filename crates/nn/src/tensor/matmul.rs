@@ -1,0 +1,204 @@
+//! Batched matrix multiplication.
+
+use std::rc::Rc;
+
+use crate::tensor::shape::{broadcast_shapes, broadcast_strides, numel, OffsetWalker};
+use crate::tensor::{BackwardFn, Tensor};
+use crate::Elem;
+
+impl Tensor {
+    /// Matrix product over the last two axes, broadcasting leading (batch)
+    /// axes NumPy-style.
+    ///
+    /// For operands of shape `[.., m, k]` and `[.., k, n]`, the result has
+    /// shape `[broadcast(..), m, n]`. A plain 2-D weight matrix therefore
+    /// applies to every batch of a higher-rank input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand has fewer than two dimensions, if the inner
+    /// dimensions disagree, or if the batch dimensions cannot broadcast.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert!(
+            self.ndim() >= 2 && other.ndim() >= 2,
+            "matmul requires rank >= 2 operands (got {:?} and {:?})",
+            self.shape(),
+            other.shape()
+        );
+        let (m, ka) = (
+            self.shape()[self.ndim() - 2],
+            self.shape()[self.ndim() - 1],
+        );
+        let (kb, n) = (
+            other.shape()[other.ndim() - 2],
+            other.shape()[other.ndim() - 1],
+        );
+        assert_eq!(
+            ka, kb,
+            "matmul inner dimensions disagree: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let batch_a = &self.shape()[..self.ndim() - 2];
+        let batch_b = &other.shape()[..other.ndim() - 2];
+        let batch = broadcast_shapes(batch_a, batch_b).unwrap_or_else(|| {
+            panic!(
+                "matmul batch dimensions do not broadcast: {:?} x {:?}",
+                self.shape(),
+                other.shape()
+            )
+        });
+        let batch_count = numel(&batch);
+
+        // Offsets of each batch's matrix within the (possibly broadcast)
+        // operand buffers.
+        let offsets_a: Vec<usize> = if batch_a.is_empty() {
+            vec![0; batch_count]
+        } else {
+            let strides = broadcast_strides(batch_a, &batch);
+            OffsetWalker::new(&batch, strides)
+                .map(|o| o * (m * ka))
+                .collect()
+        };
+        let offsets_b: Vec<usize> = if batch_b.is_empty() {
+            vec![0; batch_count]
+        } else {
+            let strides = broadcast_strides(batch_b, &batch);
+            OffsetWalker::new(&batch, strides)
+                .map(|o| o * (kb * n))
+                .collect()
+        };
+
+        let da = self.data();
+        let db = other.data();
+        let mut out = vec![0.0 as Elem; batch_count * m * n];
+        for bi in 0..batch_count {
+            let a_base = offsets_a[bi];
+            let b_base = offsets_b[bi];
+            let o_base = bi * m * n;
+            for i in 0..m {
+                for kk in 0..ka {
+                    let a_ik = da[a_base + i * ka + kk];
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = b_base + kk * n;
+                    let o_row = o_base + i * n;
+                    for j in 0..n {
+                        out[o_row + j] += a_ik * db[b_row + j];
+                    }
+                }
+            }
+        }
+        drop(da);
+        drop(db);
+
+        let mut out_shape = batch;
+        out_shape.push(m);
+        out_shape.push(n);
+        let backward: BackwardFn = Rc::new(|g, ps, _out| {
+            let a = &ps[0];
+            let b = &ps[1];
+            // dL/dA = g · Bᵀ, reduced back over broadcast batch dims.
+            let ga = g.matmul(&b.transpose_last2()).sum_to(a.shape());
+            // dL/dB = Aᵀ · g, reduced back over broadcast batch dims.
+            let gb = a.transpose_last2().matmul(g).sum_to(b.shape());
+            vec![Some(ga), Some(gb)]
+        });
+        Tensor::from_op(
+            out,
+            out_shape,
+            vec![self.clone(), other.clone()],
+            backward,
+        )
+    }
+
+    /// Swaps the last two axes (`transpose(ndim-2, ndim-1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has fewer than two dimensions.
+    pub fn transpose_last2(&self) -> Tensor {
+        assert!(self.ndim() >= 2, "transpose_last2 requires rank >= 2");
+        self.transpose(self.ndim() - 2, self.ndim() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::autograd::grad;
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_2d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_batched_equal_batches() {
+        // Two independent 1x2 @ 2x1 products.
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2, 1]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 1, 1]);
+        assert_eq!(c.to_vec(), vec![17.0, 53.0]);
+    }
+
+    #[test]
+    fn matmul_broadcasts_2d_weight_over_batch() {
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0], &[3, 1, 2]);
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.matmul(&w);
+        assert_eq!(y.shape(), &[3, 1, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_2d() {
+        let a = Tensor::param_from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::param_from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let loss = a.matmul(&b).sum_all();
+        let g = grad(&loss, &[a, b], false);
+        // dL/dA = ones @ B^T
+        assert_eq!(g[0].to_vec(), vec![11.0, 15.0, 11.0, 15.0]);
+        // dL/dB = A^T @ ones
+        assert_eq!(g[1].to_vec(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_gradient_reduces_broadcast_weight() {
+        // Shared 2-D weight across a batch: the weight gradient must sum
+        // over the batch.
+        let x = Tensor::param_from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]);
+        let w = Tensor::param_from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let loss = x.matmul(&w).sum_all();
+        let g = grad(&loss, &[x.clone(), w.clone()], false);
+        assert_eq!(g[0].shape(), &[2, 1, 2]);
+        assert_eq!(g[1].shape(), &[2, 2]);
+        // dL/dW = sum over batch of x^T @ ones = [[1+3],[2+4]] per column.
+        assert_eq!(g[1].to_vec(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn matmul_rejects_bad_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn second_order_through_matmul() {
+        // f(x) = (x @ x).sum() for 1x1 x is x^2; second derivative is 2.
+        let x = Tensor::param_from_vec(vec![3.0], &[1, 1]);
+        let y = x.matmul(&x).sum_all();
+        let d1 = grad(&y, &[x.clone()], true);
+        assert!((d1[0].to_vec()[0] - 6.0).abs() < 1e-12);
+        let d2 = grad(&d1[0].sum_all(), &[x.clone()], false);
+        assert!((d2[0].to_vec()[0] - 2.0).abs() < 1e-12);
+    }
+}

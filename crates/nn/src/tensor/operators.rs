@@ -1,0 +1,73 @@
+//! Operator overloads: `&a + &b`, `&a - &b`, `&a * &b`, `&a / &b`, `-&a`.
+//!
+//! These delegate to the broadcasting methods ([`Tensor::add`] etc.) and
+//! participate in the autodiff graph exactly the same way.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::Tensor;
+
+impl Add for &Tensor {
+    type Output = Tensor;
+
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs)
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs)
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs)
+    }
+}
+
+impl Div for &Tensor {
+    type Output = Tensor;
+
+    fn div(self, rhs: &Tensor) -> Tensor {
+        Tensor::div(self, rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        Tensor::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::autograd::grad;
+    use crate::Tensor;
+
+    #[test]
+    fn operators_match_methods() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!((&a + &b).to_vec(), a.add(&b).to_vec());
+        assert_eq!((&a - &b).to_vec(), a.sub(&b).to_vec());
+        assert_eq!((&a * &b).to_vec(), a.mul(&b).to_vec());
+        assert_eq!((&a / &b).to_vec(), a.div(&b).to_vec());
+        assert_eq!((-&a).to_vec(), a.neg().to_vec());
+    }
+
+    #[test]
+    fn operators_build_the_graph() {
+        let x = Tensor::param_from_vec(vec![3.0], &[1]);
+        let y = (&(&x * &x) + &x).sum_all(); // x^2 + x
+        let g = grad(&y, &[x], false);
+        assert!((g[0].to_vec()[0] - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Shape and broadcasting arithmetic shared by all tensor operations.
+//!
+//! Tensors in this crate are always dense, row-major and contiguous; shape
+//! logic therefore reduces to a handful of index computations collected here.
+
+/// Number of elements implied by a shape.
+///
+/// The empty shape `[]` denotes a scalar and has one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for i in (0..shape.len()).rev() {
+        strides[i] = acc;
+        acc *= shape[i];
+    }
+    strides
+}
+
+/// Computes the NumPy-style broadcast of two shapes.
+///
+/// Shapes are aligned at the trailing dimension; a dimension of size 1 (or a
+/// missing leading dimension) stretches to match the other operand.
+///
+/// Returns `None` when the shapes are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = dim_from_end(a, ndim - 1 - i);
+        let db = dim_from_end(b, ndim - 1 - i);
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Dimension of `shape` at distance `k` from its last axis, padding missing
+/// leading axes with 1.
+fn dim_from_end(shape: &[usize], k: usize) -> usize {
+    if k < shape.len() {
+        shape[shape.len() - 1 - k]
+    } else {
+        1
+    }
+}
+
+/// Whether `from` can be broadcast to `to` without reshaping.
+pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
+    if from.len() > to.len() {
+        return false;
+    }
+    for k in 0..to.len() {
+        let df = dim_from_end(from, k);
+        let dt = dim_from_end(to, k);
+        if df != dt && df != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Strides for reading a tensor of shape `from` as if it had shape `to`
+/// (broadcast dimensions get stride 0).
+///
+/// # Panics
+///
+/// Panics if `from` is not broadcastable to `to`.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    assert!(
+        broadcastable_to(from, to),
+        "shape {from:?} is not broadcastable to {to:?}"
+    );
+    let base = contiguous_strides(from);
+    let mut out = vec![0; to.len()];
+    for k in 0..to.len() {
+        let df = dim_from_end(from, k);
+        if df != 1 && k < from.len() {
+            out[to.len() - 1 - k] = base[from.len() - 1 - k];
+        }
+    }
+    out
+}
+
+/// Iterator-free index mapper: walks the flat indices of an output shape and
+/// yields the corresponding flat offset in a (possibly broadcast) input.
+#[derive(Debug, Clone)]
+pub struct OffsetWalker {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    coords: Vec<usize>,
+    offset: usize,
+    remaining: usize,
+}
+
+impl OffsetWalker {
+    /// Creates a walker over `out_shape` reading an operand whose broadcast
+    /// strides are `strides` (as produced by [`broadcast_strides`]).
+    pub fn new(out_shape: &[usize], strides: Vec<usize>) -> Self {
+        assert_eq!(out_shape.len(), strides.len());
+        OffsetWalker {
+            shape: out_shape.to_vec(),
+            strides,
+            coords: vec![0; out_shape.len()],
+            offset: 0,
+            remaining: numel(out_shape),
+        }
+    }
+}
+
+impl Iterator for OffsetWalker {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let current = self.offset;
+        self.remaining -= 1;
+        // Advance the multi-index (row-major order).
+        for axis in (0..self.shape.len()).rev() {
+            self.coords[axis] += 1;
+            self.offset += self.strides[axis];
+            if self.coords[axis] < self.shape[axis] {
+                break;
+            }
+            self.offset -= self.strides[axis] * self.shape[axis];
+            self.coords[axis] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_handles_scalars_and_zeros() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[3, 4]), 12);
+        assert_eq!(numel(&[3, 0, 4]), 0);
+    }
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[5]), vec![1]);
+        assert!(contiguous_strides(&[]).is_empty());
+    }
+
+    #[test]
+    fn broadcast_shapes_basic() {
+        assert_eq!(broadcast_shapes(&[3, 1], &[1, 4]), Some(vec![3, 4]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[], &[2, 2]), Some(vec![2, 2]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[4]), None);
+    }
+
+    #[test]
+    fn broadcastable_to_rules() {
+        assert!(broadcastable_to(&[1, 4], &[3, 4]));
+        assert!(broadcastable_to(&[4], &[3, 4]));
+        assert!(broadcastable_to(&[], &[3, 4]));
+        assert!(!broadcastable_to(&[3, 4], &[4]));
+        assert!(!broadcastable_to(&[2, 4], &[3, 4]));
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_stretched_axes() {
+        assert_eq!(broadcast_strides(&[1, 4], &[3, 4]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[4], &[3, 4]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[3, 1], &[3, 4]), vec![1, 0]);
+    }
+
+    #[test]
+    fn offset_walker_matches_manual_broadcast() {
+        // Input [2,1] broadcast over output [2,3].
+        let strides = broadcast_strides(&[2, 1], &[2, 3]);
+        let offsets: Vec<usize> = OffsetWalker::new(&[2, 3], strides).collect();
+        assert_eq!(offsets, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn offset_walker_identity() {
+        let strides = contiguous_strides(&[2, 2]);
+        let offsets: Vec<usize> = OffsetWalker::new(&[2, 2], strides).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+    }
+}

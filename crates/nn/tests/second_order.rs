@@ -1,0 +1,148 @@
+//! Second-order (double-backward) verification against numerical second
+//! derivatives — the machinery full second-order MAML depends on.
+
+use metadse_nn::autograd::grad;
+use metadse_nn::Tensor;
+
+/// Numerical second derivative of a scalar map f at x (central stencil).
+fn numeric_second(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// Analytic second derivative via double backward of a tensor-expressed
+/// scalar function.
+fn analytic_second(build: impl Fn(&Tensor) -> Tensor, x: f64) -> f64 {
+    let t = Tensor::param_from_vec(vec![x], &[1]);
+    let y = build(&t).sum_all();
+    let d1 = grad(&y, &[t.clone()], true);
+    let d2 = grad(&d1[0].sum_all(), &[t], false);
+    d2[0].to_vec()[0]
+}
+
+fn check(
+    name: &str,
+    build: impl Fn(&Tensor) -> Tensor + Copy,
+    scalar: impl Fn(f64) -> f64,
+    xs: &[f64],
+) {
+    for &x in xs {
+        let analytic = analytic_second(build, x);
+        let numeric = numeric_second(&scalar, x, 1e-4);
+        let tol = 1e-4 * numeric.abs().max(1.0);
+        assert!(
+            (analytic - numeric).abs() < tol,
+            "{name} at x={x}: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}
+
+#[test]
+fn second_derivative_of_exp() {
+    check("exp", |t| t.exp(), f64::exp, &[-1.0, 0.3, 1.5]);
+}
+
+#[test]
+fn second_derivative_of_tanh() {
+    check("tanh", |t| t.tanh(), f64::tanh, &[-0.8, 0.2, 1.1]);
+}
+
+#[test]
+fn second_derivative_of_sigmoid() {
+    let s = |x: f64| 1.0 / (1.0 + (-x).exp());
+    check("sigmoid", |t| t.sigmoid(), s, &[-1.2, 0.0, 0.9]);
+}
+
+#[test]
+fn second_derivative_of_ln() {
+    check("ln", |t| t.ln(), f64::ln, &[0.4, 1.0, 2.7]);
+}
+
+#[test]
+fn second_derivative_of_sqrt() {
+    check("sqrt", |t| t.sqrt(), f64::sqrt, &[0.5, 1.3, 4.0]);
+}
+
+#[test]
+fn second_derivative_of_gelu() {
+    let gelu = |x: f64| {
+        let c = (2.0 / std::f64::consts::PI).sqrt();
+        0.5 * x * (1.0 + (c * (x + 0.044715 * x.powi(3))).tanh())
+    };
+    check("gelu", |t| t.gelu(), gelu, &[-1.5, -0.2, 0.7, 2.0]);
+}
+
+#[test]
+fn second_derivative_of_softmax_entropy_like() {
+    // f(x) = softmax([x, 0]) first component; f = sigmoid(x), so
+    // f'' = sigmoid''(x) — exercises softmax's composite double backward.
+    let build = |t: &Tensor| {
+        let padded = t.reshape(&[1, 1]).pad_axis_zeros(1, 0, 1); // [x, 0]
+        padded.softmax(1).slice_axis(1, 0, 1)
+    };
+    let s = |x: f64| 1.0 / (1.0 + (-x).exp());
+    check("softmax2", build, s, &[-1.0, 0.4, 1.7]);
+}
+
+#[test]
+fn second_derivative_of_division_composite() {
+    // f(x) = x / (1 + x^2)
+    let build = |t: &Tensor| t.div(&t.mul(t).add_scalar(1.0));
+    let s = |x: f64| x / (1.0 + x * x);
+    check("rational", build, s, &[-1.3, 0.1, 0.8]);
+}
+
+#[test]
+fn hessian_vector_structure_through_matmul() {
+    // f(w) = ||X w||^2 has Hessian 2 XᵀX; check the diagonal via double
+    // backward, against the closed form.
+    let x = Tensor::from_vec(vec![1.0, 2.0, 0.5, -1.0], &[2, 2]);
+    let w = Tensor::param_from_vec(vec![0.3, -0.7], &[2, 1]);
+    let y = x.matmul(&w).squared_norm();
+    let d1 = grad(&y, &[w.clone()], true);
+    // d1 = 2 XᵀX w; differentiate each component wrt w.
+    let g0 = grad(&d1[0].slice_axis(0, 0, 1).sum_all(), &[w.clone()], false);
+    let g1 = grad(&d1[0].slice_axis(0, 1, 1).sum_all(), &[w.clone()], false);
+    // 2 XᵀX = 2 * [[1.25, 1.5], [1.5, 5.0]]
+    let h = [g0[0].to_vec(), g1[0].to_vec()];
+    assert!((h[0][0] - 2.5).abs() < 1e-9, "H00 {}", h[0][0]);
+    assert!((h[0][1] - 3.0).abs() < 1e-9, "H01 {}", h[0][1]);
+    assert!((h[1][0] - 3.0).abs() < 1e-9, "H10 {}", h[1][0]);
+    assert!((h[1][1] - 10.0).abs() < 1e-9, "H11 {}", h[1][1]);
+}
+
+#[test]
+fn maml_style_second_order_matches_manual_unroll() {
+    // One inner SGD step on f(w) = (w - 3)^2, then outer loss g(ŵ) = ŵ^2.
+    // ŵ = w - α·2(w-3); dg/dw = 2ŵ·(1 - 2α) — the second-order term
+    // (1 - 2α) is exactly what FOMAML drops.
+    let alpha = 0.1;
+    let w = Tensor::param_from_vec(vec![1.0], &[1]);
+    let inner = w.sub_scalar(3.0).powf(2.0).sum_all();
+    let gi = grad(&inner, &[w.clone()], true);
+    let w_fast = w.sub(&gi[0].mul_scalar(alpha));
+    let outer = w_fast.powf(2.0).sum_all();
+    let meta = grad(&outer, &[w.clone()], false);
+    let w_fast_val = 1.0 - alpha * 2.0 * (1.0 - 3.0);
+    let expected = 2.0 * w_fast_val * (1.0 - 2.0 * alpha);
+    assert!(
+        (meta[0].to_vec()[0] - expected).abs() < 1e-12,
+        "meta-gradient {} vs manual {expected}",
+        meta[0].to_vec()[0]
+    );
+
+    // First-order version: compute the inner gradient with
+    // create_graph = false (a constant) — the derivative loses the
+    // (1 - 2α) factor.
+    let inner2 = w.sub_scalar(3.0).powf(2.0).sum_all();
+    let gi_detached = grad(&inner2, &[w.clone()], false);
+    assert!(!gi_detached[0].requires_grad());
+    let w_fast_fo = w.sub(&gi_detached[0].mul_scalar(alpha));
+    let outer_fo = w_fast_fo.powf(2.0).sum_all();
+    let meta_fo = grad(&outer_fo, &[w.clone()], false);
+    let expected_fo = 2.0 * w_fast_val;
+    assert!(
+        (meta_fo[0].to_vec()[0] - expected_fo).abs() < 1e-12,
+        "FOMAML gradient {} vs manual {expected_fo}",
+        meta_fo[0].to_vec()[0]
+    );
+}

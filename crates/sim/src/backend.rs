@@ -1,0 +1,203 @@
+//! Backend structural limits (window, registers, queues, functional
+//! units).
+//!
+//! Each limit is expressed as a sustainable-IPC ceiling in the Little's-law
+//! tradition: a structure of `N` entries whose occupants live `L` cycles
+//! sustains at most `N / L` instructions per cycle.
+
+use crate::design_space::CpuConfig;
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// Architectural registers reserved out of each physical register file.
+const ARCH_REGS: Elem = 34.0;
+
+/// Average non-memory instruction lifetime in the window (issue to
+/// commit), cycles.
+const BASE_LIFETIME: Elem = 5.0;
+
+/// Structural IPC ceilings implied by a configuration for a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendModel {
+    /// Effective window size after register-file and LSQ constraints.
+    pub effective_window: Elem,
+    /// IPC ceiling from the reorder buffer / physical registers.
+    pub window_limit: Elem,
+    /// IPC ceiling from the instruction queue (scheduler).
+    pub issue_limit: Elem,
+    /// IPC ceiling from load/store queue capacity.
+    pub lsq_limit: Elem,
+    /// IPC ceiling from functional-unit throughput.
+    pub fu_limit: Elem,
+}
+
+/// Per-unit sustained throughput (ops/cycle) of each functional unit class.
+mod throughput {
+    use crate::Elem;
+    pub const INT_ALU: Elem = 1.0;
+    pub const INT_MUL: Elem = 0.4; // 2.5-cycle effective initiation interval
+    pub const FP_ALU: Elem = 0.6;
+    pub const FP_MUL: Elem = 0.35;
+}
+
+/// Evaluates the structural limits.
+pub fn evaluate(config: &CpuConfig, workload: &WorkloadProfile) -> BackendModel {
+    // The in-flight window is the ROB, but it can only fill as far as free
+    // physical registers and LSQ slots allow.
+    let int_cap = ((config.int_regfile as Elem - ARCH_REGS).max(8.0))
+        / workload.frac_int_writers().max(0.05);
+    let fp_cap = if workload.frac_fp_writers() > 0.01 {
+        ((config.fp_regfile as Elem - ARCH_REGS).max(8.0)) / workload.frac_fp_writers()
+    } else {
+        Elem::INFINITY
+    };
+    let lsq_cap = config.load_store_queue as Elem / workload.frac_mem().max(0.05);
+    let effective_window = (config.rob_size as Elem).min(int_cap).min(fp_cap).min(lsq_cap);
+
+    let window_limit = effective_window / BASE_LIFETIME;
+
+    // Scheduler: entries wait ~2.5 cycles on average for operands.
+    let issue_limit = config.inst_queue as Elem / 2.5;
+
+    // Loads/stores occupy LSQ slots for their full latency (~4 cycles when
+    // hitting in L1).
+    let lsq_limit = config.load_store_queue as Elem / (4.0 * workload.frac_mem().max(0.02));
+
+    // Functional-unit throughput per class.
+    let fu = |units: u32, thr: Elem, frac: Elem| -> Elem {
+        if frac < 1e-9 {
+            Elem::INFINITY
+        } else {
+            units as Elem * thr / frac
+        }
+    };
+    let fu_limit = fu(config.int_alu, throughput::INT_ALU, workload.frac_int_alu)
+        .min(fu(config.int_mult_div, throughput::INT_MUL, workload.frac_int_mul))
+        .min(fu(config.fp_alu, throughput::FP_ALU, workload.frac_fp_alu))
+        .min(fu(config.fp_mult_div, throughput::FP_MUL, workload.frac_fp_mul));
+
+    BackendModel {
+        effective_window,
+        window_limit,
+        issue_limit,
+        lsq_limit,
+        fu_limit,
+    }
+}
+
+impl BackendModel {
+    /// The binding structural IPC ceiling.
+    pub fn ipc_ceiling(&self) -> Elem {
+        self.window_limit
+            .min(self.issue_limit)
+            .min(self.lsq_limit)
+            .min(self.fu_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_space::{ConfigPoint, DesignSpace};
+    use crate::workload::WorkloadProfileBuilder;
+
+    fn mid_config() -> CpuConfig {
+        let ds = DesignSpace::new();
+        let mid = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        ds.config(&mid)
+    }
+
+    #[test]
+    fn bigger_rob_raises_window_limit() {
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let mut c = mid_config();
+        c.rob_size = 32;
+        let small = evaluate(&c, &w).window_limit;
+        c.rob_size = 256;
+        let big = evaluate(&c, &w).window_limit;
+        assert!(big > small);
+    }
+
+    #[test]
+    fn register_file_can_cap_the_window() {
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let mut c = mid_config();
+        c.rob_size = 256;
+        c.int_regfile = 64; // only ~30 renames available
+        let m = evaluate(&c, &w);
+        assert!(m.effective_window < 256.0 * 0.5, "window {}", m.effective_window);
+        c.int_regfile = 256;
+        let m2 = evaluate(&c, &w);
+        assert!(m2.effective_window > m.effective_window);
+    }
+
+    #[test]
+    fn fp_registers_irrelevant_for_integer_code() {
+        let w = WorkloadProfileBuilder::new("int").build().unwrap();
+        let mut c = mid_config();
+        c.fp_regfile = 64;
+        let small = evaluate(&c, &w).effective_window;
+        c.fp_regfile = 256;
+        let big = evaluate(&c, &w).effective_window;
+        assert_eq!(small, big);
+    }
+
+    #[test]
+    fn fp_registers_matter_for_fp_code() {
+        let w = WorkloadProfileBuilder::new("fp")
+            .mix(0.10, 0.02, 0.30, 0.18, 0.20, 0.10, 0.10)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.rob_size = 256;
+        c.fp_regfile = 64;
+        let small = evaluate(&c, &w).effective_window;
+        c.fp_regfile = 256;
+        let big = evaluate(&c, &w).effective_window;
+        assert!(big > small);
+    }
+
+    #[test]
+    fn fp_units_bind_fp_workloads() {
+        let w = WorkloadProfileBuilder::new("fp")
+            .mix(0.10, 0.02, 0.30, 0.18, 0.20, 0.10, 0.10)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.fp_mult_div = 1;
+        let one = evaluate(&c, &w).fu_limit;
+        c.fp_mult_div = 4;
+        let four = evaluate(&c, &w).fu_limit;
+        assert!(four > one);
+        // 1 FP multiplier at 0.35/cycle over 18% of instructions: ~1.94 IPC.
+        assert!((one - 0.35 / 0.18).abs() < 0.05);
+    }
+
+    #[test]
+    fn lsq_binds_memory_heavy_workloads() {
+        let w = WorkloadProfileBuilder::new("mem")
+            .mix(0.20, 0.02, 0.0, 0.0, 0.40, 0.20, 0.18)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.load_store_queue = 20;
+        let m = evaluate(&c, &w);
+        // 20 / (4 * 0.6) ≈ 8.3
+        assert!((m.lsq_limit - 20.0 / 2.4).abs() < 0.01);
+        assert!(m.ipc_ceiling() <= m.lsq_limit);
+    }
+
+    #[test]
+    fn ceiling_is_min_of_components() {
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let m = evaluate(&mid_config(), &w);
+        let expected = m
+            .window_limit
+            .min(m.issue_limit)
+            .min(m.lsq_limit)
+            .min(m.fu_limit);
+        assert_eq!(m.ipc_ceiling(), expected);
+        assert!(m.ipc_ceiling().is_finite());
+        assert!(m.ipc_ceiling() > 0.0);
+    }
+}

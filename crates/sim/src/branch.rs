@@ -1,0 +1,173 @@
+//! Branch prediction model.
+//!
+//! Estimates per-branch misprediction probability from the predictor
+//! organization (type, BTB, RAS) and the workload's control-flow behaviour,
+//! plus the flush penalty charged per misprediction.
+
+use crate::design_space::{BranchPredictorKind, CpuConfig};
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// Breakdown of the branch behaviour predicted for a (config, workload)
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchModel {
+    /// Probability a branch direction/target is mispredicted.
+    pub mispredict_rate: Elem,
+    /// Fraction of taken branches whose target missed in the BTB
+    /// (causing a fetch bubble even when the direction was right).
+    pub btb_miss_rate: Elem,
+    /// Pipeline flush penalty in cycles per misprediction.
+    pub penalty_cycles: Elem,
+}
+
+/// Fraction of branches that are calls/returns (RAS traffic).
+const CALL_RETURN_FRAC: Elem = 0.12;
+
+/// Evaluates the branch model.
+pub fn evaluate(config: &CpuConfig, workload: &WorkloadProfile) -> BranchModel {
+    let e = workload.branch_entropy;
+
+    // Conditional-direction component. The tournament predictor's local +
+    // global histories handle moderately irregular branches much better
+    // than the bi-modal predictor; both approach similar floors/ceilings.
+    let direction = match config.branch_predictor {
+        BranchPredictorKind::BiMode => 0.015 + 0.17 * e.powf(1.4),
+        BranchPredictorKind::Tournament => 0.008 + 0.11 * e.powf(1.9),
+    };
+
+    // Indirect-target component: the BTB must hold the hot target set.
+    // Irregular, indirect-heavy code (interpreters, virtual dispatch) wants
+    // thousands of entries.
+    let needed_targets = 256.0 + 7000.0 * workload.indirect_branch_frac * (0.3 + 0.7 * e);
+    let btb_shortfall = (1.0 - config.btb_size as Elem / needed_targets).max(0.0);
+    let btb_miss_rate = (0.6 * btb_shortfall * btb_shortfall).min(0.6);
+    let indirect = workload.indirect_branch_frac * btb_miss_rate;
+
+    // Return-address-stack overflow: deep call chains wrap the RAS and
+    // corrupt return predictions.
+    let overflow = ((workload.call_depth - config.ras_size as Elem) / workload.call_depth)
+        .clamp(0.0, 1.0);
+    let returns = CALL_RETURN_FRAC * 0.5 * overflow;
+
+    let mispredict_rate = (direction + indirect + returns).clamp(0.0, 0.5);
+
+    // Flush penalty grows with frontend depth (wider machines have deeper
+    // frontends) and with the window that must refill.
+    let penalty_cycles =
+        9.0 + 0.6 * config.pipeline_width as Elem + 0.015 * config.rob_size as Elem;
+
+    BranchModel {
+        mispredict_rate,
+        btb_miss_rate,
+        penalty_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_space::{ConfigPoint, DesignSpace};
+    use crate::workload::WorkloadProfileBuilder;
+
+    fn base_config() -> CpuConfig {
+        let ds = DesignSpace::new();
+        let mid = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        ds.config(&mid)
+    }
+
+    #[test]
+    fn tournament_beats_bimode_on_irregular_code() {
+        let wl = WorkloadProfileBuilder::new("w")
+            .branch_behavior(0.7, 0.05, 8.0)
+            .build()
+            .unwrap();
+        let mut c = base_config();
+        c.branch_predictor = BranchPredictorKind::BiMode;
+        let bimode = evaluate(&c, &wl).mispredict_rate;
+        c.branch_predictor = BranchPredictorKind::Tournament;
+        let tournament = evaluate(&c, &wl).mispredict_rate;
+        assert!(tournament < bimode, "{tournament} !< {bimode}");
+    }
+
+    #[test]
+    fn mispredict_rate_monotone_in_entropy() {
+        let c = base_config();
+        let mut last = -1.0;
+        for e in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let wl = WorkloadProfileBuilder::new("w")
+                .branch_behavior(e, 0.05, 8.0)
+                .build()
+                .unwrap();
+            let rate = evaluate(&c, &wl).mispredict_rate;
+            assert!(rate > last, "entropy {e}: {rate} !> {last}");
+            last = rate;
+        }
+    }
+
+    #[test]
+    fn bigger_btb_helps_indirect_heavy_workloads() {
+        let wl = WorkloadProfileBuilder::new("w")
+            .branch_behavior(0.6, 0.35, 8.0)
+            .build()
+            .unwrap();
+        let mut c = base_config();
+        c.btb_size = 1024;
+        let small = evaluate(&c, &wl).mispredict_rate;
+        c.btb_size = 4096;
+        let big = evaluate(&c, &wl).mispredict_rate;
+        assert!(big < small, "{big} !< {small}");
+    }
+
+    #[test]
+    fn ras_overflow_only_hurts_deep_call_chains() {
+        let mut c = base_config();
+        c.ras_size = 16;
+        let shallow = WorkloadProfileBuilder::new("s")
+            .branch_behavior(0.3, 0.05, 6.0)
+            .build()
+            .unwrap();
+        let deep = WorkloadProfileBuilder::new("d")
+            .branch_behavior(0.3, 0.05, 60.0)
+            .build()
+            .unwrap();
+        let rs = evaluate(&c, &shallow).mispredict_rate;
+        let rd = evaluate(&c, &deep).mispredict_rate;
+        assert!(rd > rs);
+        c.ras_size = 40;
+        let rd_big = evaluate(&c, &deep).mispredict_rate;
+        assert!(rd_big < rd);
+    }
+
+    #[test]
+    fn penalty_grows_with_width_and_rob() {
+        let wl = WorkloadProfileBuilder::new("w").build().unwrap();
+        let mut c = base_config();
+        c.pipeline_width = 2;
+        c.rob_size = 32;
+        let small = evaluate(&c, &wl).penalty_cycles;
+        c.pipeline_width = 12;
+        c.rob_size = 256;
+        let big = evaluate(&c, &wl).penalty_cycles;
+        assert!(big > small + 5.0);
+    }
+
+    #[test]
+    fn rates_stay_in_bounds() {
+        let ds = DesignSpace::new();
+        let mut rng = rand::rngs::mock::StepRng::new(7, 104729);
+        use rand::Rng;
+        for _ in 0..200 {
+            let point = ds.random_point(&mut rng);
+            let c = ds.config(&point);
+            let wl = WorkloadProfileBuilder::new("w")
+                .branch_behavior(rng.gen_range(0.0..1.0), rng.gen_range(0.0..0.4), 40.0)
+                .build()
+                .unwrap();
+            let m = evaluate(&c, &wl);
+            assert!((0.0..=0.5).contains(&m.mispredict_rate));
+            assert!((0.0..=0.6).contains(&m.btb_miss_rate));
+            assert!(m.penalty_cycles > 0.0);
+        }
+    }
+}

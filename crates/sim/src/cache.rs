@@ -1,0 +1,214 @@
+//! Cache hierarchy model.
+//!
+//! A capacity/conflict/compulsory decomposition in the style of analytical
+//! cache models: miss ratios are smooth functions of the working-set to
+//! capacity ratio, softened by associativity and line-size effects, so the
+//! surrogate-learning problem stays realistic (nonlinear, interaction-rich)
+//! without cycle-level simulation.
+
+use crate::design_space::CpuConfig;
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// Cache behaviour predicted for a (config, workload) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheModel {
+    /// L1 data-cache miss ratio (per memory access).
+    pub l1d_miss_rate: Elem,
+    /// L1 instruction-cache miss ratio (per instruction).
+    pub l1i_miss_rate: Elem,
+    /// L2 miss ratio (per L2 access).
+    pub l2_miss_rate: Elem,
+    /// L1-miss service latency from L2, in core cycles.
+    pub l2_latency: Elem,
+    /// L2-miss service latency from DRAM, in core cycles (frequency
+    /// dependent: a faster core waits more cycles for the same nanoseconds).
+    pub dram_latency: Elem,
+}
+
+/// Saturating capacity-miss curve: 0 when the working set fits, approaching
+/// `ceiling` as the working set dwarfs the cache.
+fn capacity_miss(ws_kb: Elem, size_kb: Elem, ceiling: Elem) -> Elem {
+    let ratio = ws_kb / size_kb;
+    // Below ~70% occupancy misses are negligible; beyond that they rise
+    // smoothly and saturate. The slow knee reflects that only part of a
+    // working set is hot at any instant (LRU keeps the hot fraction).
+    let pressure = (ratio - 0.7).max(0.0);
+    ceiling * pressure / (pressure + 4.0)
+}
+
+/// Conflict-miss multiplier for a given associativity.
+fn conflict_multiplier(assoc: u32, spatial_locality: Elem) -> Elem {
+    // Irregular access patterns suffer more conflicts; 4-way roughly halves
+    // the conflict overhead of 2-way.
+    let irregularity = 1.0 - spatial_locality;
+    match assoc {
+        0 | 1 => 1.0 + 0.50 * irregularity,
+        2 => 1.0 + 0.30 * irregularity,
+        4 => 1.0 + 0.12 * irregularity,
+        _ => 1.0 + 0.05 * irregularity,
+    }
+}
+
+/// Evaluates the cache model.
+pub fn evaluate(config: &CpuConfig, workload: &WorkloadProfile) -> CacheModel {
+    let line = config.cacheline_bytes as Elem;
+    // Longer lines amortize compulsory misses when spatial locality is
+    // high, but waste capacity when accesses are sparse.
+    let line_gain = (line / 64.0).powf(workload.spatial_locality);
+    let sparse_waste = 1.0 + (line / 64.0 - 0.5) * (1.0 - workload.spatial_locality) * 0.35;
+
+    // --- L1 data ---
+    let l1_size = config.l1_cache_kb as Elem / sparse_waste;
+    let compulsory_l1 = 0.012 * (1.0 - 0.75 * workload.spatial_locality) / line_gain;
+    let cap_l1 = capacity_miss(workload.data_ws_l1_kb, l1_size, 0.32)
+        * conflict_multiplier(config.l1_assoc, workload.spatial_locality);
+    let l1d_miss_rate = (compulsory_l1 + cap_l1).min(0.6);
+
+    // --- L1 instruction ---
+    let compulsory_l1i = 0.0015;
+    let cap_l1i = capacity_miss(workload.code_footprint_kb, config.l1_cache_kb as Elem, 0.15)
+        * conflict_multiplier(config.l1_assoc, 0.8);
+    let l1i_miss_rate = (compulsory_l1i + cap_l1i).min(0.3);
+
+    // --- L2 (unified, filters L1 misses) ---
+    let l2_size = config.l2_cache_kb as Elem / sparse_waste;
+    let cap_l2 = capacity_miss(workload.data_ws_l2_kb, l2_size, 0.85)
+        * conflict_multiplier(config.l2_assoc, workload.spatial_locality);
+    let l2_miss_rate = (workload.streaming + (1.0 - workload.streaming) * cap_l2).min(1.0);
+
+    // --- Latencies (cycles at the configured core frequency) ---
+    // L2: fixed pipeline latency plus line transfer at 16 B/cycle.
+    let l2_latency = 12.0 + line / 16.0;
+    // DRAM: ~80 ns access; cycles scale with core frequency.
+    let dram_latency = 80.0 * config.core_freq_ghz + line / 8.0;
+
+    CacheModel {
+        l1d_miss_rate,
+        l1i_miss_rate,
+        l2_miss_rate,
+        l2_latency,
+        dram_latency,
+    }
+}
+
+impl CacheModel {
+    /// Average extra cycles per *data access* spent below L1, before any
+    /// memory-level-parallelism overlap is applied.
+    pub fn serial_miss_cycles(&self) -> Elem {
+        self.l1d_miss_rate * (self.l2_latency + self.l2_miss_rate * self.dram_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_space::{ConfigPoint, DesignSpace};
+    use crate::workload::WorkloadProfileBuilder;
+
+    fn mid_config() -> CpuConfig {
+        let ds = DesignSpace::new();
+        let mid = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        ds.config(&mid)
+    }
+
+    fn workload(l1_ws: f64, l2_ws: f64, locality: f64) -> WorkloadProfile {
+        WorkloadProfileBuilder::new("w")
+            .memory_behavior(l1_ws, l2_ws, 24.0, locality, 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bigger_l1_means_fewer_misses() {
+        let wl = workload(96.0, 2048.0, 0.4);
+        let mut c = mid_config();
+        c.l1_cache_kb = 16;
+        let small = evaluate(&c, &wl).l1d_miss_rate;
+        c.l1_cache_kb = 64;
+        let big = evaluate(&c, &wl).l1d_miss_rate;
+        assert!(big < small, "{big} !< {small}");
+    }
+
+    #[test]
+    fn fitting_working_set_has_tiny_miss_rate() {
+        let wl = workload(8.0, 64.0, 0.8);
+        let mut c = mid_config();
+        c.l1_cache_kb = 64;
+        c.l2_cache_kb = 256;
+        let m = evaluate(&c, &wl);
+        assert!(m.l1d_miss_rate < 0.02, "l1 {}", m.l1d_miss_rate);
+        assert!(m.l2_miss_rate < 0.2, "l2 {}", m.l2_miss_rate);
+    }
+
+    #[test]
+    fn associativity_helps_irregular_workloads_more() {
+        let irregular = workload(96.0, 2048.0, 0.1);
+        let regular = workload(96.0, 2048.0, 0.9);
+        let mut c = mid_config();
+        c.l1_assoc = 2;
+        let irr2 = evaluate(&c, &irregular).l1d_miss_rate;
+        let reg2 = evaluate(&c, &regular).l1d_miss_rate;
+        c.l1_assoc = 4;
+        let irr4 = evaluate(&c, &irregular).l1d_miss_rate;
+        let reg4 = evaluate(&c, &regular).l1d_miss_rate;
+        let irr_gain = irr2 - irr4;
+        let reg_gain = reg2 - reg4;
+        assert!(irr_gain > reg_gain, "{irr_gain} !> {reg_gain}");
+    }
+
+    #[test]
+    fn long_lines_help_streaming_hurt_pointer_chasing() {
+        let streaming = workload(96.0, 2048.0, 0.95);
+        let chasing = workload(96.0, 2048.0, 0.05);
+        let mut c = mid_config();
+        c.cacheline_bytes = 32;
+        let s32 = evaluate(&c, &streaming).l1d_miss_rate;
+        let p32 = evaluate(&c, &chasing).l1d_miss_rate;
+        c.cacheline_bytes = 64;
+        let s64 = evaluate(&c, &streaming).l1d_miss_rate;
+        let p64 = evaluate(&c, &chasing).l1d_miss_rate;
+        assert!(s64 < s32, "streaming should gain from longer lines");
+        assert!(p64 > p32, "pointer chasing should lose capacity to long lines");
+    }
+
+    #[test]
+    fn dram_cycles_scale_with_frequency() {
+        let wl = workload(64.0, 4096.0, 0.5);
+        let mut c = mid_config();
+        c.core_freq_ghz = 1.0;
+        let slow = evaluate(&c, &wl).dram_latency;
+        c.core_freq_ghz = 3.0;
+        let fast = evaluate(&c, &wl).dram_latency;
+        assert!((fast / slow - 2.8).abs() < 0.4, "ratio {}", fast / slow);
+    }
+
+    #[test]
+    fn streaming_floor_on_l2_misses() {
+        let mut wl = workload(16.0, 32.0, 0.9);
+        wl.streaming = 0.7;
+        let c = mid_config();
+        let m = evaluate(&c, &wl);
+        assert!(m.l2_miss_rate >= 0.7);
+    }
+
+    #[test]
+    fn rates_bounded_across_random_space() {
+        use rand::Rng;
+        let ds = DesignSpace::new();
+        let mut rng = rand::rngs::mock::StepRng::new(3, 2654435761);
+        for _ in 0..200 {
+            let c = ds.config(&ds.random_point(&mut rng));
+            let wl = workload(
+                rng.gen_range(4.0..512.0),
+                rng.gen_range(64.0..8192.0),
+                rng.gen_range(0.0..1.0),
+            );
+            let m = evaluate(&c, &wl);
+            assert!((0.0..=0.6).contains(&m.l1d_miss_rate));
+            assert!((0.0..=0.3).contains(&m.l1i_miss_rate));
+            assert!((0.0..=1.0).contains(&m.l2_miss_rate));
+            assert!(m.serial_miss_cycles() >= 0.0);
+        }
+    }
+}

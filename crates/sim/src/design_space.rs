@@ -1,0 +1,568 @@
+//! The out-of-order CPU design space of MetaDSE (paper Table I).
+//!
+//! Every parameter is a discrete candidate list; a design point is a vector
+//! of candidate indices. The order of [`ParamId`] variants fixes both the
+//! index layout and the token order fed to the transformer predictor.
+
+use rand::Rng;
+
+use crate::Elem;
+
+/// Identifier of one of the 21 microarchitectural parameters (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum ParamId {
+    /// CPU core frequency in GHz.
+    CoreFrequency,
+    /// Fetch/decode/rename/dispatch/issue/writeback/commit width.
+    PipelineWidth,
+    /// Fetch buffer size in bytes.
+    FetchBuffer,
+    /// Fetch queue size in micro-ops.
+    FetchQueue,
+    /// Branch predictor type (0 = BiMode, 1 = Tournament).
+    BranchPredictor,
+    /// Return address stack entries.
+    RasSize,
+    /// Branch target buffer entries.
+    BtbSize,
+    /// Reorder buffer entries.
+    RobSize,
+    /// Physical integer registers.
+    IntRegfile,
+    /// Physical floating-point registers.
+    FpRegfile,
+    /// Instruction queue entries.
+    InstQueue,
+    /// Load/store queue entries.
+    LoadStoreQueue,
+    /// Integer ALU count.
+    IntAlu,
+    /// Integer multiplier/divider count.
+    IntMultDiv,
+    /// Floating-point ALU count.
+    FpAlu,
+    /// Floating-point multiplier/divider count.
+    FpMultDiv,
+    /// Cache line size in bytes.
+    Cacheline,
+    /// L1 cache size in KB (instruction and data).
+    L1CacheSize,
+    /// L1 cache associativity.
+    L1CacheAssoc,
+    /// L2 cache size in KB.
+    L2CacheSize,
+    /// L2 cache associativity.
+    L2CacheAssoc,
+}
+
+impl ParamId {
+    /// All parameters in token order.
+    pub const ALL: [ParamId; 21] = [
+        ParamId::CoreFrequency,
+        ParamId::PipelineWidth,
+        ParamId::FetchBuffer,
+        ParamId::FetchQueue,
+        ParamId::BranchPredictor,
+        ParamId::RasSize,
+        ParamId::BtbSize,
+        ParamId::RobSize,
+        ParamId::IntRegfile,
+        ParamId::FpRegfile,
+        ParamId::InstQueue,
+        ParamId::LoadStoreQueue,
+        ParamId::IntAlu,
+        ParamId::IntMultDiv,
+        ParamId::FpAlu,
+        ParamId::FpMultDiv,
+        ParamId::Cacheline,
+        ParamId::L1CacheSize,
+        ParamId::L1CacheAssoc,
+        ParamId::L2CacheSize,
+        ParamId::L2CacheAssoc,
+    ];
+
+    /// Position of this parameter in the token/index layout.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable parameter name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamId::CoreFrequency => "core_frequency_ghz",
+            ParamId::PipelineWidth => "pipeline_width",
+            ParamId::FetchBuffer => "fetch_buffer_bytes",
+            ParamId::FetchQueue => "fetch_queue_uops",
+            ParamId::BranchPredictor => "branch_predictor",
+            ParamId::RasSize => "ras_size",
+            ParamId::BtbSize => "btb_size",
+            ParamId::RobSize => "rob_size",
+            ParamId::IntRegfile => "int_regfile",
+            ParamId::FpRegfile => "fp_regfile",
+            ParamId::InstQueue => "inst_queue",
+            ParamId::LoadStoreQueue => "load_store_queue",
+            ParamId::IntAlu => "int_alu",
+            ParamId::IntMultDiv => "int_mult_div",
+            ParamId::FpAlu => "fp_alu",
+            ParamId::FpMultDiv => "fp_mult_div",
+            ParamId::Cacheline => "cacheline_bytes",
+            ParamId::L1CacheSize => "l1_cache_kb",
+            ParamId::L1CacheAssoc => "l1_cache_assoc",
+            ParamId::L2CacheSize => "l2_cache_kb",
+            ParamId::L2CacheAssoc => "l2_cache_assoc",
+        }
+    }
+}
+
+/// Branch predictor organization (gem5's BiModeBP / TournamentBP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchPredictorKind {
+    /// Bi-modal predictor with choice PHT.
+    #[default]
+    BiMode,
+    /// Tournament of local and global history predictors.
+    Tournament,
+}
+
+/// The specification of a single discrete parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    id: ParamId,
+    candidates: Vec<Elem>,
+}
+
+impl ParamSpec {
+    /// The parameter this spec describes.
+    pub fn id(&self) -> ParamId {
+        self.id
+    }
+
+    /// Candidate values in ascending order.
+    pub fn candidates(&self) -> &[Elem] {
+        &self.candidates
+    }
+
+    /// Number of candidates.
+    pub fn cardinality(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Candidate value at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn value(&self, index: usize) -> Elem {
+        self.candidates[index]
+    }
+
+    /// Normalizes a candidate index to `[0, 1]` by value position.
+    pub fn normalize(&self, index: usize) -> Elem {
+        let lo = self.candidates[0];
+        let hi = *self.candidates.last().expect("non-empty candidates");
+        if hi == lo {
+            return 0.0;
+        }
+        (self.candidates[index] - lo) / (hi - lo)
+    }
+}
+
+fn range_spec(id: ParamId, start: i64, end: i64, stride: i64) -> ParamSpec {
+    let mut candidates = Vec::new();
+    let mut v = start;
+    while v <= end {
+        candidates.push(v as Elem);
+        v += stride;
+    }
+    ParamSpec { id, candidates }
+}
+
+fn list_spec(id: ParamId, values: &[Elem]) -> ParamSpec {
+    ParamSpec {
+        id,
+        candidates: values.to_vec(),
+    }
+}
+
+/// A point in the design space: one candidate index per parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigPoint {
+    indices: Vec<usize>,
+}
+
+impl ConfigPoint {
+    /// Wraps raw candidate indices.
+    pub fn new(indices: Vec<usize>) -> ConfigPoint {
+        ConfigPoint { indices }
+    }
+
+    /// Candidate index for `param`.
+    pub fn index_of(&self, param: ParamId) -> usize {
+        self.indices[param.index()]
+    }
+
+    /// All candidate indices in [`ParamId::ALL`] order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+}
+
+/// The full 21-parameter design space of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    specs: Vec<ParamSpec>,
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesignSpace {
+    /// Builds the MetaDSE design space exactly as in paper Table I.
+    pub fn new() -> DesignSpace {
+        let specs = vec![
+            list_spec(ParamId::CoreFrequency, &[1.0, 1.5, 2.0, 2.5, 3.0]),
+            range_spec(ParamId::PipelineWidth, 1, 12, 1),
+            list_spec(ParamId::FetchBuffer, &[16.0, 32.0, 64.0]),
+            range_spec(ParamId::FetchQueue, 8, 48, 4),
+            list_spec(ParamId::BranchPredictor, &[0.0, 1.0]),
+            range_spec(ParamId::RasSize, 16, 40, 2),
+            list_spec(ParamId::BtbSize, &[1024.0, 2048.0, 4096.0]),
+            range_spec(ParamId::RobSize, 32, 256, 16),
+            range_spec(ParamId::IntRegfile, 64, 256, 8),
+            range_spec(ParamId::FpRegfile, 64, 256, 8),
+            range_spec(ParamId::InstQueue, 16, 80, 8),
+            range_spec(ParamId::LoadStoreQueue, 20, 48, 4),
+            range_spec(ParamId::IntAlu, 3, 8, 1),
+            range_spec(ParamId::IntMultDiv, 1, 4, 1),
+            range_spec(ParamId::FpAlu, 1, 4, 1),
+            range_spec(ParamId::FpMultDiv, 1, 4, 1),
+            list_spec(ParamId::Cacheline, &[32.0, 64.0]),
+            list_spec(ParamId::L1CacheSize, &[16.0, 32.0, 64.0]),
+            list_spec(ParamId::L1CacheAssoc, &[2.0, 4.0]),
+            list_spec(ParamId::L2CacheSize, &[128.0, 256.0]),
+            list_spec(ParamId::L2CacheAssoc, &[2.0, 4.0]),
+        ];
+        debug_assert_eq!(specs.len(), ParamId::ALL.len());
+        DesignSpace { specs }
+    }
+
+    /// Parameter specifications in token order.
+    pub fn specs(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    /// Specification of one parameter.
+    pub fn spec(&self, param: ParamId) -> &ParamSpec {
+        &self.specs[param.index()]
+    }
+
+    /// Number of parameters (tokens).
+    pub fn num_params(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Total number of distinct configurations.
+    pub fn cardinality(&self) -> u128 {
+        self.specs
+            .iter()
+            .map(|s| s.cardinality() as u128)
+            .product()
+    }
+
+    /// Uniform random design point.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> ConfigPoint {
+        let indices = self
+            .specs
+            .iter()
+            .map(|s| rng.gen_range(0..s.cardinality()))
+            .collect();
+        ConfigPoint::new(indices)
+    }
+
+    /// Latin-hypercube-style sample: for each parameter, the `n` draws are
+    /// stratified across its candidate range before shuffling, giving far
+    /// better coverage than i.i.d. sampling at small `n`.
+    pub fn sample_lhs<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<ConfigPoint> {
+        let mut columns: Vec<Vec<usize>> = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let card = spec.cardinality();
+            let mut column: Vec<usize> = (0..n)
+                .map(|i| {
+                    // Stratum i covers candidates [i*card/n, (i+1)*card/n).
+                    let lo = i * card / n;
+                    let hi = (((i + 1) * card).div_ceil(n)).min(card);
+                    rng.gen_range(lo..hi.max(lo + 1)).min(card - 1)
+                })
+                .collect();
+            // Shuffle the column so strata are uncorrelated across params.
+            for i in (1..column.len()).rev() {
+                column.swap(i, rng.gen_range(0..=i));
+            }
+            columns.push(column);
+        }
+        (0..n)
+            .map(|row| ConfigPoint::new(columns.iter().map(|c| c[row]).collect()))
+            .collect()
+    }
+
+    /// All design points differing from `point` by one candidate step in one
+    /// parameter (used by local search in the explorer).
+    pub fn neighbors(&self, point: &ConfigPoint) -> Vec<ConfigPoint> {
+        let mut out = Vec::new();
+        for (p, spec) in self.specs.iter().enumerate() {
+            let i = point.indices()[p];
+            if i > 0 {
+                let mut idx = point.indices().to_vec();
+                idx[p] = i - 1;
+                out.push(ConfigPoint::new(idx));
+            }
+            if i + 1 < spec.cardinality() {
+                let mut idx = point.indices().to_vec();
+                idx[p] = i + 1;
+                out.push(ConfigPoint::new(idx));
+            }
+        }
+        out
+    }
+
+    /// Encodes a point as one normalized `[0, 1]` feature per parameter, in
+    /// token order — the input representation of every surrogate model in
+    /// this reproduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's arity differs from the space or an index is
+    /// out of range.
+    pub fn encode(&self, point: &ConfigPoint) -> Vec<Elem> {
+        assert_eq!(point.indices().len(), self.specs.len(), "arity mismatch");
+        self.specs
+            .iter()
+            .zip(point.indices())
+            .map(|(spec, &i)| {
+                assert!(i < spec.cardinality(), "candidate index out of range");
+                spec.normalize(i)
+            })
+            .collect()
+    }
+
+    /// Materializes the typed configuration at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is malformed.
+    pub fn config(&self, point: &ConfigPoint) -> CpuConfig {
+        let v = |p: ParamId| self.spec(p).value(point.index_of(p));
+        CpuConfig {
+            core_freq_ghz: v(ParamId::CoreFrequency),
+            pipeline_width: v(ParamId::PipelineWidth) as u32,
+            fetch_buffer_bytes: v(ParamId::FetchBuffer) as u32,
+            fetch_queue_uops: v(ParamId::FetchQueue) as u32,
+            branch_predictor: if point.index_of(ParamId::BranchPredictor) == 0 {
+                BranchPredictorKind::BiMode
+            } else {
+                BranchPredictorKind::Tournament
+            },
+            ras_size: v(ParamId::RasSize) as u32,
+            btb_size: v(ParamId::BtbSize) as u32,
+            rob_size: v(ParamId::RobSize) as u32,
+            int_regfile: v(ParamId::IntRegfile) as u32,
+            fp_regfile: v(ParamId::FpRegfile) as u32,
+            inst_queue: v(ParamId::InstQueue) as u32,
+            load_store_queue: v(ParamId::LoadStoreQueue) as u32,
+            int_alu: v(ParamId::IntAlu) as u32,
+            int_mult_div: v(ParamId::IntMultDiv) as u32,
+            fp_alu: v(ParamId::FpAlu) as u32,
+            fp_mult_div: v(ParamId::FpMultDiv) as u32,
+            cacheline_bytes: v(ParamId::Cacheline) as u32,
+            l1_cache_kb: v(ParamId::L1CacheSize) as u32,
+            l1_assoc: v(ParamId::L1CacheAssoc) as u32,
+            l2_cache_kb: v(ParamId::L2CacheSize) as u32,
+            l2_assoc: v(ParamId::L2CacheAssoc) as u32,
+        }
+    }
+}
+
+/// A fully materialized out-of-order CPU configuration.
+///
+/// Plain data in the C-struct spirit; fields are public by design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Core frequency in GHz.
+    pub core_freq_ghz: Elem,
+    /// Uniform pipeline width (fetch through commit).
+    pub pipeline_width: u32,
+    /// Fetch buffer size in bytes.
+    pub fetch_buffer_bytes: u32,
+    /// Fetch queue capacity in micro-ops.
+    pub fetch_queue_uops: u32,
+    /// Branch predictor organization.
+    pub branch_predictor: BranchPredictorKind,
+    /// Return address stack entries.
+    pub ras_size: u32,
+    /// Branch target buffer entries.
+    pub btb_size: u32,
+    /// Reorder buffer entries.
+    pub rob_size: u32,
+    /// Physical integer register file size.
+    pub int_regfile: u32,
+    /// Physical floating-point register file size.
+    pub fp_regfile: u32,
+    /// Instruction queue entries.
+    pub inst_queue: u32,
+    /// Load/store queue entries (each).
+    pub load_store_queue: u32,
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiplier/dividers.
+    pub int_mult_div: u32,
+    /// Floating-point ALUs.
+    pub fp_alu: u32,
+    /// Floating-point multiplier/dividers.
+    pub fp_mult_div: u32,
+    /// Cache line size in bytes.
+    pub cacheline_bytes: u32,
+    /// L1 instruction/data cache size in KB.
+    pub l1_cache_kb: u32,
+    /// L1 associativity.
+    pub l1_assoc: u32,
+    /// Unified L2 cache size in KB.
+    pub l2_cache_kb: u32,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_i_cardinalities() {
+        let ds = DesignSpace::new();
+        let card = |p: ParamId| ds.spec(p).cardinality();
+        assert_eq!(card(ParamId::CoreFrequency), 5);
+        assert_eq!(card(ParamId::PipelineWidth), 12);
+        assert_eq!(card(ParamId::FetchBuffer), 3);
+        assert_eq!(card(ParamId::FetchQueue), 11); // 8..=48 step 4
+        assert_eq!(card(ParamId::BranchPredictor), 2);
+        assert_eq!(card(ParamId::RasSize), 13); // 16..=40 step 2
+        assert_eq!(card(ParamId::BtbSize), 3);
+        assert_eq!(card(ParamId::RobSize), 15); // 32..=256 step 16
+        assert_eq!(card(ParamId::IntRegfile), 25); // 64..=256 step 8
+        assert_eq!(card(ParamId::FpRegfile), 25);
+        assert_eq!(card(ParamId::InstQueue), 9); // 16..=80 step 8
+        assert_eq!(card(ParamId::LoadStoreQueue), 8); // 20..=48 step 4
+        assert_eq!(card(ParamId::IntAlu), 6);
+        assert_eq!(card(ParamId::IntMultDiv), 4);
+        assert_eq!(card(ParamId::FpAlu), 4);
+        assert_eq!(card(ParamId::FpMultDiv), 4);
+        assert_eq!(card(ParamId::Cacheline), 2);
+        assert_eq!(card(ParamId::L1CacheSize), 3);
+        assert_eq!(card(ParamId::L1CacheAssoc), 2);
+        assert_eq!(card(ParamId::L2CacheSize), 2);
+        assert_eq!(card(ParamId::L2CacheAssoc), 2);
+        assert_eq!(ds.num_params(), 21);
+    }
+
+    #[test]
+    fn cardinality_is_product_of_specs() {
+        let ds = DesignSpace::new();
+        let expected: u128 = ds.specs().iter().map(|s| s.cardinality() as u128).product();
+        assert_eq!(ds.cardinality(), expected);
+        assert!(ds.cardinality() > 1_000_000_000, "space must be huge");
+    }
+
+    #[test]
+    fn random_points_are_in_range() {
+        let ds = DesignSpace::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = ds.random_point(&mut rng);
+            for (spec, &i) in ds.specs().iter().zip(p.indices()) {
+                assert!(i < spec.cardinality());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_normalized_and_ordered() {
+        let ds = DesignSpace::new();
+        let lo = ConfigPoint::new(vec![0; 21]);
+        let hi = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() - 1).collect());
+        assert_eq!(ds.encode(&lo), vec![0.0; 21]);
+        assert_eq!(ds.encode(&hi), vec![1.0; 21]);
+    }
+
+    #[test]
+    fn config_materializes_expected_values() {
+        let ds = DesignSpace::new();
+        let p = ConfigPoint::new(vec![0; 21]);
+        let c = ds.config(&p);
+        assert_eq!(c.core_freq_ghz, 1.0);
+        assert_eq!(c.pipeline_width, 1);
+        assert_eq!(c.branch_predictor, BranchPredictorKind::BiMode);
+        assert_eq!(c.rob_size, 32);
+        assert_eq!(c.l2_cache_kb, 128);
+        let hi = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() - 1).collect());
+        let c = ds.config(&hi);
+        assert_eq!(c.core_freq_ghz, 3.0);
+        assert_eq!(c.pipeline_width, 12);
+        assert_eq!(c.branch_predictor, BranchPredictorKind::Tournament);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.int_regfile, 256);
+        assert_eq!(c.fetch_queue_uops, 48);
+    }
+
+    #[test]
+    fn lhs_covers_the_range() {
+        let ds = DesignSpace::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let points = ds.sample_lhs(25, &mut rng);
+        assert_eq!(points.len(), 25);
+        // The int regfile (25 candidates) should be a permutation-like
+        // spread: with 25 strata over 25 candidates every index is hit.
+        let mut seen: Vec<usize> = points
+            .iter()
+            .map(|p| p.index_of(ParamId::IntRegfile))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 20, "LHS should cover most strata, got {}", seen.len());
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_param() {
+        let ds = DesignSpace::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ds.random_point(&mut rng);
+        for n in ds.neighbors(&p) {
+            let diff: usize = n
+                .indices()
+                .iter()
+                .zip(p.indices())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn interior_point_has_two_neighbors_per_param() {
+        let ds = DesignSpace::new();
+        let p = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        let expected: usize = ds
+            .specs()
+            .iter()
+            .map(|s| {
+                let i = s.cardinality() / 2;
+                usize::from(i > 0) + usize::from(i + 1 < s.cardinality())
+            })
+            .sum();
+        assert_eq!(ds.neighbors(&p).len(), expected);
+    }
+}

@@ -1,0 +1,111 @@
+//! Frontend (fetch) supply model.
+
+use crate::branch::BranchModel;
+use crate::cache::CacheModel;
+use crate::design_space::CpuConfig;
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// Average instruction size in bytes (RISC-style ISA as in the gem5 setup).
+const INST_BYTES: Elem = 4.0;
+
+/// Fraction of branches that are taken.
+const TAKEN_FRAC: Elem = 0.55;
+
+/// Sustainable instructions fetched per cycle, accounting for the fetch
+/// buffer width, fetch-queue smoothing, and taken-branch fragmentation.
+pub fn fetch_supply(
+    config: &CpuConfig,
+    workload: &WorkloadProfile,
+    branch: &BranchModel,
+    cache: &CacheModel,
+) -> Elem {
+    let width = config.pipeline_width as Elem;
+
+    // Raw fetch bandwidth: bytes per cycle from the fetch buffer.
+    let raw = config.fetch_buffer_bytes as Elem / INST_BYTES;
+
+    // A shallow fetch queue cannot decouple fetch from decode stalls; its
+    // smoothing benefit saturates once it covers a few cycles of the
+    // machine width.
+    let fq = config.fetch_queue_uops as Elem;
+    let smoothing = fq / (fq + 1.5 * width);
+
+    // Taken branches fragment fetch lines: everything after the branch in
+    // the fetch block is discarded, and BTB misses add a bubble.
+    let taken_per_inst = workload.frac_branch * TAKEN_FRAC;
+    let fragmentation = 1.0 / (1.0 + taken_per_inst * (raw / 2.0) * 0.25);
+    let btb_bubbles = 1.0 / (1.0 + taken_per_inst * branch.btb_miss_rate * 2.0);
+
+    // Instruction-cache misses starve fetch directly.
+    let icache_stall = 1.0 / (1.0 + cache.l1i_miss_rate * cache.l2_latency);
+
+    (raw * smoothing * fragmentation * btb_bubbles * icache_stall).min(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_space::{ConfigPoint, DesignSpace};
+    use crate::workload::WorkloadProfileBuilder;
+    use crate::{branch, cache};
+
+    fn parts(
+        mutate: impl FnOnce(&mut CpuConfig),
+    ) -> (CpuConfig, WorkloadProfile, BranchModel, CacheModel) {
+        let ds = DesignSpace::new();
+        let mid = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        let mut c = ds.config(&mid);
+        mutate(&mut c);
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let b = branch::evaluate(&c, &w);
+        let k = cache::evaluate(&c, &w);
+        (c, w, b, k)
+    }
+
+    #[test]
+    fn supply_never_exceeds_width() {
+        let (c, w, b, k) = parts(|c| {
+            c.pipeline_width = 2;
+            c.fetch_buffer_bytes = 64;
+            c.fetch_queue_uops = 48;
+        });
+        assert!(fetch_supply(&c, &w, &b, &k) <= 2.0);
+    }
+
+    #[test]
+    fn bigger_fetch_buffer_increases_supply() {
+        let (c16, w, b, k) = parts(|c| c.fetch_buffer_bytes = 16);
+        let (c64, _, _, _) = parts(|c| c.fetch_buffer_bytes = 64);
+        let s16 = fetch_supply(&c16, &w, &b, &k);
+        let s64 = fetch_supply(&c64, &w, &b, &k);
+        assert!(s64 > s16, "{s64} !> {s16}");
+    }
+
+    #[test]
+    fn deeper_fetch_queue_increases_supply() {
+        let (c8, w, b, k) = parts(|c| c.fetch_queue_uops = 8);
+        let (c48, _, _, _) = parts(|c| c.fetch_queue_uops = 48);
+        let s8 = fetch_supply(&c8, &w, &b, &k);
+        let s48 = fetch_supply(&c48, &w, &b, &k);
+        assert!(s48 > s8, "{s48} !> {s8}");
+    }
+
+    #[test]
+    fn supply_is_positive_everywhere() {
+        use rand::Rng;
+        let ds = DesignSpace::new();
+        let mut rng = rand::rngs::mock::StepRng::new(11, 6364136223846793005);
+        for _ in 0..100 {
+            let c = ds.config(&ds.random_point(&mut rng));
+            let w = WorkloadProfileBuilder::new("w")
+                .branch_behavior(rng.gen_range(0.0..1.0), rng.gen_range(0.0..0.4), 16.0)
+                .build()
+                .unwrap();
+            let b = branch::evaluate(&c, &w);
+            let k = cache::evaluate(&c, &w);
+            let s = fetch_supply(&c, &w, &b, &k);
+            assert!(s > 0.0 && s <= c.pipeline_width as f64);
+        }
+    }
+}

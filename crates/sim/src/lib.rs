@@ -1,0 +1,52 @@
+//! # metadse-sim
+//!
+//! Analytical out-of-order CPU performance and power model over the
+//! 21-parameter design space of the MetaDSE paper (Table I). This crate is
+//! the reproduction's substitute for **gem5 + McPAT**: given a
+//! [`CpuConfig`] (a design point) and a [`WorkloadProfile`] (behavioural
+//! statistics standing in for a SPEC CPU 2017 binary), it returns IPC and
+//! power labels in microseconds instead of hours.
+//!
+//! The performance model follows the mechanistic *interval analysis*
+//! tradition: steady-state issue between miss events, with explicit branch
+//! and memory penalty terms ([`pipeline`]); the power model follows McPAT's
+//! per-structure area/energy decomposition with DVFS voltage scaling
+//! ([`power`]). Model components are individually exposed and tested for
+//! the architectural monotonicities one expects (more cache → fewer misses,
+//! wider pipeline → no IPC loss, higher frequency → superlinear power).
+//!
+//! # Example
+//!
+//! ```
+//! use metadse_sim::{DesignSpace, Simulator, WorkloadProfileBuilder};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let space = DesignSpace::new();
+//! let simulator = Simulator::new();
+//! let workload = WorkloadProfileBuilder::new("kernel").build()?;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let point = space.random_point(&mut rng);
+//! let out = simulator.simulate_point(&space, &point, &workload);
+//! println!("IPC = {:.3}, power = {:.2} W", out.ipc, out.power_w);
+//! # Ok::<(), metadse_sim::ProfileError>(())
+//! ```
+
+pub mod backend;
+pub mod branch;
+pub mod cache;
+pub mod design_space;
+pub mod frontend;
+pub mod pipeline;
+pub mod power;
+pub mod simulator;
+pub mod workload;
+
+pub use design_space::{
+    BranchPredictorKind, ConfigPoint, CpuConfig, DesignSpace, ParamId, ParamSpec,
+};
+pub use simulator::{SimOutput, Simulator};
+pub use workload::{ProfileError, WorkloadProfile, WorkloadProfileBuilder};
+
+/// Scalar type used by the simulator (matches `metadse_nn::Elem`).
+pub type Elem = f64;

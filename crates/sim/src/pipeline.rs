@@ -1,0 +1,220 @@
+//! Interval-analysis performance model.
+//!
+//! Combines frontend supply, backend structural ceilings, branch flushes,
+//! and memory stalls into an IPC estimate, in the spirit of Eyerman et
+//! al.'s mechanistic interval model: the machine streams at its steady-state
+//! rate between *miss events*, and each event charges a penalty.
+
+use crate::backend::BackendModel;
+use crate::branch::BranchModel;
+use crate::cache::CacheModel;
+use crate::design_space::CpuConfig;
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// CPI decomposition produced by the interval model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineModel {
+    /// Steady-state IPC between miss events.
+    pub steady_ipc: Elem,
+    /// CPI contribution of the base pipeline.
+    pub cpi_base: Elem,
+    /// CPI contribution of branch mispredictions.
+    pub cpi_branch: Elem,
+    /// CPI contribution of data-memory stalls.
+    pub cpi_memory: Elem,
+    /// Final instructions per cycle.
+    pub ipc: Elem,
+}
+
+/// Evaluates the interval model.
+pub fn evaluate(
+    config: &CpuConfig,
+    workload: &WorkloadProfile,
+    branch: &BranchModel,
+    cache: &CacheModel,
+    backend: &BackendModel,
+    fetch_supply: Elem,
+) -> PipelineModel {
+    let width = config.pipeline_width as Elem;
+
+    // Steady-state issue rate: the tightest of dispatch width, fetch
+    // supply, inherent ILP, and structural ceilings.
+    let steady_ipc = width
+        .min(fetch_supply)
+        .min(workload.ilp)
+        .min(backend.ipc_ceiling())
+        .max(0.05);
+    let cpi_base = 1.0 / steady_ipc;
+
+    // Branch component: mispredictions per instruction times flush penalty.
+    let mispredicts_per_inst = workload.frac_branch * branch.mispredict_rate;
+    let cpi_branch = mispredicts_per_inst * branch.penalty_cycles;
+
+    // Memory component: serial miss cycles per access, overlapped by the
+    // achievable memory-level parallelism. A larger window and LSQ expose
+    // more of the workload's inherent MLP.
+    let window_mlp = 1.0 + backend.effective_window / 28.0;
+    let lsq_mlp = 1.0 + config.load_store_queue as Elem / 7.0;
+    let mlp_eff = workload.mlp.min(window_mlp).min(lsq_mlp).max(1.0);
+    // The out-of-order window hides a slice of the L2 hit latency
+    // entirely; DRAM latency is only overlapped, not hidden.
+    let l2_component = cache.l1d_miss_rate * cache.l2_latency * 0.7;
+    let dram_component = cache.l1d_miss_rate * cache.l2_miss_rate * cache.dram_latency;
+    let stall_per_access = (l2_component + dram_component) / mlp_eff;
+    let cpi_memory = workload.frac_mem() * stall_per_access;
+
+    let cpi = cpi_base + cpi_branch + cpi_memory;
+    let ipc = (1.0 / cpi).min(width);
+
+    PipelineModel {
+        steady_ipc,
+        cpi_base,
+        cpi_branch,
+        cpi_memory,
+        ipc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_space::{ConfigPoint, DesignSpace};
+    use crate::workload::{WorkloadProfile, WorkloadProfileBuilder};
+    use crate::{backend, branch, cache, frontend};
+
+    fn run(c: &CpuConfig, w: &WorkloadProfile) -> PipelineModel {
+        let b = branch::evaluate(c, w);
+        let k = cache::evaluate(c, w);
+        let be = backend::evaluate(c, w);
+        let fs = frontend::fetch_supply(c, w, &b, &k);
+        evaluate(c, w, &b, &k, &be, fs)
+    }
+
+    fn mid_config() -> CpuConfig {
+        let ds = DesignSpace::new();
+        let mid = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        ds.config(&mid)
+    }
+
+    #[test]
+    fn ipc_is_bounded_by_width() {
+        use rand::Rng;
+        let ds = DesignSpace::new();
+        let mut rng = rand::rngs::mock::StepRng::new(17, 0x9E3779B97F4A7C15);
+        for _ in 0..300 {
+            let c = ds.config(&ds.random_point(&mut rng));
+            let w = WorkloadProfileBuilder::new("w")
+                .branch_behavior(rng.gen_range(0.0..1.0), 0.1, 16.0)
+                .memory_behavior(
+                    rng.gen_range(4.0..512.0),
+                    rng.gen_range(64.0..8192.0),
+                    32.0,
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..0.8),
+                )
+                .parallelism(rng.gen_range(1.0..8.0), rng.gen_range(1.0..8.0))
+                .build()
+                .unwrap();
+            let m = run(&c, &w);
+            assert!(m.ipc > 0.0 && m.ipc <= c.pipeline_width as f64);
+            assert!(m.cpi_base > 0.0 && m.cpi_branch >= 0.0 && m.cpi_memory >= 0.0);
+        }
+    }
+
+    #[test]
+    fn wider_pipeline_helps_high_ilp_code() {
+        let w = WorkloadProfileBuilder::new("w")
+            .parallelism(7.0, 4.0)
+            .memory_behavior(8.0, 64.0, 16.0, 0.9, 0.05)
+            .branch_behavior(0.1, 0.02, 8.0)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.fetch_buffer_bytes = 64;
+        c.fetch_queue_uops = 48;
+        c.rob_size = 256;
+        c.inst_queue = 80;
+        c.int_regfile = 256;
+        c.pipeline_width = 2;
+        let narrow = run(&c, &w).ipc;
+        c.pipeline_width = 8;
+        let wide = run(&c, &w).ipc;
+        assert!(wide > narrow * 1.5, "wide {wide} vs narrow {narrow}");
+    }
+
+    #[test]
+    fn width_wasted_on_memory_bound_code() {
+        let w = WorkloadProfileBuilder::new("mcf-like")
+            .mix(0.28, 0.02, 0.0, 0.0, 0.35, 0.12, 0.23)
+            .parallelism(1.4, 2.0)
+            .memory_behavior(256.0, 8192.0, 24.0, 0.1, 0.3)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.pipeline_width = 2;
+        let narrow = run(&c, &w).ipc;
+        c.pipeline_width = 12;
+        let wide = run(&c, &w).ipc;
+        assert!(
+            wide < narrow * 1.3,
+            "memory-bound code should barely benefit: {narrow} -> {wide}"
+        );
+    }
+
+    #[test]
+    fn higher_frequency_lowers_ipc_of_memory_bound_code() {
+        // Same nanoseconds of DRAM cost more cycles at 3 GHz.
+        let w = WorkloadProfileBuilder::new("mem")
+            .memory_behavior(256.0, 8192.0, 24.0, 0.2, 0.5)
+            .parallelism(2.0, 2.0)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.core_freq_ghz = 1.0;
+        let slow = run(&c, &w).ipc;
+        c.core_freq_ghz = 3.0;
+        let fast = run(&c, &w).ipc;
+        assert!(fast < slow, "{fast} !< {slow}");
+    }
+
+    #[test]
+    fn frequency_neutral_for_cache_resident_code() {
+        let w = WorkloadProfileBuilder::new("cpu")
+            .memory_behavior(4.0, 32.0, 8.0, 0.9, 0.0)
+            .parallelism(4.0, 4.0)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.core_freq_ghz = 1.0;
+        let slow = run(&c, &w).ipc;
+        c.core_freq_ghz = 3.0;
+        let fast = run(&c, &w).ipc;
+        assert!((slow - fast).abs() / slow < 0.02, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn rob_helps_memory_bound_code_via_mlp() {
+        let w = WorkloadProfileBuilder::new("mem")
+            .memory_behavior(256.0, 8192.0, 24.0, 0.3, 0.4)
+            .parallelism(2.5, 6.0)
+            .build()
+            .unwrap();
+        let mut c = mid_config();
+        c.load_store_queue = 48;
+        c.rob_size = 32;
+        let small = run(&c, &w).ipc;
+        c.rob_size = 256;
+        let big = run(&c, &w).ipc;
+        assert!(big > small * 1.1, "{big} vs {small}");
+    }
+
+    #[test]
+    fn cpi_components_decompose() {
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let c = mid_config();
+        let m = run(&c, &w);
+        let total = m.cpi_base + m.cpi_branch + m.cpi_memory;
+        assert!((1.0 / total - m.ipc).abs() < 1e-9 || m.ipc == c.pipeline_width as f64);
+    }
+}

@@ -1,0 +1,223 @@
+//! McPAT-style area, energy, and power model.
+//!
+//! Follows McPAT's decomposition: per-structure area estimates, dynamic
+//! energy per access scaling with structure size, activity factors from the
+//! instruction mix and achieved IPC, and leakage proportional to area —
+//! with voltage tied to the frequency operating point.
+
+use crate::cache::CacheModel;
+use crate::design_space::CpuConfig;
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// Area and power breakdown for a configuration at a given activity level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Total core area in mm² (22 nm-ish scaling, indicative only).
+    pub area_mm2: Elem,
+    /// Dynamic power in watts.
+    pub dynamic_w: Elem,
+    /// Leakage power in watts.
+    pub leakage_w: Elem,
+    /// Total power in watts.
+    pub total_w: Elem,
+    /// Supply voltage at the operating point, volts.
+    pub vdd: Elem,
+}
+
+/// Supply voltage required for a target frequency (simple DVFS curve).
+pub fn vdd_for_frequency(freq_ghz: Elem) -> Elem {
+    0.62 + 0.115 * (freq_ghz - 1.0).max(0.0) + 0.012 * (freq_ghz - 1.0).max(0.0).powi(2)
+}
+
+/// Core area estimate in mm².
+pub fn area_mm2(config: &CpuConfig) -> Elem {
+    let w = config.pipeline_width as Elem;
+    // SRAM-like arrays: area roughly linear in capacity, with an
+    // associativity tax on the caches and a port tax that grows with width.
+    let port_tax = 1.0 + 0.08 * (w - 1.0);
+    let l1 = 2.0 * 0.030 * config.l1_cache_kb as Elem * (1.0 + 0.06 * config.l1_assoc as Elem);
+    let l2 = 0.016 * config.l2_cache_kb as Elem * (1.0 + 0.04 * config.l2_assoc as Elem);
+    let rob = 0.0045 * config.rob_size as Elem * port_tax;
+    let iq = 0.0085 * config.inst_queue as Elem * port_tax; // CAM is expensive
+    let lsq = 0.0095 * config.load_store_queue as Elem * port_tax;
+    let rf = 0.0022 * (config.int_regfile + config.fp_regfile) as Elem * port_tax;
+    let btb = 0.00045 * config.btb_size as Elem;
+    let ras = 0.002 * config.ras_size as Elem;
+    let fetch = 0.004 * config.fetch_buffer_bytes as Elem / 16.0
+        + 0.003 * config.fetch_queue_uops as Elem;
+    // Functional units.
+    let fus = 0.28 * config.int_alu as Elem
+        + 0.85 * config.int_mult_div as Elem
+        + 1.10 * config.fp_alu as Elem
+        + 1.65 * config.fp_mult_div as Elem;
+    // Rename, bypass network, and control scale superlinearly with width.
+    let fabric = 0.55 * w.powf(1.55);
+    l1 + l2 + rob + iq + lsq + rf + btb + ras + fetch + fus + fabric
+}
+
+/// Dynamic energy per access of an SRAM array of the given capacity
+/// (nanojoules; square-root capacity scaling as in CACTI/McPAT fits).
+fn array_energy_nj(capacity: Elem) -> Elem {
+    0.011 * capacity.sqrt()
+}
+
+/// Evaluates power at the activity level implied by `ipc`.
+pub fn evaluate(
+    config: &CpuConfig,
+    workload: &WorkloadProfile,
+    cache: &CacheModel,
+    ipc: Elem,
+) -> PowerModel {
+    let vdd = vdd_for_frequency(config.core_freq_ghz);
+    let v_sq = (vdd / 0.9) * (vdd / 0.9);
+    let area = area_mm2(config);
+
+    // --- Energy per instruction (nJ) ---
+    // Frontend: I-cache read amortized over the fetch block, BTB/predictor
+    // lookup per instruction.
+    let e_icache = array_energy_nj(config.l1_cache_kb as Elem * 1024.0)
+        / (config.fetch_buffer_bytes as Elem / 4.0);
+    let e_btb = 0.3 * array_energy_nj(config.btb_size as Elem * 8.0);
+    // Core: rename/ROB/IQ writes for every instruction; wakeup/select grows
+    // with queue size and width.
+    let e_rob = array_energy_nj(config.rob_size as Elem * 16.0);
+    let e_iq = 1.6 * array_energy_nj(config.inst_queue as Elem * 12.0);
+    let e_rf = array_energy_nj((config.int_regfile + config.fp_regfile) as Elem * 8.0)
+        * (1.0 + 0.05 * config.pipeline_width as Elem);
+    // Memory instructions: D-cache + LSQ search; misses add L2/DRAM energy.
+    let e_dcache = array_energy_nj(config.l1_cache_kb as Elem * 1024.0)
+        * (1.0 + 0.1 * config.l1_assoc as Elem);
+    let e_lsq = 1.3 * array_energy_nj(config.load_store_queue as Elem * 16.0);
+    let e_l2 = array_energy_nj(config.l2_cache_kb as Elem * 1024.0)
+        * (1.0 + 0.05 * config.l2_assoc as Elem);
+    let e_dram = 18.0; // off-chip access, fixed per event
+    // Execution: per-class op energies.
+    let e_ops = workload.frac_int_alu * 0.12
+        + workload.frac_int_mul * 0.65
+        + workload.frac_fp_alu * 0.55
+        + workload.frac_fp_mul * 1.05;
+
+    let per_inst = e_icache
+        + e_btb * (workload.frac_branch + 0.1)
+        + e_rob
+        + e_iq
+        + e_rf
+        + e_ops
+        + workload.frac_mem() * (e_dcache + e_lsq)
+        + workload.frac_mem() * cache.l1d_miss_rate * e_l2
+        + workload.frac_mem() * cache.l1d_miss_rate * cache.l2_miss_rate * e_dram;
+
+    // nJ/inst × inst/cycle × Gcycle/s = W, scaled by V².
+    let dynamic_w = per_inst * ipc * config.core_freq_ghz * v_sq;
+
+    // Idle structures still clock: charge a width-dependent floor.
+    let clock_w = 0.06 * config.pipeline_width as Elem * config.core_freq_ghz * v_sq;
+
+    // Leakage: proportional to area and supply voltage.
+    let leakage_w = 0.052 * area * (vdd / 0.9);
+
+    let total_w = dynamic_w + clock_w + leakage_w;
+    PowerModel {
+        area_mm2: area,
+        dynamic_w: dynamic_w + clock_w,
+        leakage_w,
+        total_w,
+        vdd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_space::{ConfigPoint, DesignSpace};
+    use crate::workload::WorkloadProfileBuilder;
+    use crate::cache;
+
+    fn mid_config() -> CpuConfig {
+        let ds = DesignSpace::new();
+        let mid = ConfigPoint::new(ds.specs().iter().map(|s| s.cardinality() / 2).collect());
+        ds.config(&mid)
+    }
+
+    fn power_of(c: &CpuConfig, ipc: f64) -> PowerModel {
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let k = cache::evaluate(c, &w);
+        evaluate(c, &w, &k, ipc)
+    }
+
+    #[test]
+    fn vdd_increases_with_frequency() {
+        assert!(vdd_for_frequency(3.0) > vdd_for_frequency(1.0));
+        assert!(vdd_for_frequency(1.0) >= 0.6);
+        assert!(vdd_for_frequency(3.0) < 1.1);
+    }
+
+    #[test]
+    fn power_grows_superlinearly_with_frequency() {
+        let mut c = mid_config();
+        c.core_freq_ghz = 1.0;
+        let p1 = power_of(&c, 1.5).total_w;
+        c.core_freq_ghz = 3.0;
+        let p3 = power_of(&c, 1.5).total_w;
+        assert!(p3 > 3.0 * p1, "p3 {p3} should exceed 3x p1 {p1} (V² scaling)");
+    }
+
+    #[test]
+    fn power_grows_with_activity() {
+        let c = mid_config();
+        assert!(power_of(&c, 3.0).total_w > power_of(&c, 0.5).total_w);
+    }
+
+    #[test]
+    fn area_grows_with_every_major_structure() {
+        let mut base = mid_config();
+        base.rob_size = 64;
+        base.l1_cache_kb = 16;
+        base.l2_cache_kb = 128;
+        base.pipeline_width = 4;
+        base.fp_mult_div = 1;
+        base.int_regfile = 96;
+        let a0 = area_mm2(&base);
+        let grow = |f: &dyn Fn(&mut CpuConfig)| {
+            let mut c = base;
+            f(&mut c);
+            area_mm2(&c)
+        };
+        assert!(grow(&|c| c.rob_size = 256) > a0);
+        assert!(grow(&|c| c.l1_cache_kb = 64) > a0);
+        assert!(grow(&|c| c.l2_cache_kb = 256) > a0);
+        assert!(grow(&|c| c.pipeline_width = 12) > a0);
+        assert!(grow(&|c| c.fp_mult_div = 4) > a0);
+        assert!(grow(&|c| c.int_regfile = 256) > a0);
+    }
+
+    #[test]
+    fn leakage_tracks_area() {
+        let mut small = mid_config();
+        small.l2_cache_kb = 128;
+        small.rob_size = 32;
+        let mut big = small;
+        big.l2_cache_kb = 256;
+        big.rob_size = 256;
+        assert!(power_of(&big, 1.0).leakage_w > power_of(&small, 1.0).leakage_w);
+    }
+
+    #[test]
+    fn power_in_plausible_watt_range() {
+        use rand::Rng;
+        let ds = DesignSpace::new();
+        let mut rng = rand::rngs::mock::StepRng::new(23, 0x2545F4914F6CDD1D);
+        for _ in 0..200 {
+            let c = ds.config(&ds.random_point(&mut rng));
+            let ipc = rng.gen_range(0.2..4.0);
+            let p = power_of(&c, ipc);
+            assert!(
+                p.total_w > 0.3 && p.total_w < 120.0,
+                "power {} out of plausible range",
+                p.total_w
+            );
+            assert!(p.area_mm2 > 1.0 && p.area_mm2 < 120.0);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Top-level simulator façade.
+//!
+//! [`Simulator::simulate`] composes the branch, cache, frontend, backend,
+//! pipeline, and power models into the (IPC, power) labels used throughout
+//! the MetaDSE reproduction — the role gem5 + McPAT play in the paper.
+
+use crate::backend;
+use crate::branch;
+use crate::cache;
+use crate::design_space::{ConfigPoint, CpuConfig, DesignSpace};
+use crate::frontend;
+use crate::pipeline;
+use crate::power;
+use crate::workload::WorkloadProfile;
+use crate::Elem;
+
+/// Full observable output of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutput {
+    /// Instructions per cycle.
+    pub ipc: Elem,
+    /// Total core power in watts.
+    pub power_w: Elem,
+    /// Core area in mm².
+    pub area_mm2: Elem,
+    /// L1 data miss rate (per access).
+    pub l1d_miss_rate: Elem,
+    /// L2 miss rate (per L2 access).
+    pub l2_miss_rate: Elem,
+    /// Branch misprediction rate (per branch).
+    pub branch_mispredict_rate: Elem,
+    /// CPI share of the base pipeline.
+    pub cpi_base: Elem,
+    /// CPI share of branch flushes.
+    pub cpi_branch: Elem,
+    /// CPI share of memory stalls.
+    pub cpi_memory: Elem,
+}
+
+/// The analytical out-of-order CPU simulator.
+///
+/// # Example
+///
+/// ```
+/// use metadse_sim::{DesignSpace, Simulator, WorkloadProfileBuilder};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let space = DesignSpace::new();
+/// let sim = Simulator::new();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let point = space.random_point(&mut rng);
+/// let workload = WorkloadProfileBuilder::new("demo").build()?;
+/// let out = sim.simulate_point(&space, &point, &workload);
+/// assert!(out.ipc > 0.0 && out.power_w > 0.0);
+/// # Ok::<(), metadse_sim::ProfileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulator {
+    /// Amplitude of the deterministic modeling-residue perturbation.
+    noise_amplitude: Elem,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Simulator with the default ±1.5% deterministic residue.
+    pub fn new() -> Simulator {
+        Simulator {
+            noise_amplitude: 0.015,
+        }
+    }
+
+    /// Simulator with a custom residue amplitude (0 disables it); useful
+    /// for tests that check exact analytical properties.
+    pub fn with_noise(noise_amplitude: Elem) -> Simulator {
+        assert!((0.0..0.5).contains(&noise_amplitude), "amplitude out of range");
+        Simulator { noise_amplitude }
+    }
+
+    /// Simulates a materialized configuration under `workload`.
+    pub fn simulate(&self, config: &CpuConfig, workload: &WorkloadProfile) -> SimOutput {
+        let branch_model = branch::evaluate(config, workload);
+        let cache_model = cache::evaluate(config, workload);
+        let backend_model = backend::evaluate(config, workload);
+        let supply = frontend::fetch_supply(config, workload, &branch_model, &cache_model);
+        let pipe = pipeline::evaluate(
+            config,
+            workload,
+            &branch_model,
+            &cache_model,
+            &backend_model,
+            supply,
+        );
+
+        // Deterministic residue: stands in for the cycle-level effects an
+        // analytical model cannot express. Keyed on (config, workload) so
+        // repeated simulations are reproducible, as gem5's are.
+        let jitter = self.jitter(config, workload);
+        let ipc = (pipe.ipc * (1.0 + jitter)).min(config.pipeline_width as Elem);
+
+        let power_model = power::evaluate(config, workload, &cache_model, ipc);
+        let power_w = power_model.total_w * (1.0 + 0.6 * jitter);
+
+        SimOutput {
+            ipc,
+            power_w,
+            area_mm2: power_model.area_mm2,
+            l1d_miss_rate: cache_model.l1d_miss_rate,
+            l2_miss_rate: cache_model.l2_miss_rate,
+            branch_mispredict_rate: branch_model.mispredict_rate,
+            cpi_base: pipe.cpi_base,
+            cpi_branch: pipe.cpi_branch,
+            cpi_memory: pipe.cpi_memory,
+        }
+    }
+
+    /// Simulates a design point of `space` (decode + simulate).
+    pub fn simulate_point(
+        &self,
+        space: &DesignSpace,
+        point: &ConfigPoint,
+        workload: &WorkloadProfile,
+    ) -> SimOutput {
+        self.simulate(&space.config(point), workload)
+    }
+
+    /// Deterministic perturbation in `[-amplitude, amplitude]` keyed on the
+    /// configuration and workload identity (FNV-1a over their bits).
+    fn jitter(&self, config: &CpuConfig, workload: &WorkloadProfile) -> Elem {
+        if self.noise_amplitude == 0.0 {
+            return 0.0;
+        }
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(workload.name.as_bytes());
+        for v in [
+            config.core_freq_ghz,
+            config.pipeline_width as Elem,
+            config.fetch_buffer_bytes as Elem,
+            config.fetch_queue_uops as Elem,
+            match config.branch_predictor {
+                crate::design_space::BranchPredictorKind::BiMode => 0.0,
+                crate::design_space::BranchPredictorKind::Tournament => 1.0,
+            },
+            config.ras_size as Elem,
+            config.btb_size as Elem,
+            config.rob_size as Elem,
+            config.int_regfile as Elem,
+            config.fp_regfile as Elem,
+            config.inst_queue as Elem,
+            config.load_store_queue as Elem,
+            config.int_alu as Elem,
+            config.int_mult_div as Elem,
+            config.fp_alu as Elem,
+            config.fp_mult_div as Elem,
+            config.cacheline_bytes as Elem,
+            config.l1_cache_kb as Elem,
+            config.l1_assoc as Elem,
+            config.l2_cache_kb as Elem,
+            config.l2_assoc as Elem,
+            workload.branch_entropy,
+            workload.data_ws_l1_kb,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        // Map to [-1, 1).
+        let unit = (hash >> 11) as Elem / (1u64 << 53) as Elem * 2.0 - 1.0;
+        unit * self.noise_amplitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadProfileBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let space = DesignSpace::new();
+        let sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = space.random_point(&mut rng);
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let a = sim.simulate_point(&space, &p, &w);
+        let b = sim.simulate_point(&space, &p, &w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_workloads_get_different_labels() {
+        let space = DesignSpace::new();
+        let sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = space.random_point(&mut rng);
+        let a = WorkloadProfileBuilder::new("a").build().unwrap();
+        let b = WorkloadProfileBuilder::new("b")
+            .memory_behavior(256.0, 8192.0, 24.0, 0.1, 0.5)
+            .parallelism(1.3, 1.5)
+            .build()
+            .unwrap();
+        let oa = sim.simulate_point(&space, &p, &a);
+        let ob = sim.simulate_point(&space, &p, &b);
+        assert!((oa.ipc - ob.ipc).abs() > 1e-3);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_stable() {
+        let space = DesignSpace::new();
+        let noisy = Simulator::new();
+        let clean = Simulator::with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        for _ in 0..100 {
+            let p = space.random_point(&mut rng);
+            let on = noisy.simulate_point(&space, &p, &w);
+            let oc = clean.simulate_point(&space, &p, &w);
+            let rel = (on.ipc - oc.ipc).abs() / oc.ipc;
+            assert!(rel <= 0.016, "relative jitter {rel} out of bounds");
+        }
+    }
+
+    #[test]
+    fn outputs_have_plausible_ranges() {
+        let space = DesignSpace::new();
+        let sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = WorkloadProfileBuilder::new("w").build().unwrap();
+        let mut ipc_lo = f64::INFINITY;
+        let mut ipc_hi = 0.0_f64;
+        for _ in 0..300 {
+            let p = space.random_point(&mut rng);
+            let o = sim.simulate_point(&space, &p, &w);
+            assert!(o.ipc > 0.0 && o.ipc <= 12.0);
+            assert!(o.power_w > 0.0 && o.power_w < 150.0);
+            ipc_lo = ipc_lo.min(o.ipc);
+            ipc_hi = ipc_hi.max(o.ipc);
+        }
+        // The design space must produce a real spread, or DSE is trivial.
+        assert!(ipc_hi / ipc_lo > 1.8, "IPC spread too small: {ipc_lo}..{ipc_hi}");
+    }
+}

@@ -1,0 +1,329 @@
+//! Workload characterization.
+//!
+//! A [`WorkloadProfile`] is the analytical model's stand-in for a real
+//! benchmark binary: instead of executing instructions, the simulator
+//! consumes a vector of behavioural statistics (instruction mix, branch
+//! predictability, working-set sizes, inherent parallelism). The
+//! `metadse-workloads` crate builds one profile per SPEC CPU 2017 workload
+//! and perturbs it into SimPoint-style phases.
+
+use crate::Elem;
+
+/// Behavioural statistics describing one workload (or one SimPoint phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name, e.g. `605.mcf_s` or `605.mcf_s#phase3`.
+    pub name: String,
+    /// Fraction of simple integer ALU instructions.
+    pub frac_int_alu: Elem,
+    /// Fraction of integer multiply/divide instructions.
+    pub frac_int_mul: Elem,
+    /// Fraction of floating-point add/compare instructions.
+    pub frac_fp_alu: Elem,
+    /// Fraction of floating-point multiply/divide instructions.
+    pub frac_fp_mul: Elem,
+    /// Fraction of loads.
+    pub frac_load: Elem,
+    /// Fraction of stores.
+    pub frac_store: Elem,
+    /// Fraction of branches.
+    pub frac_branch: Elem,
+    /// Difficulty of branch prediction, 0 (trivial) .. 1 (chaotic).
+    pub branch_entropy: Elem,
+    /// Fraction of branches that are indirect (BTB pressure).
+    pub indirect_branch_frac: Elem,
+    /// Typical call nesting depth (return-address-stack pressure).
+    pub call_depth: Elem,
+    /// Primary data working set in KB (pressure on L1).
+    pub data_ws_l1_kb: Elem,
+    /// Secondary data working set in KB (pressure on L2).
+    pub data_ws_l2_kb: Elem,
+    /// Instruction footprint in KB (pressure on the I-cache).
+    pub code_footprint_kb: Elem,
+    /// Spatial locality, 0 (pointer chasing) .. 1 (streaming).
+    pub spatial_locality: Elem,
+    /// Inherent instruction-level parallelism (dependency-limited IPC).
+    pub ilp: Elem,
+    /// Inherent memory-level parallelism (overlappable misses).
+    pub mlp: Elem,
+    /// Fraction of L2 traffic that is streaming (bypasses to DRAM).
+    pub streaming: Elem,
+}
+
+impl WorkloadProfile {
+    /// Fraction of memory instructions (loads + stores).
+    pub fn frac_mem(&self) -> Elem {
+        self.frac_load + self.frac_store
+    }
+
+    /// Fraction of instructions writing an integer register
+    /// (integer ops and loads).
+    pub fn frac_int_writers(&self) -> Elem {
+        self.frac_int_alu + self.frac_int_mul + self.frac_load * 0.7
+    }
+
+    /// Fraction of instructions writing a floating-point register.
+    pub fn frac_fp_writers(&self) -> Elem {
+        self.frac_fp_alu + self.frac_fp_mul + self.frac_load * 0.3 * self.fp_share()
+    }
+
+    /// Share of compute that is floating point, in `[0, 1]`.
+    pub fn fp_share(&self) -> Elem {
+        let fp = self.frac_fp_alu + self.frac_fp_mul;
+        let int = self.frac_int_alu + self.frac_int_mul;
+        if fp + int == 0.0 {
+            0.0
+        } else {
+            fp / (fp + int)
+        }
+    }
+
+    /// Validates ranges and that the instruction mix sums to ~1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let mix = self.frac_int_alu
+            + self.frac_int_mul
+            + self.frac_fp_alu
+            + self.frac_fp_mul
+            + self.frac_load
+            + self.frac_store
+            + self.frac_branch;
+        if (mix - 1.0).abs() > 1e-6 {
+            return Err(ProfileError::new(format!(
+                "instruction mix of {:?} sums to {mix}, expected 1",
+                self.name
+            )));
+        }
+        let fractions = [
+            ("frac_int_alu", self.frac_int_alu),
+            ("frac_int_mul", self.frac_int_mul),
+            ("frac_fp_alu", self.frac_fp_alu),
+            ("frac_fp_mul", self.frac_fp_mul),
+            ("frac_load", self.frac_load),
+            ("frac_store", self.frac_store),
+            ("frac_branch", self.frac_branch),
+            ("branch_entropy", self.branch_entropy),
+            ("indirect_branch_frac", self.indirect_branch_frac),
+            ("spatial_locality", self.spatial_locality),
+            ("streaming", self.streaming),
+        ];
+        for (name, v) in fractions {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ProfileError::new(format!(
+                    "{name} = {v} of {:?} out of [0, 1]",
+                    self.name
+                )));
+            }
+        }
+        let positives = [
+            ("call_depth", self.call_depth),
+            ("data_ws_l1_kb", self.data_ws_l1_kb),
+            ("data_ws_l2_kb", self.data_ws_l2_kb),
+            ("code_footprint_kb", self.code_footprint_kb),
+            ("ilp", self.ilp),
+            ("mlp", self.mlp),
+        ];
+        for (name, v) in positives {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(ProfileError::new(format!(
+                    "{name} = {v} of {:?} must be positive and finite",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a workload profile violates its invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError {
+    message: String,
+}
+
+impl ProfileError {
+    fn new(message: String) -> ProfileError {
+        ProfileError { message }
+    }
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workload profile: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Non-consuming builder for [`WorkloadProfile`] with sane defaults
+/// (a balanced integer workload).
+///
+/// # Example
+///
+/// ```
+/// use metadse_sim::WorkloadProfileBuilder;
+///
+/// let profile = WorkloadProfileBuilder::new("pointer_chaser")
+///     .mix(0.30, 0.02, 0.0, 0.0, 0.33, 0.15, 0.20)
+///     .branch_behavior(0.8, 0.25, 24.0)
+///     .memory_behavior(192.0, 4096.0, 64.0, 0.15, 0.9)
+///     .parallelism(1.6, 1.8)
+///     .build()
+///     .expect("valid profile");
+/// assert!(profile.frac_mem() > 0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Starts from a balanced integer workload named `name`.
+    pub fn new(name: impl Into<String>) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.into(),
+                frac_int_alu: 0.45,
+                frac_int_mul: 0.03,
+                frac_fp_alu: 0.0,
+                frac_fp_mul: 0.0,
+                frac_load: 0.25,
+                frac_store: 0.10,
+                frac_branch: 0.17,
+                branch_entropy: 0.4,
+                indirect_branch_frac: 0.05,
+                call_depth: 12.0,
+                data_ws_l1_kb: 32.0,
+                data_ws_l2_kb: 512.0,
+                code_footprint_kb: 32.0,
+                spatial_locality: 0.6,
+                ilp: 2.5,
+                mlp: 3.0,
+                streaming: 0.2,
+            },
+        }
+    }
+
+    /// Sets the instruction mix
+    /// `(int_alu, int_mul, fp_alu, fp_mul, load, store, branch)`.
+    pub fn mix(
+        &mut self,
+        int_alu: Elem,
+        int_mul: Elem,
+        fp_alu: Elem,
+        fp_mul: Elem,
+        load: Elem,
+        store: Elem,
+        branch: Elem,
+    ) -> &mut Self {
+        self.profile.frac_int_alu = int_alu;
+        self.profile.frac_int_mul = int_mul;
+        self.profile.frac_fp_alu = fp_alu;
+        self.profile.frac_fp_mul = fp_mul;
+        self.profile.frac_load = load;
+        self.profile.frac_store = store;
+        self.profile.frac_branch = branch;
+        self
+    }
+
+    /// Sets `(branch_entropy, indirect_fraction, call_depth)`.
+    pub fn branch_behavior(&mut self, entropy: Elem, indirect: Elem, call_depth: Elem) -> &mut Self {
+        self.profile.branch_entropy = entropy;
+        self.profile.indirect_branch_frac = indirect;
+        self.profile.call_depth = call_depth;
+        self
+    }
+
+    /// Sets `(l1_ws_kb, l2_ws_kb, code_kb, spatial_locality, streaming)`.
+    pub fn memory_behavior(
+        &mut self,
+        l1_ws_kb: Elem,
+        l2_ws_kb: Elem,
+        code_kb: Elem,
+        spatial_locality: Elem,
+        streaming: Elem,
+    ) -> &mut Self {
+        self.profile.data_ws_l1_kb = l1_ws_kb;
+        self.profile.data_ws_l2_kb = l2_ws_kb;
+        self.profile.code_footprint_kb = code_kb;
+        self.profile.spatial_locality = spatial_locality;
+        self.profile.streaming = streaming;
+        self
+    }
+
+    /// Sets `(ilp, mlp)`.
+    pub fn parallelism(&mut self, ilp: Elem, mlp: Elem) -> &mut Self {
+        self.profile.ilp = ilp;
+        self.profile.mlp = mlp;
+        self
+    }
+
+    /// Renames the profile (used when deriving phases).
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.profile.name = name.into();
+        self
+    }
+
+    /// Validates and returns the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] when any invariant is violated.
+    pub fn build(&self) -> Result<WorkloadProfile, ProfileError> {
+        self.profile.validate()?;
+        Ok(self.profile.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_valid() {
+        let p = WorkloadProfileBuilder::new("w").build().unwrap();
+        assert_eq!(p.name, "w");
+        assert!((p.frac_mem() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_must_sum_to_one() {
+        let err = WorkloadProfileBuilder::new("bad")
+            .mix(0.5, 0.0, 0.0, 0.0, 0.1, 0.1, 0.1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sums to"));
+    }
+
+    #[test]
+    fn out_of_range_fraction_rejected() {
+        let err = WorkloadProfileBuilder::new("bad")
+            .branch_behavior(1.5, 0.0, 8.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("branch_entropy"));
+    }
+
+    #[test]
+    fn nonpositive_working_set_rejected() {
+        let err = WorkloadProfileBuilder::new("bad")
+            .memory_behavior(0.0, 100.0, 10.0, 0.5, 0.1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("data_ws_l1_kb"));
+    }
+
+    #[test]
+    fn fp_share_reflects_mix() {
+        let int = WorkloadProfileBuilder::new("int").build().unwrap();
+        assert_eq!(int.fp_share(), 0.0);
+        let fp = WorkloadProfileBuilder::new("fp")
+            .mix(0.10, 0.02, 0.30, 0.18, 0.20, 0.10, 0.10)
+            .build()
+            .unwrap();
+        assert!(fp.fp_share() > 0.7);
+    }
+}

@@ -1,0 +1,42 @@
+//! # metadse-workloads
+//!
+//! Synthetic SPEC CPU 2017 workloads and dataset machinery for the MetaDSE
+//! reproduction. This crate stands in for the paper's benchmark
+//! infrastructure:
+//!
+//! * [`SpecWorkload`] — hand-crafted behavioural profiles for all 20
+//!   speed-suite workloads, preserving the suite's diversity (pointer
+//!   chasers, interpreters, FP streaming kernels, …),
+//! * [`PhaseSet`] — SimPoint-style decomposition into at most 30 weighted
+//!   phases of ten million instructions,
+//! * [`Dataset`] — labeled (design point → IPC/power) rows produced by the
+//!   analytical simulator, with CSV round-tripping,
+//! * [`TaskSampler`] — few-shot support/query task sampling, the unit of
+//!   meta-learning,
+//! * [`WorkloadSplit`] — the paper's 7 train / 5 validation / 5 test
+//!   assignment (test = Table II's five workloads) and random re-splits.
+//!
+//! # Example
+//!
+//! ```
+//! use metadse_sim::{DesignSpace, Simulator};
+//! use metadse_workloads::{Dataset, Metric, SpecWorkload, TaskSampler};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let space = DesignSpace::new();
+//! let sim = Simulator::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = Dataset::generate(&space, &sim, SpecWorkload::Mcf605, 60, &mut rng);
+//! let task = TaskSampler::new(5, 45).sample(&data, Metric::Ipc, &mut rng);
+//! assert_eq!(task.support_size(), 5);
+//! ```
+
+pub mod dataset;
+pub mod phases;
+pub mod spec;
+pub mod tasks;
+
+pub use dataset::{Dataset, Metric, Sample};
+pub use phases::{Phase, PhaseSet, INSTRUCTIONS_PER_PHASE, MAX_PHASES};
+pub use spec::{SpecWorkload, WorkloadSplit};
+pub use tasks::{Task, TaskSampler};

@@ -1,0 +1,218 @@
+//! SimPoint-style phase decomposition.
+//!
+//! The paper evaluates each SPEC workload through SimPoints: at most 30
+//! representative clusters of ten million instructions each, weighted by
+//! how much of the execution they represent. Here phases are deterministic
+//! perturbations of a workload's base profile — program phases genuinely
+//! differ in mix, locality, and predictability, and the weighted
+//! aggregation over phases is what produces a workload's label.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use metadse_sim::{Elem, WorkloadProfile};
+
+use crate::spec::SpecWorkload;
+
+/// Number of instructions represented by one phase (ten million, as in the
+/// paper).
+pub const INSTRUCTIONS_PER_PHASE: u64 = 10_000_000;
+
+/// Maximum number of phases per workload (paper: "at most 30 clusters").
+pub const MAX_PHASES: usize = 30;
+
+/// One SimPoint phase: a perturbed profile plus its execution weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Behavioural profile of this phase.
+    pub profile: WorkloadProfile,
+    /// Fraction of the workload's execution this phase represents
+    /// (weights over a workload sum to 1).
+    pub weight: Elem,
+}
+
+/// The phase decomposition of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSet {
+    workload: SpecWorkload,
+    phases: Vec<Phase>,
+}
+
+impl PhaseSet {
+    /// Deterministically decomposes `workload` into SimPoint phases.
+    ///
+    /// Phase count (8..=30) and perturbations derive from a seed hashed
+    /// from the workload name, so every call returns identical phases —
+    /// matching how SimPoint clustering of a fixed binary is reproducible.
+    pub fn generate(workload: SpecWorkload) -> PhaseSet {
+        let base = workload.profile();
+        let mut rng = StdRng::seed_from_u64(name_seed(workload.name()));
+        let count = 8 + (rng.gen_range(0..=(MAX_PHASES - 8)));
+
+        // Execution weights: exponential draws normalized to 1 (a few hot
+        // phases dominating, as SimPoint typically finds).
+        let raw: Vec<Elem> = (0..count)
+            .map(|_| -(rng.gen_range(Elem::EPSILON..1.0)).ln())
+            .collect();
+        let total: Elem = raw.iter().sum();
+
+        let phases = raw
+            .into_iter()
+            .map(|w| Phase {
+                profile: perturb(&base, &mut rng),
+                weight: w / total,
+            })
+            .collect();
+        PhaseSet { workload, phases }
+    }
+
+    /// The workload these phases decompose.
+    pub fn workload(&self) -> SpecWorkload {
+        self.workload
+    }
+
+    /// The phases, hot weights first not guaranteed (SimPoint order).
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the set is empty (never true for generated sets).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+/// Multiplicative perturbation of the base profile (±15% on continuous
+/// behaviour, mix re-normalized), keeping every field in its legal range.
+fn perturb(base: &WorkloadProfile, rng: &mut StdRng) -> WorkloadProfile {
+    let mut p = base.clone();
+    let wiggle = |v: Elem, lo: Elem, hi: Elem, rng: &mut StdRng| -> Elem {
+        (v * rng.gen_range(0.85..1.15)).clamp(lo, hi)
+    };
+
+    // Instruction mix: perturb then renormalize.
+    let mut mix = [
+        p.frac_int_alu,
+        p.frac_int_mul,
+        p.frac_fp_alu,
+        p.frac_fp_mul,
+        p.frac_load,
+        p.frac_store,
+        p.frac_branch,
+    ];
+    for m in &mut mix {
+        *m *= rng.gen_range(0.85..1.15);
+    }
+    let total: Elem = mix.iter().sum();
+    for m in &mut mix {
+        *m /= total;
+    }
+    [
+        p.frac_int_alu,
+        p.frac_int_mul,
+        p.frac_fp_alu,
+        p.frac_fp_mul,
+        p.frac_load,
+        p.frac_store,
+        p.frac_branch,
+    ] = mix;
+
+    p.branch_entropy = wiggle(p.branch_entropy, 0.0, 1.0, rng);
+    p.indirect_branch_frac = wiggle(p.indirect_branch_frac, 0.0, 1.0, rng);
+    p.call_depth = wiggle(p.call_depth, 1.0, 128.0, rng);
+    p.data_ws_l1_kb = wiggle(p.data_ws_l1_kb, 1.0, 1024.0, rng);
+    p.data_ws_l2_kb = wiggle(p.data_ws_l2_kb, 8.0, 16384.0, rng);
+    p.code_footprint_kb = wiggle(p.code_footprint_kb, 1.0, 512.0, rng);
+    p.spatial_locality = wiggle(p.spatial_locality, 0.0, 1.0, rng);
+    p.ilp = wiggle(p.ilp, 1.0, 8.0, rng);
+    p.mlp = wiggle(p.mlp, 1.0, 8.0, rng);
+    p.streaming = wiggle(p.streaming, 0.0, 1.0, rng);
+    p
+}
+
+/// FNV-1a hash of a workload name, used as the phase seed.
+fn name_seed(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PhaseSet::generate(SpecWorkload::Mcf605);
+        let b = PhaseSet::generate(SpecWorkload::Mcf605);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_counts_within_simpoint_bounds() {
+        for w in SpecWorkload::ALL {
+            let set = PhaseSet::generate(w);
+            assert!(
+                (8..=MAX_PHASES).contains(&set.len()),
+                "{w} has {} phases",
+                set.len()
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for w in SpecWorkload::ALL {
+            let set = PhaseSet::generate(w);
+            let total: f64 = set.phases().iter().map(|p| p.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{w} weights sum to {total}");
+            assert!(set.phases().iter().all(|p| p.weight > 0.0));
+        }
+    }
+
+    #[test]
+    fn phases_are_valid_profiles() {
+        for w in SpecWorkload::ALL {
+            for phase in PhaseSet::generate(w).phases() {
+                assert!(
+                    phase.profile.validate().is_ok(),
+                    "{w} phase invalid: {:?}",
+                    phase.profile.validate()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phases_differ_from_base_but_stay_close() {
+        let base = SpecWorkload::Mcf605.profile();
+        let set = PhaseSet::generate(SpecWorkload::Mcf605);
+        let mut any_different = false;
+        for phase in set.phases() {
+            if (phase.profile.data_ws_l1_kb - base.data_ws_l1_kb).abs() > 1e-9 {
+                any_different = true;
+            }
+            // Perturbation is bounded: a phase cannot flip the workload's
+            // fundamental character.
+            assert!(phase.profile.data_ws_l1_kb > base.data_ws_l1_kb * 0.7);
+            assert!(phase.profile.data_ws_l1_kb < base.data_ws_l1_kb * 1.3);
+        }
+        assert!(any_different, "phases should not all equal the base profile");
+    }
+
+    #[test]
+    fn different_workloads_get_different_phase_structure() {
+        let a = PhaseSet::generate(SpecWorkload::Mcf605);
+        let b = PhaseSet::generate(SpecWorkload::Bwaves603);
+        assert_ne!(a.len(), 0);
+        assert!(a.len() != b.len() || a.phases()[0].weight != b.phases()[0].weight);
+    }
+}

@@ -1,0 +1,403 @@
+//! Synthetic profiles of the SPEC CPU 2017 speed suite.
+//!
+//! Real SPEC binaries are licensed and take days of simulation; each
+//! workload here is instead a hand-written behavioural profile whose
+//! characteristics echo the published analyses of the suite (instruction
+//! mixes, branch behaviour, memory-boundedness). What matters for
+//! reproducing MetaDSE is that the *diversity* of the suite is preserved:
+//! pointer-chasing `605.mcf_s` behaves nothing like streaming
+//! `603.bwaves_s`, which is exactly the cross-workload dissimilarity the
+//! paper's Fig. 2 motivates.
+
+use metadse_sim::{WorkloadProfile, WorkloadProfileBuilder};
+
+/// A SPEC CPU 2017 speed-suite workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(non_camel_case_types)]
+pub enum SpecWorkload {
+    /// 600.perlbench_s — Perl interpreter (indirect-branch heavy).
+    Perlbench600,
+    /// 602.gcc_s — C compiler (large code footprint, irregular).
+    Gcc602,
+    /// 605.mcf_s — vehicle scheduling (pointer-chasing, memory bound).
+    Mcf605,
+    /// 620.omnetpp_s — discrete event simulation (pointer heavy).
+    Omnetpp620,
+    /// 623.xalancbmk_s — XML transformation (virtual dispatch).
+    Xalancbmk623,
+    /// 625.x264_s — video encoding (high ILP, streaming).
+    X264_625,
+    /// 631.deepsjeng_s — chess search (hard branches).
+    Deepsjeng631,
+    /// 641.leela_s — Go engine (branchy, cache resident).
+    Leela641,
+    /// 648.exchange2_s — puzzle recursion (compute bound, deep calls).
+    Exchange2_648,
+    /// 657.xz_s — compression (data-dependent branches).
+    Xz657,
+    /// 603.bwaves_s — explicit fluid dynamics (FP streaming).
+    Bwaves603,
+    /// 607.cactuBSSN_s — numerical relativity stencil.
+    CactuBssn607,
+    /// 619.lbm_s — lattice Boltzmann (bandwidth bound).
+    Lbm619,
+    /// 621.wrf_s — weather model (mixed FP).
+    Wrf621,
+    /// 627.cam4_s — atmosphere model (big code, mixed FP).
+    Cam4_627,
+    /// 628.pop2_s — ocean model.
+    Pop2_628,
+    /// 638.imagick_s — image manipulation (compute bound FP).
+    Imagick638,
+    /// 644.nab_s — molecular dynamics (compute bound FP).
+    Nab644,
+    /// 649.fotonik3d_s — electromagnetics FDTD (FP streaming).
+    Fotonik3d649,
+    /// 654.roms_s — regional ocean model (FP streaming).
+    Roms654,
+}
+
+impl SpecWorkload {
+    /// All 20 speed-suite workloads.
+    pub const ALL: [SpecWorkload; 20] = [
+        SpecWorkload::Perlbench600,
+        SpecWorkload::Gcc602,
+        SpecWorkload::Mcf605,
+        SpecWorkload::Omnetpp620,
+        SpecWorkload::Xalancbmk623,
+        SpecWorkload::X264_625,
+        SpecWorkload::Deepsjeng631,
+        SpecWorkload::Leela641,
+        SpecWorkload::Exchange2_648,
+        SpecWorkload::Xz657,
+        SpecWorkload::Bwaves603,
+        SpecWorkload::CactuBssn607,
+        SpecWorkload::Lbm619,
+        SpecWorkload::Wrf621,
+        SpecWorkload::Cam4_627,
+        SpecWorkload::Pop2_628,
+        SpecWorkload::Imagick638,
+        SpecWorkload::Nab644,
+        SpecWorkload::Fotonik3d649,
+        SpecWorkload::Roms654,
+    ];
+
+    /// Canonical SPEC name, e.g. `"605.mcf_s"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecWorkload::Perlbench600 => "600.perlbench_s",
+            SpecWorkload::Gcc602 => "602.gcc_s",
+            SpecWorkload::Mcf605 => "605.mcf_s",
+            SpecWorkload::Omnetpp620 => "620.omnetpp_s",
+            SpecWorkload::Xalancbmk623 => "623.xalancbmk_s",
+            SpecWorkload::X264_625 => "625.x264_s",
+            SpecWorkload::Deepsjeng631 => "631.deepsjeng_s",
+            SpecWorkload::Leela641 => "641.leela_s",
+            SpecWorkload::Exchange2_648 => "648.exchange2_s",
+            SpecWorkload::Xz657 => "657.xz_s",
+            SpecWorkload::Bwaves603 => "603.bwaves_s",
+            SpecWorkload::CactuBssn607 => "607.cactuBSSN_s",
+            SpecWorkload::Lbm619 => "619.lbm_s",
+            SpecWorkload::Wrf621 => "621.wrf_s",
+            SpecWorkload::Cam4_627 => "627.cam4_s",
+            SpecWorkload::Pop2_628 => "628.pop2_s",
+            SpecWorkload::Imagick638 => "638.imagick_s",
+            SpecWorkload::Nab644 => "644.nab_s",
+            SpecWorkload::Fotonik3d649 => "649.fotonik3d_s",
+            SpecWorkload::Roms654 => "654.roms_s",
+        }
+    }
+
+    /// Looks a workload up by its canonical name.
+    pub fn from_name(name: &str) -> Option<SpecWorkload> {
+        SpecWorkload::ALL.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// Whether the workload belongs to the integer half of the suite.
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            SpecWorkload::Perlbench600
+                | SpecWorkload::Gcc602
+                | SpecWorkload::Mcf605
+                | SpecWorkload::Omnetpp620
+                | SpecWorkload::Xalancbmk623
+                | SpecWorkload::X264_625
+                | SpecWorkload::Deepsjeng631
+                | SpecWorkload::Leela641
+                | SpecWorkload::Exchange2_648
+                | SpecWorkload::Xz657
+        )
+    }
+
+    /// The hand-crafted behavioural profile of this workload.
+    pub fn profile(self) -> WorkloadProfile {
+        let mut b = WorkloadProfileBuilder::new(self.name());
+        match self {
+            SpecWorkload::Perlbench600 => b
+                .mix(0.36, 0.02, 0.0, 0.0, 0.26, 0.13, 0.23)
+                .branch_behavior(0.55, 0.30, 40.0)
+                .memory_behavior(48.0, 1024.0, 96.0, 0.35, 0.05)
+                .parallelism(2.2, 2.5),
+            SpecWorkload::Gcc602 => b
+                .mix(0.34, 0.02, 0.0, 0.0, 0.27, 0.14, 0.23)
+                .branch_behavior(0.60, 0.20, 48.0)
+                .memory_behavior(96.0, 3072.0, 160.0, 0.30, 0.05)
+                .parallelism(2.0, 2.5),
+            SpecWorkload::Mcf605 => b
+                .mix(0.30, 0.02, 0.0, 0.0, 0.37, 0.08, 0.23)
+                .branch_behavior(0.65, 0.05, 12.0)
+                .memory_behavior(320.0, 8192.0, 16.0, 0.08, 0.15)
+                .parallelism(1.4, 5.0),
+            SpecWorkload::Omnetpp620 => b
+                .mix(0.33, 0.02, 0.0, 0.0, 0.30, 0.13, 0.22)
+                .branch_behavior(0.50, 0.25, 36.0)
+                .memory_behavior(128.0, 4096.0, 72.0, 0.15, 0.05)
+                .parallelism(1.8, 2.0),
+            SpecWorkload::Xalancbmk623 => b
+                .mix(0.34, 0.01, 0.0, 0.0, 0.29, 0.11, 0.25)
+                .branch_behavior(0.45, 0.35, 44.0)
+                .memory_behavior(64.0, 2048.0, 120.0, 0.25, 0.05)
+                .parallelism(2.0, 2.2),
+            SpecWorkload::X264_625 => b
+                .mix(0.42, 0.05, 0.02, 0.01, 0.28, 0.12, 0.10)
+                .branch_behavior(0.20, 0.05, 10.0)
+                .memory_behavior(40.0, 512.0, 40.0, 0.85, 0.30)
+                .parallelism(5.5, 4.0),
+            SpecWorkload::Deepsjeng631 => b
+                .mix(0.44, 0.03, 0.0, 0.0, 0.24, 0.09, 0.20)
+                .branch_behavior(0.75, 0.08, 30.0)
+                .memory_behavior(48.0, 768.0, 48.0, 0.40, 0.02)
+                .parallelism(2.6, 2.0),
+            SpecWorkload::Leela641 => b
+                .mix(0.42, 0.04, 0.01, 0.01, 0.25, 0.09, 0.18)
+                .branch_behavior(0.70, 0.06, 26.0)
+                .memory_behavior(32.0, 512.0, 40.0, 0.45, 0.02)
+                .parallelism(2.4, 2.0),
+            SpecWorkload::Exchange2_648 => b
+                .mix(0.50, 0.02, 0.0, 0.0, 0.20, 0.08, 0.20)
+                .branch_behavior(0.35, 0.02, 56.0)
+                .memory_behavior(12.0, 64.0, 28.0, 0.70, 0.0)
+                .parallelism(3.2, 1.5),
+            SpecWorkload::Xz657 => b
+                .mix(0.40, 0.04, 0.0, 0.0, 0.27, 0.11, 0.18)
+                .branch_behavior(0.68, 0.04, 14.0)
+                .memory_behavior(96.0, 6144.0, 24.0, 0.50, 0.25)
+                .parallelism(2.2, 3.0),
+            SpecWorkload::Bwaves603 => b
+                .mix(0.12, 0.01, 0.33, 0.22, 0.22, 0.07, 0.03)
+                .branch_behavior(0.05, 0.01, 8.0)
+                .memory_behavior(224.0, 8192.0, 16.0, 0.95, 0.75)
+                .parallelism(6.5, 7.0),
+            SpecWorkload::CactuBssn607 => b
+                .mix(0.14, 0.01, 0.30, 0.24, 0.21, 0.07, 0.03)
+                .branch_behavior(0.08, 0.01, 10.0)
+                .memory_behavior(192.0, 6144.0, 56.0, 0.80, 0.50)
+                .parallelism(5.5, 5.0),
+            SpecWorkload::Lbm619 => b
+                .mix(0.10, 0.01, 0.28, 0.22, 0.23, 0.13, 0.03)
+                .branch_behavior(0.04, 0.01, 6.0)
+                .memory_behavior(256.0, 8192.0, 8.0, 0.90, 0.85)
+                .parallelism(4.5, 7.5),
+            SpecWorkload::Wrf621 => b
+                .mix(0.18, 0.02, 0.28, 0.17, 0.22, 0.08, 0.05)
+                .branch_behavior(0.25, 0.03, 22.0)
+                .memory_behavior(96.0, 3072.0, 128.0, 0.65, 0.30)
+                .parallelism(4.0, 4.0),
+            SpecWorkload::Cam4_627 => b
+                .mix(0.20, 0.02, 0.26, 0.15, 0.22, 0.08, 0.07)
+                .branch_behavior(0.30, 0.04, 30.0)
+                .memory_behavior(80.0, 2560.0, 144.0, 0.60, 0.25)
+                .parallelism(3.6, 3.5),
+            SpecWorkload::Pop2_628 => b
+                .mix(0.17, 0.02, 0.27, 0.17, 0.22, 0.09, 0.06)
+                .branch_behavior(0.20, 0.03, 20.0)
+                .memory_behavior(112.0, 4096.0, 96.0, 0.70, 0.40)
+                .parallelism(4.2, 4.5),
+            SpecWorkload::Imagick638 => b
+                .mix(0.22, 0.03, 0.30, 0.18, 0.17, 0.06, 0.04)
+                .branch_behavior(0.10, 0.02, 12.0)
+                .memory_behavior(16.0, 192.0, 32.0, 0.90, 0.10)
+                .parallelism(6.0, 3.0),
+            SpecWorkload::Nab644 => b
+                .mix(0.20, 0.02, 0.31, 0.19, 0.18, 0.06, 0.04)
+                .branch_behavior(0.12, 0.02, 14.0)
+                .memory_behavior(24.0, 256.0, 24.0, 0.75, 0.05)
+                .parallelism(5.0, 2.5),
+            SpecWorkload::Fotonik3d649 => b
+                .mix(0.12, 0.01, 0.30, 0.21, 0.24, 0.09, 0.03)
+                .branch_behavior(0.05, 0.01, 8.0)
+                .memory_behavior(208.0, 8192.0, 16.0, 0.92, 0.80)
+                .parallelism(5.0, 7.0),
+            SpecWorkload::Roms654 => b
+                .mix(0.14, 0.02, 0.29, 0.19, 0.23, 0.09, 0.04)
+                .branch_behavior(0.15, 0.02, 16.0)
+                .memory_behavior(160.0, 6144.0, 64.0, 0.80, 0.55)
+                .parallelism(4.5, 5.5),
+        };
+        b.build().expect("hand-crafted SPEC profiles are valid")
+    }
+}
+
+impl std::fmt::Display for SpecWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Train/validation/test assignment of workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSplit {
+    /// Source workloads used for meta-training.
+    pub train: Vec<SpecWorkload>,
+    /// Workloads used for meta-validation (epoch selection).
+    pub validation: Vec<SpecWorkload>,
+    /// Unseen target workloads used for final evaluation.
+    pub test: Vec<SpecWorkload>,
+}
+
+impl WorkloadSplit {
+    /// The paper's split: the five test workloads named in Table II, with
+    /// 7 training and 5 validation workloads drawn from the rest (both
+    /// halves of the suite represented).
+    pub fn paper() -> WorkloadSplit {
+        WorkloadSplit {
+            train: vec![
+                SpecWorkload::Gcc602,
+                SpecWorkload::X264_625,
+                SpecWorkload::Deepsjeng631,
+                SpecWorkload::Xz657,
+                SpecWorkload::Bwaves603,
+                SpecWorkload::Lbm619,
+                SpecWorkload::Imagick638,
+            ],
+            validation: vec![
+                SpecWorkload::Leela641,
+                SpecWorkload::Exchange2_648,
+                SpecWorkload::CactuBssn607,
+                SpecWorkload::Wrf621,
+                SpecWorkload::Fotonik3d649,
+            ],
+            test: vec![
+                SpecWorkload::Perlbench600,
+                SpecWorkload::Mcf605,
+                SpecWorkload::Omnetpp620,
+                SpecWorkload::Xalancbmk623,
+                SpecWorkload::Cam4_627,
+            ],
+        }
+    }
+
+    /// A random 7/5/5 split (the paper iterates such splits for
+    /// robustness).
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> WorkloadSplit {
+        let mut all = SpecWorkload::ALL.to_vec();
+        for i in (1..all.len()).rev() {
+            all.swap(i, rng.gen_range(0..=i));
+        }
+        WorkloadSplit {
+            train: all[0..7].to_vec(),
+            validation: all[7..12].to_vec(),
+            test: all[12..17].to_vec(),
+        }
+    }
+
+    /// Checks the three partitions are pairwise disjoint.
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.train
+            .iter()
+            .chain(&self.validation)
+            .chain(&self.test)
+            .all(|w| seen.insert(*w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_profiles_are_valid() {
+        for w in SpecWorkload::ALL {
+            let p = w.profile();
+            assert!(p.validate().is_ok(), "{} invalid: {:?}", w, p.validate());
+            assert_eq!(p.name, w.name());
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for w in SpecWorkload::ALL {
+            assert_eq!(SpecWorkload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(SpecWorkload::from_name("999.bogus"), None);
+    }
+
+    #[test]
+    fn ten_integer_ten_fp() {
+        let ints = SpecWorkload::ALL.iter().filter(|w| w.is_integer()).count();
+        assert_eq!(ints, 10);
+    }
+
+    #[test]
+    fn integer_workloads_have_low_fp_share() {
+        for w in SpecWorkload::ALL {
+            let p = w.profile();
+            if w.is_integer() {
+                assert!(p.fp_share() < 0.1, "{w} fp share {}", p.fp_share());
+            } else {
+                assert!(p.fp_share() > 0.5, "{w} fp share {}", p.fp_share());
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_is_the_most_memory_hostile() {
+        let mcf = SpecWorkload::Mcf605.profile();
+        for w in SpecWorkload::ALL {
+            if w != SpecWorkload::Mcf605 {
+                let p = w.profile();
+                assert!(
+                    mcf.data_ws_l1_kb >= p.data_ws_l1_kb || mcf.spatial_locality <= p.spatial_locality,
+                    "{w} should not dominate mcf's memory hostility"
+                );
+            }
+        }
+        assert!(mcf.spatial_locality < 0.1);
+    }
+
+    #[test]
+    fn paper_split_matches_table_ii() {
+        let s = WorkloadSplit::paper();
+        assert_eq!(s.train.len(), 7);
+        assert_eq!(s.validation.len(), 5);
+        assert_eq!(s.test.len(), 5);
+        assert!(s.is_disjoint());
+        let test_names: Vec<&str> = s.test.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            test_names,
+            vec![
+                "600.perlbench_s",
+                "605.mcf_s",
+                "620.omnetpp_s",
+                "623.xalancbmk_s",
+                "627.cam4_s"
+            ]
+        );
+    }
+
+    #[test]
+    fn random_splits_are_disjoint_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = WorkloadSplit::random(&mut rng);
+            assert!(s.is_disjoint());
+            assert_eq!(s.train.len(), 7);
+            assert_eq!(s.validation.len(), 5);
+            assert_eq!(s.test.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Few-shot task sampling.
+//!
+//! Meta-learning treats each workload as a distribution of *tasks*: a task
+//! is a small support set (the shots a practitioner could afford to
+//! simulate) plus a query set (what the adapted model is judged on). The
+//! paper samples 200 tasks per workload for training and 1000 for
+//! evaluation.
+
+use rand::Rng;
+
+use metadse_sim::Elem;
+
+use crate::dataset::{Dataset, Metric};
+
+/// A few-shot regression task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Support features, `support_size × feature_dim`.
+    pub support_x: Vec<Vec<Elem>>,
+    /// Support labels.
+    pub support_y: Vec<Elem>,
+    /// Query features, `query_size × feature_dim`.
+    pub query_x: Vec<Vec<Elem>>,
+    /// Query labels.
+    pub query_y: Vec<Elem>,
+}
+
+impl Task {
+    /// Number of support shots.
+    pub fn support_size(&self) -> usize {
+        self.support_x.len()
+    }
+
+    /// Number of query points.
+    pub fn query_size(&self) -> usize {
+        self.query_x.len()
+    }
+}
+
+/// Samples few-shot tasks from per-workload datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSampler {
+    support_size: usize,
+    query_size: usize,
+}
+
+impl TaskSampler {
+    /// Creates a sampler producing `support_size`-shot tasks with
+    /// `query_size` query points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(support_size: usize, query_size: usize) -> TaskSampler {
+        assert!(support_size > 0 && query_size > 0, "sizes must be positive");
+        TaskSampler {
+            support_size,
+            query_size,
+        }
+    }
+
+    /// Support size of sampled tasks.
+    pub fn support_size(&self) -> usize {
+        self.support_size
+    }
+
+    /// Query size of sampled tasks.
+    pub fn query_size(&self) -> usize {
+        self.query_size
+    }
+
+    /// Draws one task from `dataset` without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than `support + query` rows.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        metric: Metric,
+        rng: &mut R,
+    ) -> Task {
+        let need = self.support_size + self.query_size;
+        assert!(
+            dataset.len() >= need,
+            "dataset {} has {} rows; task needs {need}",
+            dataset.workload_name(),
+            dataset.len()
+        );
+        // Partial Fisher-Yates: choose `need` distinct indices.
+        let mut indices: Vec<usize> = (0..dataset.len()).collect();
+        for i in 0..need {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        let pick = |range: std::ops::Range<usize>| -> (Vec<Vec<Elem>>, Vec<Elem>) {
+            let mut xs = Vec::with_capacity(range.len());
+            let mut ys = Vec::with_capacity(range.len());
+            for &idx in &indices[range] {
+                let s = &dataset.samples()[idx];
+                xs.push(s.features.clone());
+                ys.push(s.label(metric));
+            }
+            (xs, ys)
+        };
+        let (support_x, support_y) = pick(0..self.support_size);
+        let (query_x, query_y) = pick(self.support_size..need);
+        Task {
+            support_x,
+            support_y,
+            query_x,
+            query_y,
+        }
+    }
+
+    /// Draws `n` independent tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TaskSampler::sample`].
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        metric: Metric,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Task> {
+        (0..n).map(|_| self.sample(dataset, metric, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let samples = (0..n)
+            .map(|i| Sample {
+                features: vec![i as f64, (i * i) as f64],
+                ipc: i as f64,
+                power_w: 10.0 * i as f64,
+            })
+            .collect();
+        Dataset::from_samples("toy", samples)
+    }
+
+    #[test]
+    fn task_shapes() {
+        let ds = toy_dataset(60);
+        let sampler = TaskSampler::new(5, 45);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = sampler.sample(&ds, Metric::Ipc, &mut rng);
+        assert_eq!(t.support_size(), 5);
+        assert_eq!(t.query_size(), 45);
+        assert_eq!(t.support_x[0].len(), 2);
+    }
+
+    #[test]
+    fn support_and_query_are_disjoint() {
+        let ds = toy_dataset(30);
+        let sampler = TaskSampler::new(10, 20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = sampler.sample(&ds, Metric::Ipc, &mut rng);
+        // Feature vectors are unique per row in the toy dataset, so overlap
+        // would show as equal rows.
+        for s in &t.support_x {
+            assert!(!t.query_x.contains(s), "support row leaked into query");
+        }
+        // All 30 rows used exactly once.
+        let mut all: Vec<f64> = t
+            .support_y
+            .iter()
+            .chain(&t.query_y)
+            .copied()
+            .collect();
+        all.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn metric_selects_labels() {
+        let ds = toy_dataset(20);
+        let sampler = TaskSampler::new(3, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t_ipc = sampler.sample(&ds, Metric::Ipc, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t_pow = sampler.sample(&ds, Metric::Power, &mut rng);
+        for (a, b) in t_ipc.support_y.iter().zip(&t_pow.support_y) {
+            assert!((b - 10.0 * a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task needs")]
+    fn undersized_dataset_panics() {
+        let ds = toy_dataset(5);
+        let sampler = TaskSampler::new(5, 45);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sampler.sample(&ds, Metric::Ipc, &mut rng);
+    }
+
+    #[test]
+    fn sample_many_produces_distinct_tasks() {
+        let ds = toy_dataset(100);
+        let sampler = TaskSampler::new(5, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tasks = sampler.sample_many(&ds, Metric::Ipc, 10, &mut rng);
+        assert_eq!(tasks.len(), 10);
+        assert!(tasks.windows(2).any(|w| w[0] != w[1]));
+    }
+}

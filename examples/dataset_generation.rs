@@ -1,0 +1,89 @@
+//! Dataset generation and simulator introspection: materialize design
+//! points, inspect the analytical model's CPI breakdown, SimPoint phases,
+//! and write/read a CSV dataset.
+//!
+//! ```text
+//! cargo run --release --example dataset_generation
+//! ```
+
+use metadse_repro::prelude::*;
+use metadse_repro::sim::ParamSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let space = DesignSpace::new();
+    println!("Table I design space:");
+    for spec in space.specs() {
+        let values: Vec<String> = spec
+            .candidates()
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        let preview = if values.len() > 6 {
+            format!(
+                "{}, …, {} ({} candidates)",
+                values[..3].join(", "),
+                values.last().unwrap(),
+                values.len()
+            )
+        } else {
+            values.join(", ")
+        };
+        println!("  {:<22} {}", spec.id().name(), preview);
+    }
+    let total: f64 = space
+        .specs()
+        .iter()
+        .map(ParamSpec::cardinality)
+        .product::<usize>() as f64;
+    println!("  => {total:.3e} total configurations\n");
+
+    // One configuration, dissected.
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let point = space.random_point(&mut rng);
+    let config = space.config(&point);
+    println!("sampled configuration: {config:#?}\n");
+
+    let workload = SpecWorkload::Gcc602;
+    let out = simulator.simulate(&config, &workload.profile());
+    println!("simulated under {}:", workload.name());
+    println!("  IPC                {:.3}", out.ipc);
+    println!("  power              {:.2} W", out.power_w);
+    println!("  area               {:.1} mm²", out.area_mm2);
+    println!("  L1D miss rate      {:.1} %", out.l1d_miss_rate * 100.0);
+    println!("  L2 miss rate       {:.1} %", out.l2_miss_rate * 100.0);
+    println!("  branch mispredict  {:.2} %", out.branch_mispredict_rate * 100.0);
+    println!(
+        "  CPI breakdown      base {:.2} + branch {:.2} + memory {:.2}\n",
+        out.cpi_base, out.cpi_branch, out.cpi_memory
+    );
+
+    // SimPoint phases of the workload.
+    let phases = PhaseSet::generate(workload);
+    let hottest = phases
+        .phases()
+        .iter()
+        .max_by(|a, b| a.weight.total_cmp(&b.weight))
+        .expect("phases exist");
+    println!(
+        "{} decomposes into {} SimPoint phases; hottest carries {:.0}% of execution",
+        workload.name(),
+        phases.len(),
+        hottest.weight * 100.0
+    );
+
+    // Dataset generation + CSV round trip.
+    let dataset = Dataset::generate(&space, &simulator, workload, 50, &mut rng);
+    let path = std::env::temp_dir().join("metadse_example_dataset.csv");
+    dataset.write_csv(&path).expect("write CSV");
+    let back = Dataset::read_csv(&path).expect("read CSV");
+    println!(
+        "wrote and re-read {} rows for {} at {}",
+        back.len(),
+        back.workload_name(),
+        path.display()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,63 @@
+//! # metadse-repro
+//!
+//! Facade crate for the MetaDSE reproduction workspace: re-exports the
+//! five member crates under one roof so examples, integration tests, and
+//! downstream users can depend on a single crate.
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`nn`] | `metadse-nn` | tensors, double-backward autodiff, layers, optimizers |
+//! | [`sim`] | `metadse-sim` | analytical OoO CPU + power model (gem5/McPAT substitute) |
+//! | [`workloads`] | `metadse-workloads` | SPEC CPU 2017 profiles, SimPoints, datasets, tasks |
+//! | [`mlkit`] | `metadse-mlkit` | RF/GBRT/linear/k-means/GMM/Wasserstein/metrics |
+//! | [`core`] | `metadse` | transformer predictor, MAML, WAM, TrEnDSE, experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use metadse_repro::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Simulate a labeled dataset for one workload and sample a few-shot
+//! // task from it.
+//! let space = DesignSpace::new();
+//! let simulator = Simulator::new();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data = Dataset::generate(&space, &simulator, SpecWorkload::Mcf605, 60, &mut rng);
+//! let task = TaskSampler::new(5, 45).sample(&data, Metric::Ipc, &mut rng);
+//! assert_eq!(task.support_size(), 5);
+//! ```
+
+pub use metadse as core;
+pub use metadse_mlkit as mlkit;
+pub use metadse_nn as nn;
+pub use metadse_sim as sim;
+pub use metadse_workloads as workloads;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use metadse::evaluation::{EvalSummary, TaskScores};
+    pub use metadse::experiment::{Environment, Scale};
+    pub use metadse::explorer::{explore_pareto, ExplorerConfig, ParetoEntry};
+    pub use metadse::maml::{self, MamlConfig};
+    pub use metadse::predictor::{PredictorConfig, TransformerPredictor};
+    pub use metadse::trendse::{TrEnDse, TrEnDseConfig};
+    pub use metadse::wam::{self, AdaptConfig, WamConfig};
+    pub use metadse_mlkit::{metrics, Regressor};
+    pub use metadse_nn::layers::Module;
+    pub use metadse_nn::Tensor;
+    pub use metadse_sim::{CpuConfig, DesignSpace, ParamId, Simulator, WorkloadProfileBuilder};
+    pub use metadse_workloads::{
+        Dataset, Metric, PhaseSet, SpecWorkload, Task, TaskSampler, WorkloadSplit,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let space = DesignSpace::new();
+        assert_eq!(space.num_params(), 21);
+    }
+}

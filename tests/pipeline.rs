@@ -1,0 +1,173 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! simulate → dataset → meta-train → WAM-adapt → evaluate → explore.
+
+use metadse_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_predictor_config() -> PredictorConfig {
+    PredictorConfig {
+        d_model: 16,
+        heads: 2,
+        depth: 1,
+        d_hidden: 32,
+        head_hidden: 16,
+        ..PredictorConfig::default()
+    }
+}
+
+#[test]
+fn full_metadse_pipeline_runs_and_learns() {
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(100);
+
+    // 1. Simulate source, validation, and target datasets.
+    let train: Vec<Dataset> = [SpecWorkload::Gcc602, SpecWorkload::X264_625]
+        .iter()
+        .map(|&w| Dataset::generate(&space, &simulator, w, 90, &mut rng))
+        .collect();
+    let val = vec![Dataset::generate(
+        &space,
+        &simulator,
+        SpecWorkload::Leela641,
+        90,
+        &mut rng,
+    )];
+    let target = Dataset::generate(&space, &simulator, SpecWorkload::Omnetpp620, 90, &mut rng);
+
+    // 2. MAML pre-training.
+    let model = TransformerPredictor::new(tiny_predictor_config(), 3);
+    let maml_cfg = MamlConfig {
+        inner_lr: 0.05,
+        epochs: 2,
+        iterations_per_epoch: 8,
+        val_tasks: 3,
+        ..MamlConfig::paper()
+    };
+    let report = maml::pretrain(&model, &train, &val, Metric::Ipc, &maml_cfg);
+    assert_eq!(report.val_losses.len(), 2);
+    assert!(report.best_val_loss.is_finite());
+
+    // 3. WAM mask generation from pre-training attention.
+    let mask = wam::generate_mask(&model, &train, &WamConfig::default(), 32);
+    assert_eq!(mask.shape(), vec![21, 21]);
+
+    // 4. Few-shot adaptation on the unseen target beats a frozen model.
+    let sampler = TaskSampler::new(10, 30);
+    let adapt_cfg = AdaptConfig {
+        steps: 10,
+        lr: 0.05,
+        lr_min: 1e-3,
+                mask_lr_multiplier: 1.0,
+            };
+    let mut adapted = TaskScores::new();
+    let mut frozen = TaskScores::new();
+    let mut eval_rng = StdRng::seed_from_u64(200);
+    for _ in 0..5 {
+        let task = sampler.sample(&target, Metric::Ipc, &mut eval_rng);
+        let p = wam::adapt_and_predict(&model, &task, Some(&mask), &adapt_cfg);
+        adapted.push(&task.query_y, &p);
+        frozen.push(&task.query_y, &model.predict(&task.query_x));
+    }
+    assert!(
+        adapted.summary().rmse_mean < frozen.summary().rmse_mean,
+        "adaptation must improve over the frozen meta-init: {} vs {}",
+        adapted.summary().rmse_mean,
+        frozen.summary().rmse_mean
+    );
+
+    // 5. The adapted surrogate drives exploration.
+    let front = explore_pareto(
+        &space,
+        |batch| {
+            let ipc = model.predict(batch);
+            ipc.into_iter().map(|i| (i, 1.0)).collect()
+        },
+        &ExplorerConfig {
+            initial_samples: 32,
+            refinement_rounds: 1,
+            beam: 4,
+            seed: 7,
+        },
+    );
+    assert!(!front.is_empty());
+}
+
+#[test]
+fn trendse_pipeline_runs_on_simulated_data() {
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(300);
+    let sources: Vec<Dataset> = [SpecWorkload::Gcc602, SpecWorkload::Bwaves603]
+        .iter()
+        .map(|&w| Dataset::generate(&space, &simulator, w, 80, &mut rng))
+        .collect();
+    let target = Dataset::generate(&space, &simulator, SpecWorkload::Mcf605, 60, &mut rng);
+    let task = TaskSampler::new(10, 30).sample(&target, Metric::Ipc, &mut rng);
+
+    let trendse = TrEnDse::new(sources, Metric::Ipc, TrEnDseConfig::default());
+    let ranked = trendse.rank_sources(&task.support_y);
+    assert_eq!(ranked.len(), 2);
+    let preds = trendse.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
+    assert_eq!(preds.len(), 30);
+    assert!(preds.iter().all(|p| p.is_finite()));
+}
+
+#[test]
+fn experiment_harness_quick_scale_end_to_end() {
+    use metadse_repro::core::experiment::{run_fig2, run_table3};
+
+    let mut scale = Scale::quick();
+    scale.samples_per_workload = 70;
+    scale.eval_tasks = 2;
+    let env = Environment::build(&scale, 55);
+
+    let fig2 = run_fig2(&env);
+    assert_eq!(fig2.names.len(), 17);
+
+    let table3 = run_table3(&env, &scale, &[5]);
+    assert_eq!(table3.rows.len(), 4);
+    for row in &table3.rows {
+        assert!(row.rmse_by_k[0].1.is_finite());
+        assert!(row.rmse_by_k[0].1 > 0.0);
+    }
+}
+
+#[test]
+fn checkpointing_roundtrips_a_trained_predictor() {
+    use metadse_repro::nn::layers::Module;
+    use metadse_repro::nn::serialize::{load_params, save_params};
+
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(400);
+    let data = Dataset::generate(&space, &simulator, SpecWorkload::Xz657, 40, &mut rng);
+    let x: Vec<Vec<f64>> = data.samples().iter().map(|s| s.features.clone()).collect();
+    let y = data.labels(Metric::Ipc);
+
+    let model = TransformerPredictor::new(tiny_predictor_config(), 9);
+    metadse_repro::core::trendse::train_supervised(&model, &x, &y, 2, 2e-3, 16, 1);
+    let expected = model.predict(&x[..4].to_vec());
+
+    let path = std::env::temp_dir().join(format!("metadse-it-{}.ckpt", std::process::id()));
+    save_params(&model.params(), &path).expect("save");
+
+    let restored = TransformerPredictor::new(tiny_predictor_config(), 10);
+    load_params(&restored.params(), &path).expect("load");
+    assert_eq!(restored.predict(&x[..4].to_vec()), expected);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn dataset_determinism_across_crate_boundaries() {
+    // The same seed must produce identical labels through the whole stack
+    // (design space sampling → phases → simulator → aggregation).
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng_a = StdRng::seed_from_u64(77);
+    let mut rng_b = StdRng::seed_from_u64(77);
+    let a = Dataset::generate(&space, &simulator, SpecWorkload::Lbm619, 25, &mut rng_a);
+    let b = Dataset::generate(&space, &simulator, SpecWorkload::Lbm619, 25, &mut rng_b);
+    assert_eq!(a, b);
+}
