@@ -1,17 +1,15 @@
-//! Criterion coverage of every paper experiment's code path at a
-//! seconds-scale configuration. These are *end-to-end* benches: each
-//! iteration runs the same pipeline as the corresponding harness binary
-//! (environment reuse aside), so `cargo bench` exercises Fig. 2, Fig. 5,
-//! Table II, Fig. 6, and Table III in their entirety.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! End-to-end coverage of every paper experiment's code path at a
+//! seconds-scale configuration: each iteration runs the same pipeline as
+//! the corresponding harness binary (environment reuse aside), so
+//! `cargo bench` exercises Fig. 2, Fig. 5, Table II, Fig. 6, and
+//! Table III in their entirety.
 
 use metadse::experiment::{
     run_fig2, run_fig5, run_fig6, run_table2, run_table3, Environment, Scale,
 };
 use metadse::maml::MamlConfig;
 use metadse::trendse::TrEnDseConfig;
+use metadse_bench::timing::{black_box, Harness};
 
 /// An even smaller scale than `Scale::quick`, sized for repeated bench
 /// iterations.
@@ -36,44 +34,27 @@ fn bench_scale() -> Scale {
     }
 }
 
-fn bench_experiments(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     let env = Environment::build(&scale, 11);
+    let mut h = Harness::new().with_target_ms(400);
 
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-
-    group.bench_function("fig2_wasserstein_matrix", |b| {
-        b.iter(|| black_box(run_fig2(&env)))
+    h.bench("experiments/fig2_wasserstein_matrix", || {
+        black_box(run_fig2(&env))
     });
-    group.bench_function("fig5_four_frameworks", |b| {
-        b.iter(|| black_box(run_fig5(&env, &scale)))
+    h.bench("experiments/fig5_four_frameworks", || {
+        black_box(run_fig5(&env, &scale))
     });
-    group.bench_function("table2_overall", |b| {
-        b.iter(|| black_box(run_table2(&env, &scale)))
+    h.bench("experiments/table2_overall", || {
+        black_box(run_table2(&env, &scale))
     });
-    group.bench_function("fig6_upstream_sweep", |b| {
-        b.iter(|| black_box(run_fig6(&env, &scale, &[5, 10])))
+    h.bench("experiments/fig6_upstream_sweep", || {
+        black_box(run_fig6(&env, &scale, &[5, 10]))
     });
-    group.bench_function("table3_downstream_sweep", |b| {
-        b.iter(|| black_box(run_table3(&env, &scale, &[5, 10])))
+    h.bench("experiments/table3_downstream_sweep", || {
+        black_box(run_table3(&env, &scale, &[5, 10]))
     });
-    group.finish();
+    h.bench("experiments/environment_build_17x60", || {
+        black_box(Environment::build(&scale, 12))
+    });
 }
-
-fn bench_environment_build(c: &mut Criterion) {
-    let scale = bench_scale();
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    group.bench_function("environment_build_17x60", |b| {
-        b.iter(|| black_box(Environment::build(&scale, 12)))
-    });
-    group.finish();
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_experiments, bench_environment_build
-);
-criterion_main!(benches);

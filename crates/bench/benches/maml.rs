@@ -1,14 +1,12 @@
-//! Criterion benchmarks of the meta-learning machinery, including the
-//! first-order vs second-order MAML ablation (DESIGN.md §5): full MAML
-//! differentiates through the unrolled inner loop, so its cost multiple
-//! over FOMAML is the price of the exact meta-gradient.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! Benchmarks of the meta-learning machinery, including the first-order
+//! vs second-order MAML ablation (DESIGN.md §5): full MAML differentiates
+//! through the unrolled inner loop, so its cost multiple over FOMAML is
+//! the price of the exact meta-gradient.
 
 use metadse::maml::inner_adapt;
 use metadse::predictor::{PredictorConfig, TransformerPredictor};
 use metadse::wam::{adapt, AdaptConfig};
+use metadse_bench::timing::{black_box, Harness};
 use metadse_nn::autograd::grad;
 use metadse_nn::layers::{self, Module};
 
@@ -34,43 +32,35 @@ fn task(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     (x, y)
 }
 
-fn bench_inner_loop_orders(c: &mut Criterion) {
+fn bench_inner_loop_orders(h: &mut Harness) {
     let model = small_model();
     let (sx, sy) = task(5);
     let (qx, qy) = task(20);
     let params = model.params();
 
-    let mut group = c.benchmark_group("maml/meta_step");
-    group.sample_size(20);
     for (label, second_order) in [("first_order", false), ("second_order", true)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let theta = inner_adapt(&model, &sx, &sy, 3, 0.01, second_order);
-                let loss = model.mse_on(&qx, &qy);
-                let meta = grad(&loss, &theta, false);
-                layers::restore(&params, &theta);
-                black_box(meta)
-            })
+        h.bench(&format!("maml/meta_step/{label}"), || {
+            let theta = inner_adapt(&model, &sx, &sy, 3, 0.01, second_order);
+            let loss = model.mse_on(&qx, &qy);
+            let meta = grad(&loss, &theta, false);
+            layers::restore(&params, &theta);
+            black_box(meta)
         });
     }
-    group.finish();
 }
 
-fn bench_wam_adaptation(c: &mut Criterion) {
+fn bench_wam_adaptation(h: &mut Harness) {
     let model = small_model();
     let (sx, sy) = task(10);
     let params = model.params();
-    c.bench_function("maml/wam_adaptation_10steps", |b| {
-        b.iter(|| {
-            let theta = adapt(&model, &sx, &sy, &AdaptConfig::default());
-            layers::restore(&params, &theta);
-        })
+    h.bench("maml/wam_adaptation_10steps", || {
+        let theta = adapt(&model, &sx, &sy, &AdaptConfig::default());
+        layers::restore(&params, &theta);
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_inner_loop_orders, bench_wam_adaptation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_inner_loop_orders(&mut h);
+    bench_wam_adaptation(&mut h);
+}

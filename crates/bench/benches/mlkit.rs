@@ -1,9 +1,7 @@
-//! Criterion benchmarks of the classical-ML baselines (per-task fit cost
-//! is what dominates TrEnDSE's evaluation loop).
+//! Benchmarks of the classical-ML baselines (per-task fit cost is what
+//! dominates TrEnDSE's evaluation loop).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use metadse_bench::timing::{black_box, Harness};
 use metadse_mlkit::wasserstein::wasserstein_1d;
 use metadse_mlkit::{GradientBoosting, RandomForest, Regressor};
 use rand::rngs::StdRng;
@@ -16,50 +14,51 @@ fn data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         .collect();
     let y: Vec<f64> = x
         .iter()
-        .map(|r| r.iter().enumerate().map(|(j, v)| v * (j as f64).sin()).sum())
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(j, v)| v * (j as f64).sin())
+                .sum()
+        })
         .collect();
     (x, y)
 }
 
-fn bench_forest(c: &mut Criterion) {
+fn bench_forest(h: &mut Harness) {
     let (x, y) = data(300, 21, 1);
-    c.bench_function("mlkit/random_forest_fit_300x21", |b| {
-        b.iter(|| {
-            let mut rf = RandomForest::new(30, 10, 2, 5);
-            rf.fit(black_box(&x), black_box(&y));
-            black_box(rf)
-        })
+    h.bench("mlkit/random_forest_fit_300x21", || {
+        let mut rf = RandomForest::new(30, 10, 2, 5);
+        rf.fit(black_box(&x), black_box(&y));
+        black_box(rf)
     });
     let mut rf = RandomForest::new(30, 10, 2, 5);
     rf.fit(&x, &y);
-    c.bench_function("mlkit/random_forest_predict", |b| {
-        b.iter(|| black_box(rf.predict_one(black_box(&x[0]))))
+    h.bench("mlkit/random_forest_predict", || {
+        black_box(rf.predict_one(black_box(&x[0])))
     });
 }
 
-fn bench_gbrt(c: &mut Criterion) {
+fn bench_gbrt(h: &mut Harness) {
     let (x, y) = data(300, 21, 2);
-    c.bench_function("mlkit/gbrt_fit_300x21", |b| {
-        b.iter(|| {
-            let mut g = GradientBoosting::new(80, 0.1, 3, 2);
-            g.fit(black_box(&x), black_box(&y));
-            black_box(g)
-        })
+    h.bench("mlkit/gbrt_fit_300x21", || {
+        let mut g = GradientBoosting::new(80, 0.1, 3, 2);
+        g.fit(black_box(&x), black_box(&y));
+        black_box(g)
     });
 }
 
-fn bench_wasserstein(c: &mut Criterion) {
+fn bench_wasserstein(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(3);
     let a: Vec<f64> = (0..400).map(|_| rng.gen_range(0.0..4.0)).collect();
-    let b2: Vec<f64> = (0..400).map(|_| rng.gen_range(1.0..5.0)).collect();
-    c.bench_function("mlkit/wasserstein_400v400", |b| {
-        b.iter(|| black_box(wasserstein_1d(black_box(&a), black_box(&b2))))
+    let b: Vec<f64> = (0..400).map(|_| rng.gen_range(1.0..5.0)).collect();
+    h.bench("mlkit/wasserstein_400v400", || {
+        black_box(wasserstein_1d(black_box(&a), black_box(&b)))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_forest, bench_gbrt, bench_wasserstein
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_forest(&mut h);
+    bench_gbrt(&mut h);
+    bench_wasserstein(&mut h);
+}

@@ -1,50 +1,46 @@
-//! Criterion benchmarks of the transformer surrogate: inference latency
-//! and training-step cost, plus the depth/width ablation called out in
+//! Benchmarks of the transformer surrogate: inference latency and
+//! training-step cost, plus the depth/width ablation called out in
 //! DESIGN.md §5 (surrogate latency is what the DSE loop pays per candidate
 //! configuration).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
 use metadse::predictor::{PredictorConfig, TransformerPredictor};
+use metadse_bench::timing::{black_box, Harness};
 use metadse_nn::autograd::grad;
 use metadse_nn::layers::Module;
 
 fn rows(n: usize) -> Vec<Vec<f64>> {
     (0..n)
-        .map(|i| (0..21).map(|j| ((i * 21 + j) as f64 * 0.37) % 1.0).collect())
+        .map(|i| {
+            (0..21)
+                .map(|j| ((i * 21 + j) as f64 * 0.37) % 1.0)
+                .collect()
+        })
         .collect()
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference(h: &mut Harness) {
     let model = TransformerPredictor::new(PredictorConfig::default(), 1);
-    let mut group = c.benchmark_group("predictor/inference");
     for batch in [1usize, 16, 64] {
         let x = rows(batch);
-        group.bench_with_input(BenchmarkId::from_parameter(batch), &x, |b, x| {
-            b.iter(|| black_box(model.predict(black_box(x))))
+        h.bench(&format!("predictor/inference/{batch}"), || {
+            black_box(model.predict(black_box(&x)))
         });
     }
-    group.finish();
 }
 
-fn bench_training_step(c: &mut Criterion) {
+fn bench_training_step(h: &mut Harness) {
     let model = TransformerPredictor::new(PredictorConfig::default(), 2);
     let x = rows(10);
     let y: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
-    c.bench_function("predictor/forward_backward_10shot", |b| {
-        b.iter(|| {
-            let loss = model.mse_on(black_box(&x), black_box(&y));
-            let tensors: Vec<_> = model.params().iter().map(|p| p.get()).collect();
-            black_box(grad(&loss, &tensors, false))
-        })
+    h.bench("predictor/forward_backward_10shot", || {
+        let loss = model.mse_on(black_box(&x), black_box(&y));
+        let tensors: Vec<_> = model.params().iter().map(|p| p.get()).collect();
+        black_box(grad(&loss, &tensors, false))
     });
 }
 
-fn bench_geometry_ablation(c: &mut Criterion) {
+fn bench_geometry_ablation(h: &mut Harness) {
     // Depth/width ablation: what extra capacity costs per prediction.
-    let mut group = c.benchmark_group("predictor/geometry");
-    group.sample_size(20);
     let x = rows(16);
     for (label, d_model, depth) in [("d16x1", 16, 1), ("d32x2", 32, 2), ("d64x3", 64, 3)] {
         let cfg = PredictorConfig {
@@ -56,14 +52,15 @@ fn bench_geometry_ablation(c: &mut Criterion) {
             head_hidden: d_model,
         };
         let model = TransformerPredictor::new(cfg, 3);
-        group.bench_function(label, |b| b.iter(|| black_box(model.predict(black_box(&x)))));
+        h.bench(&format!("predictor/geometry/{label}"), || {
+            black_box(model.predict(black_box(&x)))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_inference, bench_training_step, bench_geometry_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_inference(&mut h);
+    bench_training_step(&mut h);
+    bench_geometry_ablation(&mut h);
+}

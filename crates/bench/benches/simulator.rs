@@ -1,68 +1,61 @@
-//! Criterion microbenchmarks of the analytical simulator — the substrate
-//! whose speed (vs hours per gem5 SimPoint) makes this reproduction
-//! tractable.
+//! Microbenchmarks of the analytical simulator — the substrate whose
+//! speed (vs hours per gem5 SimPoint) makes this reproduction tractable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use metadse_bench::timing::{black_box, Harness};
 use metadse_sim::{DesignSpace, Simulator};
 use metadse_workloads::{Dataset, PhaseSet, SpecWorkload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_single_simulation(c: &mut Criterion) {
+fn bench_single_simulation(h: &mut Harness) {
     let space = DesignSpace::new();
     let sim = Simulator::new();
     let mut rng = StdRng::seed_from_u64(1);
     let point = space.random_point(&mut rng);
     let config = space.config(&point);
     let profile = SpecWorkload::Mcf605.profile();
-    c.bench_function("simulator/single_point", |b| {
-        b.iter(|| black_box(sim.simulate(black_box(&config), black_box(&profile))))
+    h.bench("simulator/single_point", || {
+        black_box(sim.simulate(black_box(&config), black_box(&profile)))
     });
 }
 
-fn bench_phase_aggregated_label(c: &mut Criterion) {
+fn bench_phase_aggregated_label(h: &mut Harness) {
     let space = DesignSpace::new();
     let sim = Simulator::new();
     let mut rng = StdRng::seed_from_u64(2);
     let points = vec![space.random_point(&mut rng)];
-    c.bench_function("simulator/simpoint_aggregated_label", |b| {
-        b.iter(|| {
-            black_box(Dataset::generate_at(
-                &space,
-                &sim,
-                SpecWorkload::Cam4_627,
-                black_box(&points),
-            ))
-        })
+    h.bench("simulator/simpoint_aggregated_label", || {
+        black_box(Dataset::generate_at(
+            &space,
+            &sim,
+            SpecWorkload::Cam4_627,
+            black_box(&points),
+        ))
     });
 }
 
-fn bench_phase_generation(c: &mut Criterion) {
-    c.bench_function("simulator/phase_set_generation", |b| {
-        b.iter(|| black_box(PhaseSet::generate(black_box(SpecWorkload::Gcc602))))
+fn bench_phase_generation(h: &mut Harness) {
+    h.bench("simulator/phase_set_generation", || {
+        black_box(PhaseSet::generate(black_box(SpecWorkload::Gcc602)))
     });
 }
 
-fn bench_design_space_ops(c: &mut Criterion) {
+fn bench_design_space_ops(h: &mut Harness) {
     let space = DesignSpace::new();
     let mut rng = StdRng::seed_from_u64(3);
     let point = space.random_point(&mut rng);
-    c.bench_function("design_space/encode", |b| {
-        b.iter(|| black_box(space.encode(black_box(&point))))
+    h.bench("design_space/encode", || {
+        black_box(space.encode(black_box(&point)))
     });
-    c.bench_function("design_space/neighbors", |b| {
-        b.iter(|| black_box(space.neighbors(black_box(&point))))
+    h.bench("design_space/neighbors", || {
+        black_box(space.neighbors(black_box(&point)))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_single_simulation,
-        bench_phase_aggregated_label,
-        bench_phase_generation,
-        bench_design_space_ops
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_single_simulation(&mut h);
+    bench_phase_aggregated_label(&mut h);
+    bench_phase_generation(&mut h);
+    bench_design_space_ops(&mut h);
+}

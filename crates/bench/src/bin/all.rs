@@ -10,15 +10,16 @@
 
 use std::time::Instant;
 
-use metadse::experiment::{
-    run_fig2, run_fig5, run_fig6, run_table2, run_table3, Environment,
-};
+use metadse::experiment::{run_fig2, run_fig5, run_fig6, run_table2, run_table3, Environment};
 use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
 use metadse_workloads::Metric;
 
 fn main() {
     let scale = scale_from_args();
-    banner("full reproduction (Fig. 2, Fig. 5, Table II, Fig. 6, Table III)", &scale);
+    banner(
+        "full reproduction (Fig. 2, Fig. 5, Table II, Fig. 6, Table III)",
+        &scale,
+    );
     let t0 = Instant::now();
     let env = Environment::build(&scale, scale.seed);
     println!(
@@ -118,7 +119,10 @@ fn main() {
         r.extend(row.rmse_by_k.iter().map(|(_, v)| f4(*v)));
         rows.push(r);
     }
-    println!("\n[Table III] downstream support sweep  [{:?}]", t.elapsed());
+    println!(
+        "\n[Table III] downstream support sweep  [{:?}]",
+        t.elapsed()
+    );
     println!("{}", render_table(&rows));
     let _ = write_csv("table3_support_sweep", &rows);
 

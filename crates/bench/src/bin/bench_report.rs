@@ -1,0 +1,190 @@
+//! Machine-readable performance report.
+//!
+//! Times the workspace's hot paths — the packed matmul kernel against a
+//! naive triple-loop reference, dataset simulation and the MAML/WAM task
+//! fan-out at one and four worker threads — and writes every sample to
+//! `BENCH_results.json` (name, mean wall-time in ns, iteration count,
+//! configured thread count). On a single-core container the multi-thread
+//! rows measure scheduling overhead rather than speedup; the `threads`
+//! field keeps that distinction machine-readable.
+//!
+//! ```text
+//! cargo run --release -p metadse-bench --bin bench_report
+//! ```
+
+use metadse::maml::{pretrain, MamlConfig};
+use metadse::predictor::{PredictorConfig, TransformerPredictor};
+use metadse::wam::{self, AdaptConfig};
+use metadse_bench::timing::{black_box, Harness};
+use metadse_nn::autograd::no_grad;
+use metadse_nn::Tensor;
+use metadse_parallel::ParallelConfig;
+use metadse_sim::{DesignSpace, Simulator};
+use metadse_workloads::{Dataset, Metric, SpecWorkload, Task, TaskSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reference matmul: the textbook i-j-k triple loop the packed kernel is
+/// measured against.
+fn naive_matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn matmul_benches(h: &mut Harness) {
+    // Transformer-predictor shapes: a 45-row query batch hitting the
+    // d_model=32 projections and the 64-wide FFN.
+    for (m, k, n) in [(45, 21, 32), (45, 32, 32), (45, 32, 64), (64, 64, 64)] {
+        let mut rng = StdRng::seed_from_u64(0xbe);
+        let a_data: Vec<f64> = metadse_nn::init::normal(&[m, k], 1.0, &mut rng).to_vec();
+        let b_data: Vec<f64> = metadse_nn::init::normal(&[k, n], 1.0, &mut rng).to_vec();
+        let a = Tensor::from_vec(a_data.clone(), &[m, k]);
+        let b = Tensor::from_vec(b_data.clone(), &[k, n]);
+        h.bench(&format!("matmul/naive/{m}x{k}x{n}"), || {
+            black_box(naive_matmul(&a_data, &b_data, m, k, n))
+        });
+        h.bench(&format!("matmul/packed/{m}x{k}x{n}"), || {
+            no_grad(|| black_box(a.matmul(&b)))
+        });
+    }
+}
+
+fn simulator_benches(h: &mut Harness) {
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let points: Vec<_> = (0..32).map(|_| space.random_point(&mut rng)).collect();
+    h.bench("sim/generate_at/32_points", || {
+        black_box(Dataset::generate_at(
+            &space,
+            &simulator,
+            SpecWorkload::Mcf605,
+            &points,
+        ))
+    });
+}
+
+fn dataset_benches(h: &mut Harness) {
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    for threads in [1usize, 4] {
+        let parallel = ParallelConfig::with_threads(threads);
+        h.bench_threads(
+            &format!("dataset/generate/200pts/t{threads}"),
+            threads,
+            || {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(Dataset::generate_with(
+                    &space,
+                    &simulator,
+                    SpecWorkload::Xalancbmk623,
+                    200,
+                    &mut rng,
+                    &parallel,
+                ))
+            },
+        );
+    }
+}
+
+fn tiny_predictor() -> TransformerPredictor {
+    TransformerPredictor::new(
+        PredictorConfig {
+            num_params: 21,
+            d_model: 16,
+            heads: 2,
+            depth: 1,
+            d_hidden: 32,
+            head_hidden: 16,
+        },
+        9,
+    )
+}
+
+fn maml_benches(h: &mut Harness) {
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let train: Vec<Dataset> = [SpecWorkload::Gcc602, SpecWorkload::Lbm619]
+        .iter()
+        .map(|&w| Dataset::generate(&space, &simulator, w, 60, &mut rng))
+        .collect();
+    for threads in [1usize, 4] {
+        let config = MamlConfig {
+            epochs: 1,
+            iterations_per_epoch: 2,
+            inner_steps: 2,
+            support_size: 5,
+            query_size: 20,
+            val_tasks: 0,
+            parallel: ParallelConfig::with_threads(threads),
+            ..MamlConfig::paper()
+        };
+        h.bench_threads(&format!("maml/pretrain_epoch/t{threads}"), threads, || {
+            let model = tiny_predictor();
+            black_box(pretrain(&model, &train, &[], Metric::Ipc, &config))
+        });
+    }
+}
+
+fn adapt_sweep_benches(h: &mut Harness) {
+    let space = DesignSpace::new();
+    let simulator = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = Dataset::generate(&space, &simulator, SpecWorkload::Nab644, 80, &mut rng);
+    let sampler = TaskSampler::new(10, 30);
+    let tasks: Vec<Task> = (0..8)
+        .map(|_| sampler.sample(&ds, Metric::Ipc, &mut rng))
+        .collect();
+    let model = tiny_predictor();
+    let adapt = AdaptConfig {
+        steps: 5,
+        ..AdaptConfig::default()
+    };
+    for threads in [1usize, 4] {
+        let parallel = ParallelConfig::with_threads(threads);
+        h.bench_threads(
+            &format!("wam/adapt_sweep/8_tasks/t{threads}"),
+            threads,
+            || black_box(wam::adapt_sweep(&model, &tasks, None, &adapt, &parallel)),
+        );
+    }
+}
+
+fn main() {
+    let mut h = Harness::new().with_target_ms(300);
+    matmul_benches(&mut h);
+    simulator_benches(&mut h);
+    dataset_benches(&mut h);
+    maml_benches(&mut h);
+    adapt_sweep_benches(&mut h);
+
+    let packed_vs_naive: Vec<String> = h
+        .samples()
+        .chunks(2)
+        .take(4)
+        .map(|pair| {
+            format!(
+                "{}: {:.2}x vs naive",
+                pair[1].name,
+                pair[0].wall_ns as f64 / pair[1].wall_ns.max(1) as f64
+            )
+        })
+        .collect();
+    for line in &packed_vs_naive {
+        println!("{line}");
+    }
+
+    let path = std::path::Path::new("BENCH_results.json");
+    h.write_json(path).expect("write BENCH_results.json");
+    println!("wrote {}", path.display());
+}

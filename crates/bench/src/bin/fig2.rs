@@ -15,7 +15,13 @@ fn main() {
     let short: Vec<String> = result
         .names
         .iter()
-        .map(|n| n.split('.').nth(1).unwrap_or(n).trim_end_matches("_s").to_string())
+        .map(|n| {
+            n.split('.')
+                .nth(1)
+                .unwrap_or(n)
+                .trim_end_matches("_s")
+                .to_string()
+        })
         .collect();
 
     let mut rows = Vec::new();

@@ -7,7 +7,10 @@ use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 5 — per-workload IPC RMSE of the four frameworks", &scale);
+    banner(
+        "Fig. 5 — per-workload IPC RMSE of the four frameworks",
+        &scale,
+    );
     let env = Environment::build(&scale, scale.seed);
     let result = run_fig5(&env, &scale);
 

@@ -19,17 +19,10 @@ fn main() {
         "explained variance".to_string(),
     ]];
     for p in &result.points {
-        rows.push(vec![
-            p.pretrain_support.to_string(),
-            f4(p.rmse),
-            f4(p.ev),
-        ]);
+        rows.push(vec![p.pretrain_support.to_string(), f4(p.rmse), f4(p.ev)]);
     }
     println!("{}", render_table(&rows));
-    println!(
-        "downstream support fixed at {}",
-        result.downstream_support
-    );
+    println!("downstream support fixed at {}", result.downstream_support);
     let best = result
         .points
         .iter()

@@ -8,7 +8,10 @@ use metadse_workloads::Metric;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Table II — overall results on the five test datasets", &scale);
+    banner(
+        "Table II — overall results on the five test datasets",
+        &scale,
+    );
     let env = Environment::build(&scale, scale.seed);
     let result = run_table2(&env, &scale);
 

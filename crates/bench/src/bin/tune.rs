@@ -63,7 +63,10 @@ fn main() {
     };
     let t0 = Instant::now();
     let (model, mask) = metadse::experiment::pretrain_metadse(&env, &scale, metric, &maml);
-    println!("pretrain ready in {:.1} min", t0.elapsed().as_secs_f64() / 60.0);
+    println!(
+        "pretrain ready in {:.1} min",
+        t0.elapsed().as_secs_f64() / 60.0
+    );
 
     let mut rows = vec![vec![
         "adapt".to_string(),

@@ -117,6 +117,160 @@ pub fn f4(v: f64) -> String {
     format!("{v:.4}")
 }
 
+/// A self-contained wall-clock micro-benchmark harness (the build is
+/// hermetic, so there is no Criterion; `cargo bench` targets and the
+/// `bench_report` binary both run on this).
+pub mod timing {
+    use std::fmt::Write as _;
+    use std::io;
+    use std::path::Path;
+    use std::time::Instant;
+
+    pub use std::hint::black_box;
+
+    /// One benchmark result: mean wall time per iteration.
+    #[derive(Debug, Clone)]
+    pub struct Sample {
+        /// Benchmark name, e.g. `"matmul/packed_16x21x32"`.
+        pub name: String,
+        /// Mean wall-clock nanoseconds per iteration.
+        pub wall_ns: u128,
+        /// Iterations timed (after one warm-up call).
+        pub iters: u32,
+        /// Worker threads the benchmarked code was configured with
+        /// (1 for inherently serial code).
+        pub threads: usize,
+    }
+
+    /// Collects [`Sample`]s, prints them as they finish, and renders a
+    /// report or machine-readable JSON at the end.
+    #[derive(Debug, Default)]
+    pub struct Harness {
+        samples: Vec<Sample>,
+        /// Target total measurement time per benchmark, in nanoseconds.
+        target_ns: u128,
+        /// Iteration cap, so end-to-end benches stay bounded.
+        max_iters: u32,
+    }
+
+    impl Harness {
+        /// A harness targeting ~200 ms of measurement per benchmark,
+        /// capped at 1000 iterations.
+        pub fn new() -> Harness {
+            Harness {
+                samples: Vec::new(),
+                target_ns: 200_000_000,
+                max_iters: 1000,
+            }
+        }
+
+        /// Overrides the measurement-time target (per benchmark).
+        pub fn with_target_ms(mut self, ms: u64) -> Harness {
+            self.target_ns = u128::from(ms) * 1_000_000;
+            self
+        }
+
+        /// Times `f`, attributing the result to one worker thread.
+        pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &Sample {
+            self.bench_threads(name, 1, f)
+        }
+
+        /// Times `f`, recording that it ran with `threads` workers.
+        ///
+        /// Runs one untimed warm-up call, sizes the iteration count from
+        /// it to hit the harness's time target, then reports the mean.
+        pub fn bench_threads<T>(
+            &mut self,
+            name: &str,
+            threads: usize,
+            mut f: impl FnMut() -> T,
+        ) -> &Sample {
+            let warmup = Instant::now();
+            black_box(f());
+            let once_ns = warmup.elapsed().as_nanos().max(1);
+            let iters = (self.target_ns / once_ns).clamp(1, u128::from(self.max_iters)) as u32;
+
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let wall_ns = start.elapsed().as_nanos() / u128::from(iters);
+
+            let sample = Sample {
+                name: name.to_string(),
+                wall_ns,
+                iters,
+                threads,
+            };
+            println!("{}", format_sample(&sample));
+            self.samples.push(sample);
+            self.samples.last().expect("just pushed")
+        }
+
+        /// All recorded samples, in run order.
+        pub fn samples(&self) -> &[Sample] {
+            &self.samples
+        }
+
+        /// The samples as a JSON array of
+        /// `{"name": …, "wall_ns": …, "iters": …, "threads": …}`.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("[\n");
+            for (i, s) in self.samples.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{}\", \"wall_ns\": {}, \"iters\": {}, \"threads\": {}}}",
+                    s.name.replace('\\', "\\\\").replace('"', "\\\""),
+                    s.wall_ns,
+                    s.iters,
+                    s.threads
+                );
+                out.push_str(if i + 1 < self.samples.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("]\n");
+            out
+        }
+
+        /// Writes [`Harness::to_json`] to `path`.
+        ///
+        /// # Errors
+        ///
+        /// Returns any underlying I/O error.
+        pub fn write_json(&self, path: &Path) -> io::Result<()> {
+            std::fs::write(path, self.to_json())
+        }
+    }
+
+    /// Renders one sample as a fixed-width report line.
+    fn format_sample(s: &Sample) -> String {
+        format!(
+            "{:<44} {:>14}  ({} iters, {} thread{})",
+            s.name,
+            human_ns(s.wall_ns),
+            s.iters,
+            s.threads,
+            if s.threads == 1 { "" } else { "s" }
+        )
+    }
+
+    /// Formats nanoseconds with an adaptive unit.
+    pub fn human_ns(ns: u128) -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} µs", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +297,26 @@ mod tests {
         if std::env::var("METADSE_SCALE").is_err() {
             assert_eq!(scale_name(&scale_from_args()), "scaled");
         }
+    }
+
+    #[test]
+    fn timing_harness_records_and_serializes() {
+        let mut h = timing::Harness::new().with_target_ms(1);
+        h.bench("trivial", || 1 + 1);
+        h.bench_threads("parallel\"ish", 4, || std::hint::black_box(2) * 3);
+        assert_eq!(h.samples().len(), 2);
+        assert_eq!(h.samples()[1].threads, 4);
+        let json = h.to_json();
+        assert!(json.contains("\"name\": \"trivial\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("parallel\\\"ish"));
+    }
+
+    #[test]
+    fn human_ns_picks_units() {
+        assert_eq!(timing::human_ns(12), "12 ns");
+        assert_eq!(timing::human_ns(1_500), "1.500 µs");
+        assert_eq!(timing::human_ns(2_000_000), "2.000 ms");
+        assert_eq!(timing::human_ns(3_000_000_000), "3.000 s");
     }
 }

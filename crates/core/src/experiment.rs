@@ -9,13 +9,14 @@
 
 use std::collections::BTreeMap;
 
+use metadse_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use metadse_mlkit::metrics::{geometric_mean, mean, std_dev};
-use metadse_nn::layers::Module;
 use metadse_mlkit::wasserstein::distance_matrix;
 use metadse_mlkit::{GradientBoosting, RandomForest, Regressor};
+use metadse_nn::layers::Module;
 use metadse_sim::{ConfigPoint, DesignSpace, Elem, Simulator};
 use metadse_workloads::{Dataset, Metric, Sample, SpecWorkload, TaskSampler, WorkloadSplit};
 
@@ -48,6 +49,11 @@ pub struct Scale {
     pub predictor: PredictorConfig,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for dataset simulation and the per-task adaptation
+    /// sweeps (`Some(1)` = exact serial path; `None` defers to
+    /// `METADSE_THREADS`, then the machine). Meta-training threads live in
+    /// [`MamlConfig::parallel`].
+    pub parallel: ParallelConfig,
 }
 
 impl Scale {
@@ -65,6 +71,7 @@ impl Scale {
             trendse: TrEnDseConfig::default(),
             predictor: PredictorConfig::default(),
             seed: 7,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -155,7 +162,10 @@ impl Environment {
             let points: Vec<ConfigPoint> = (0..scale.samples_per_workload)
                 .map(|_| space.random_point(&mut rng))
                 .collect();
-            raw.insert(w, Dataset::generate_at(&space, &simulator, w, &points));
+            raw.insert(
+                w,
+                Dataset::generate_at_with(&space, &simulator, w, &points, &scale.parallel),
+            );
         }
 
         // Normalize power by the training-split standard deviation.
@@ -200,7 +210,11 @@ impl Environment {
 
     /// Clones the training datasets (source workloads).
     pub fn train_datasets(&self) -> Vec<Dataset> {
-        self.split.train.iter().map(|w| self.dataset(*w).clone()).collect()
+        self.split
+            .train
+            .iter()
+            .map(|w| self.dataset(*w).clone())
+            .collect()
     }
 
     /// Clones the validation datasets.
@@ -232,9 +246,15 @@ pub fn pretrain_metadse(
         // Bump CACHE_VERSION whenever the simulator or model architecture
         // changes in a way that invalidates previously trained parameters.
         const CACHE_VERSION: u32 = 1;
+        // The thread count never changes the trained parameters
+        // (parallelism is bit-identical), so it must not change the key.
+        let key_maml = MamlConfig {
+            parallel: ParallelConfig::default(),
+            ..maml.clone()
+        };
         let key = format!(
             "v{CACHE_VERSION}|{:?}|{:?}|{:?}|{}|{}|{:?}",
-            maml, scale.predictor, metric, scale.samples_per_workload, scale.seed, env.split
+            key_maml, scale.predictor, metric, scale.samples_per_workload, scale.seed, env.split
         );
         let mut hash: u64 = 0xcbf29ce484222325;
         for b in key.bytes() {
@@ -246,9 +266,9 @@ pub fn pretrain_metadse(
         dir.join(format!("pretrain-{hash:016x}.ckpt"))
     });
 
-    let loaded = cache_path
-        .as_ref()
-        .is_some_and(|p| p.exists() && metadse_nn::serialize::load_params(&model.params(), p).is_ok());
+    let loaded = cache_path.as_ref().is_some_and(|p| {
+        p.exists() && metadse_nn::serialize::load_params(&model.params(), p).is_ok()
+    });
     if !loaded {
         maml::pretrain(
             &model,
@@ -259,7 +279,10 @@ pub fn pretrain_metadse(
         );
         if let Some(path) = &cache_path {
             if let Err(e) = metadse_nn::serialize::save_params(&model.params(), path) {
-                eprintln!("warning: could not write checkpoint {}: {e}", path.display());
+                eprintln!(
+                    "warning: could not write checkpoint {}: {e}",
+                    path.display()
+                );
             }
         }
     }
@@ -346,16 +369,23 @@ pub fn run_fig5(env: &Environment, scale: &Scale) -> Fig5Result {
         let mut s_tx = TaskScores::new();
         let mut s_plain = TaskScores::new();
         let mut s_metadse = TaskScores::new();
-        for _ in 0..scale.eval_tasks {
-            let task = sampler.sample(ds, metric, &mut rng);
+        // Pre-sampling the workload's tasks keeps the RNG stream identical
+        // to the per-task loop while letting the MetaDSE adaptation sweep
+        // fan out across threads.
+        let tasks: Vec<metadse_workloads::Task> = (0..scale.eval_tasks)
+            .map(|_| sampler.sample(ds, metric, &mut rng))
+            .collect();
+        for task in &tasks {
             let p = trendse.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
             s_trendse.push(&task.query_y, &p);
             let p = trendse_tx.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
             s_tx.push(&task.query_y, &p);
-            let p = wam::adapt_and_predict(&model, &task, None, &scale.adapt);
-            s_plain.push(&task.query_y, &p);
-            let p = wam::adapt_and_predict(&model, &task, Some(&mask), &scale.adapt);
-            s_metadse.push(&task.query_y, &p);
+        }
+        let plain = wam::adapt_sweep(&model, &tasks, None, &scale.adapt, &scale.parallel);
+        let masked = wam::adapt_sweep(&model, &tasks, Some(&mask), &scale.adapt, &scale.parallel);
+        for ((task, p_plain), p_masked) in tasks.iter().zip(&plain).zip(&masked) {
+            s_plain.push(&task.query_y, p_plain);
+            s_metadse.push(&task.query_y, p_masked);
         }
         rows.push(Fig5Row {
             workload: w.name().to_string(),
@@ -377,7 +407,6 @@ pub fn run_fig5(env: &Environment, scale: &Scale) -> Fig5Result {
     };
     Fig5Result { rows, geomean }
 }
-
 
 /// Fits the pooled RF and GBRT baselines of Tables II/III on one task and
 /// scores their query predictions.
@@ -462,16 +491,19 @@ pub fn run_table2(env: &Environment, scale: &Scale) -> Table2Result {
         let mut s_metadse = TaskScores::new();
         for &w in &env.split.test {
             let ds = env.dataset(w);
-            for _ in 0..scale.eval_tasks {
-                let task = sampler.sample(ds, metric, &mut rng);
-                score_pooled_baselines(&sources, metric, &task, scale, &mut s_rf, &mut s_gbrt);
+            let tasks: Vec<metadse_workloads::Task> = (0..scale.eval_tasks)
+                .map(|_| sampler.sample(ds, metric, &mut rng))
+                .collect();
+            for task in &tasks {
+                score_pooled_baselines(&sources, metric, task, scale, &mut s_rf, &mut s_gbrt);
 
-                let p =
-                    trendse.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
+                let p = trendse.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
                 s_trendse.push(&task.query_y, &p);
-
-                let p = wam::adapt_and_predict(&model, &task, Some(&mask), &scale.adapt);
-                s_metadse.push(&task.query_y, &p);
+            }
+            let masked =
+                wam::adapt_sweep(&model, &tasks, Some(&mask), &scale.adapt, &scale.parallel);
+            for (task, p) in tasks.iter().zip(&masked) {
+                s_metadse.push(&task.query_y, p);
             }
         }
         for (name, scores) in [
@@ -531,10 +563,13 @@ pub fn run_fig6(env: &Environment, scale: &Scale, sizes: &[usize]) -> Fig6Result
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xf1f6);
         for &w in &env.split.test {
             let ds = env.dataset(w);
-            for _ in 0..scale.eval_tasks {
-                let task = sampler.sample(ds, metric, &mut rng);
-                let p = wam::adapt_and_predict(&model, &task, Some(&mask), &scale.adapt);
-                scores.push(&task.query_y, &p);
+            let tasks: Vec<metadse_workloads::Task> = (0..scale.eval_tasks)
+                .map(|_| sampler.sample(ds, metric, &mut rng))
+                .collect();
+            let masked =
+                wam::adapt_sweep(&model, &tasks, Some(&mask), &scale.adapt, &scale.parallel);
+            for (task, p) in tasks.iter().zip(&masked) {
+                scores.push(&task.query_y, p);
             }
         }
         let summary = scores.summary();
@@ -594,14 +629,18 @@ pub fn run_table3(env: &Environment, scale: &Scale, ks: &[usize]) -> Table3Resul
         let mut s_meta = TaskScores::new();
         for &w in &env.split.test {
             let ds = env.dataset(w);
-            for _ in 0..scale.eval_tasks {
-                let task = sampler.sample(ds, metric, &mut rng);
-                score_pooled_baselines(&sources, metric, &task, scale, &mut s_rf, &mut s_gbrt);
-
-                let p = wam::adapt_and_predict(&model, &task, None, &scale.adapt);
-                s_base.push(&task.query_y, &p);
-                let p = wam::adapt_and_predict(&model, &task, Some(&mask), &scale.adapt);
-                s_meta.push(&task.query_y, &p);
+            let tasks: Vec<metadse_workloads::Task> = (0..scale.eval_tasks)
+                .map(|_| sampler.sample(ds, metric, &mut rng))
+                .collect();
+            for task in &tasks {
+                score_pooled_baselines(&sources, metric, task, scale, &mut s_rf, &mut s_gbrt);
+            }
+            let plain = wam::adapt_sweep(&model, &tasks, None, &scale.adapt, &scale.parallel);
+            let masked =
+                wam::adapt_sweep(&model, &tasks, Some(&mask), &scale.adapt, &scale.parallel);
+            for ((task, p_plain), p_masked) in tasks.iter().zip(&plain).zip(&masked) {
+                s_base.push(&task.query_y, p_plain);
+                s_meta.push(&task.query_y, p_masked);
             }
         }
         rf_row.push((k, s_rf.summary().rmse_mean));
@@ -687,12 +726,7 @@ mod tests {
             }
         }
         // Workloads genuinely differ: some pair must be far apart.
-        let max = r
-            .matrix
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(0.0_f64, f64::max);
+        let max = r.matrix.iter().flatten().cloned().fold(0.0_f64, f64::max);
         assert!(max > 0.1, "max distance {max} suspiciously small");
     }
 

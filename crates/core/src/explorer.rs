@@ -149,6 +149,7 @@ pub fn explore_pareto(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut seen: HashSet<ConfigPoint> = HashSet::new();
 
+    #[allow(clippy::type_complexity)] // borrows the caller's predictor closure
     let evaluate = |points: Vec<ConfigPoint>,
                     seen: &mut HashSet<ConfigPoint>,
                     predict: &mut dyn FnMut(&[Vec<Elem>]) -> Vec<(Elem, Elem)>|
@@ -257,7 +258,10 @@ mod tests {
         // toward it.
         let space = DesignSpace::new();
         let objective = |batch: &[Vec<f64>]| -> Vec<(f64, f64)> {
-            batch.iter().map(|x| (x[1] * 3.0, 1.0 + x[2] * 9.0)).collect()
+            batch
+                .iter()
+                .map(|x| (x[1] * 3.0, 1.0 + x[2] * 9.0))
+                .collect()
         };
         let cfg = ExplorerConfig {
             initial_samples: 64,

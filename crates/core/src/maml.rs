@@ -11,7 +11,20 @@
 //! * with `second_order = true`, inner gradients stay in the graph and the
 //!   meta-gradient differentiates *through* the inner updates — full MAML,
 //!   enabled by the double-backward autodiff of `metadse-nn`.
+//!
+//! # Parallel execution
+//!
+//! The tasks of one meta-batch are independent: each starts from the same
+//! meta-parameters and only its gradient flows back. [`pretrain`] exploits
+//! this without making the `Rc`-based autograd graph `Send` — tasks are
+//! sampled serially (so the RNG stream never depends on the thread count),
+//! each task's inner loop and meta-gradient run as a pure function of the
+//! meta-parameter snapshot on scoped workers, and the gradient buffers are
+//! reduced in task order before the Adam step. The result is bit-identical
+//! to a serial run for the same seed; `threads = Some(1)` skips the
+//! snapshot entirely and runs the exact serial path.
 
+use metadse_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,7 +32,7 @@ use metadse_nn::autograd::grad;
 use metadse_nn::layers::{self, Module};
 use metadse_nn::optim::{Adam, Optimizer};
 use metadse_nn::{Elem, Tensor};
-use metadse_workloads::{Dataset, Metric, TaskSampler};
+use metadse_workloads::{Dataset, Metric, Task, TaskSampler};
 
 use crate::predictor::TransformerPredictor;
 
@@ -46,6 +59,9 @@ pub struct MamlConfig {
     pub second_order: bool,
     /// RNG seed for task sampling.
     pub seed: u64,
+    /// Worker threads for per-task fan-out (`Some(1)` = exact serial
+    /// path; `None` = `METADSE_THREADS`, then the machine).
+    pub parallel: ParallelConfig,
 }
 
 impl MamlConfig {
@@ -66,6 +82,7 @@ impl MamlConfig {
             val_tasks: 20,
             second_order: false,
             seed: 17,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -138,6 +155,65 @@ pub fn inner_adapt(
     theta
 }
 
+/// Evaluates `f(model, i)` for `i in 0..n`, returning results in index
+/// order.
+///
+/// With one effective thread this runs inline on `model` itself — the
+/// exact serial path, with no snapshotting and no spawned threads.
+/// Otherwise each scoped worker rebuilds a thread-local predictor from a
+/// plain-buffer snapshot of `model`'s parameters (the `Rc`-based autograd
+/// graph never crosses threads), so `f` must be a pure function of the
+/// model values and the index; index-ordered results make any subsequent
+/// reduction bit-identical to the serial run.
+pub(crate) fn fan_out_tasks<T, F>(
+    model: &TransformerPredictor,
+    parallel: &ParallelConfig,
+    n: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&TransformerPredictor, usize) -> T + Sync,
+{
+    if parallel.effective_threads().min(n.max(1)) <= 1 {
+        return (0..n).map(|i| f(model, i)).collect();
+    }
+    let snapshot = model.snapshot_values();
+    let geometry = *model.config();
+    parallel.run_indexed(n, |i| {
+        let worker = TransformerPredictor::new(geometry, 0);
+        worker.load_values(&snapshot);
+        f(&worker, i)
+    })
+}
+
+/// One meta-batch member: inner-adapts `model` on the task, differentiates
+/// the query loss w.r.t. the pre-adaptation parameters, restores the model
+/// and returns `(query loss, per-parameter meta-gradient buffers)`.
+///
+/// Pure in the meta-parameters: the model is left exactly as found, so the
+/// same function serves the serial loop and parallel workers.
+fn task_meta_grads(
+    model: &TransformerPredictor,
+    task: &Task,
+    config: &MamlConfig,
+) -> (Elem, Vec<Vec<Elem>>) {
+    let params = model.params();
+    let theta = inner_adapt(
+        model,
+        &task.support_x,
+        &task.support_y,
+        config.inner_steps,
+        config.inner_lr,
+        config.second_order,
+    );
+    let query_loss = model.mse_on(&task.query_x, &task.query_y);
+    let value = query_loss.value();
+    let meta_grads = grad(&query_loss, &theta, false);
+    layers::restore(&params, &theta);
+    (value, meta_grads.iter().map(|g| g.to_vec()).collect())
+}
+
 /// Post-adaptation loss of the model on one task, leaving the model's
 /// parameters untouched (adapt on support, evaluate on query, restore).
 pub fn adapted_query_loss(
@@ -187,39 +263,51 @@ pub fn pretrain(
         for _ in 0..config.iterations_per_epoch {
             // One task from each source workload forms the meta-batch
             // (line 3 of Algorithm 1 samples tasks across workloads).
-            let mut accumulated: Option<Vec<Tensor>> = None;
-            for dataset in train {
-                let task = sampler.sample(dataset, metric, &mut rng);
-                let theta = inner_adapt(
-                    model,
-                    &task.support_x,
-                    &task.support_y,
-                    config.inner_steps,
-                    config.inner_lr,
-                    config.second_order,
-                );
-                let query_loss = model.mse_on(&task.query_x, &task.query_y);
-                epoch_loss += query_loss.value();
+            // Sampling stays serial so the RNG stream is the same at any
+            // thread count; the per-task work then fans out.
+            let tasks: Vec<Task> = train
+                .iter()
+                .map(|dataset| sampler.sample(dataset, metric, &mut rng))
+                .collect();
+            let outcomes = fan_out_tasks(model, &config.parallel, tasks.len(), |m, i| {
+                task_meta_grads(m, &tasks[i], config)
+            });
+
+            // Reduce in task order — the exact summation order of the
+            // serial loop, so the averaged gradient is bit-identical.
+            let mut accumulated: Option<Vec<Vec<Elem>>> = None;
+            for (loss, grads) in outcomes {
+                epoch_loss += loss;
                 epoch_count += 1;
-                let meta_grads = grad(&query_loss, &theta, false);
-                layers::restore(&params, &theta);
                 accumulated = Some(match accumulated {
-                    None => meta_grads,
-                    Some(acc) => acc
-                        .iter()
-                        .zip(&meta_grads)
-                        .map(|(a, g)| a.add(g))
-                        .collect(),
+                    None => grads,
+                    Some(mut acc) => {
+                        for (a, g) in acc.iter_mut().zip(&grads) {
+                            for (av, gv) in a.iter_mut().zip(g) {
+                                *av += gv;
+                            }
+                        }
+                        acc
+                    }
                 });
             }
+            let inv = 1.0 / train.len() as Elem;
             let grads: Vec<Tensor> = accumulated
                 .expect("at least one train workload")
-                .iter()
-                .map(|g| g.mul_scalar(1.0 / train.len() as Elem))
+                .into_iter()
+                .zip(&params)
+                .map(|(mut g, p)| {
+                    for v in &mut g {
+                        *v *= inv;
+                    }
+                    Tensor::from_vec(g, &p.shape())
+                })
                 .collect();
             optimizer.step(&grads);
         }
-        report.train_losses.push(epoch_loss / epoch_count.max(1) as Elem);
+        report
+            .train_losses
+            .push(epoch_loss / epoch_count.max(1) as Elem);
 
         // Meta-validation (step 5 of Fig. 3): post-adaptation loss on
         // held-out workloads decides which epoch's θ* ships.
@@ -248,16 +336,22 @@ fn meta_validate(
         return Elem::INFINITY;
     }
     let sampler = TaskSampler::new(config.support_size, config.query_size);
-    let mut total = 0.0;
-    let mut count = 0usize;
+    // Serial sampling (RNG stream fixed), parallel per-task adaptation,
+    // task-order summation: bit-identical at any thread count.
+    let mut tasks: Vec<Task> = Vec::with_capacity(validation.len() * config.val_tasks);
     for dataset in validation {
         for _ in 0..config.val_tasks {
-            let task = sampler.sample(dataset, metric, rng);
-            total += adapted_query_loss(model, &task, config.inner_steps, config.inner_lr);
-            count += 1;
+            tasks.push(sampler.sample(dataset, metric, rng));
         }
     }
-    total / count as Elem
+    let losses = fan_out_tasks(model, &config.parallel, tasks.len(), |m, i| {
+        adapted_query_loss(m, &tasks[i], config.inner_steps, config.inner_lr)
+    });
+    let mut total = 0.0;
+    for loss in &losses {
+        total += loss;
+    }
+    total / losses.len() as Elem
 }
 
 #[cfg(test)]
@@ -317,7 +411,10 @@ mod tests {
         let params = model.params();
         let theta = inner_adapt(&model, &task.support_x, &task.support_y, 20, 0.05, false);
         let after = model.mse_on(&task.support_x, &task.support_y).value();
-        assert!(after < before, "adaptation should reduce loss: {before} -> {after}");
+        assert!(
+            after < before,
+            "adaptation should reduce loss: {before} -> {after}"
+        );
 
         layers::restore(&params, &theta);
         let restored = model.mse_on(&task.support_x, &task.support_y).value();
@@ -345,12 +442,15 @@ mod tests {
             val_tasks: 4,
             second_order: false,
             seed: 3,
+            parallel: ParallelConfig::default(),
         };
 
         // Baseline: random-init model adapted on test tasks.
         let sampler = TaskSampler::new(cfg.support_size, cfg.query_size);
         let mut rng = StdRng::seed_from_u64(4);
-        let tasks: Vec<_> = (0..6).map(|_| sampler.sample(&test, Metric::Ipc, &mut rng)).collect();
+        let tasks: Vec<_> = (0..6)
+            .map(|_| sampler.sample(&test, Metric::Ipc, &mut rng))
+            .collect();
         let before: f64 = tasks
             .iter()
             .map(|t| adapted_query_loss(&model, t, cfg.inner_steps, cfg.inner_lr))
@@ -388,6 +488,7 @@ mod tests {
             val_tasks: 2,
             second_order: false,
             seed: 5,
+            parallel: ParallelConfig::default(),
         };
         let cfg_so = MamlConfig {
             second_order: true,
@@ -413,18 +514,25 @@ mod tests {
         let model = tiny_model(dim);
         let ds = vec![synthetic_dataset(50, dim, 60, 0.0)];
         let val = vec![synthetic_dataset(51, dim, 60, 0.1)];
-        let report = pretrain(&model, &ds, &val, Metric::Ipc, &MamlConfig {
-            inner_lr: 0.05,
-            outer_lr: 1e-3,
-            inner_steps: 2,
-            epochs: 3,
-            iterations_per_epoch: 4,
-            support_size: 5,
-            query_size: 10,
-            val_tasks: 2,
-            second_order: false,
-            seed: 6,
-        });
+        let report = pretrain(
+            &model,
+            &ds,
+            &val,
+            Metric::Ipc,
+            &MamlConfig {
+                inner_lr: 0.05,
+                outer_lr: 1e-3,
+                inner_steps: 2,
+                epochs: 3,
+                iterations_per_epoch: 4,
+                support_size: 5,
+                query_size: 10,
+                val_tasks: 2,
+                second_order: false,
+                seed: 6,
+                parallel: ParallelConfig::default(),
+            },
+        );
         assert!(report.best_epoch < 3);
         let min = report
             .val_losses

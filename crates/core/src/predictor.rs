@@ -11,9 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use metadse_nn::autograd::no_grad;
-use metadse_nn::layers::{
-    Embedding, Mlp, Module, Param, TransformerEncoder,
-};
+use metadse_nn::layers::{Embedding, Mlp, Module, Param, TransformerEncoder};
 use metadse_nn::{Elem, Tensor};
 
 /// Geometry of the surrogate predictor.
@@ -73,8 +71,12 @@ impl TransformerPredictor {
     /// Creates a predictor with seeded initialization.
     pub fn new(config: PredictorConfig, seed: u64) -> TransformerPredictor {
         let mut rng = StdRng::seed_from_u64(seed);
-        let token_embedding =
-            Embedding::new("predictor.token", config.num_params, config.d_model, &mut rng);
+        let token_embedding = Embedding::new(
+            "predictor.token",
+            config.num_params,
+            config.d_model,
+            &mut rng,
+        );
         let dir = metadse_nn::init::normal(&[config.num_params, config.d_model], 0.5, &mut rng);
         let value_direction = Param::new(
             "predictor.value_direction",
@@ -170,9 +172,7 @@ impl TransformerPredictor {
             .reshape(&[1, seq, self.config.d_model])
             .broadcast_to(&[batch, seq, self.config.d_model]);
         // Value component: x[b, t] scales the parameter's value direction.
-        let values = x
-            .reshape(&[batch, seq, 1])
-            .mul(&self.value_direction.get());
+        let values = x.reshape(&[batch, seq, 1]).mul(&self.value_direction.get());
         let tokens = identity.add(&values);
 
         let encoded = self.encoder.forward(&tokens);
@@ -188,6 +188,30 @@ impl TransformerPredictor {
     /// Inference without graph construction.
     pub fn predict(&self, batch: &[Vec<Elem>]) -> Vec<Elem> {
         no_grad(|| self.forward_batch(batch)).to_vec()
+    }
+
+    /// Captures every parameter's values as plain `Vec<Elem>` buffers (in
+    /// [`Module::params`] order). Unlike the `Rc`-backed tensors, the
+    /// buffers are `Send`, so worker threads can rebuild an identical
+    /// predictor from them via [`TransformerPredictor::load_values`].
+    pub fn snapshot_values(&self) -> Vec<Vec<Elem>> {
+        self.params().iter().map(|p| p.get().to_vec()).collect()
+    }
+
+    /// Loads parameter values captured by
+    /// [`TransformerPredictor::snapshot_values`] into this predictor's
+    /// parameter slots (as fresh trainable leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer count or any buffer length disagrees with this
+    /// predictor's parameters.
+    pub fn load_values(&self, values: &[Vec<Elem>]) {
+        let params = self.params();
+        assert_eq!(params.len(), values.len(), "parameter count mismatch");
+        for (p, v) in params.iter().zip(values) {
+            p.set(Tensor::param_from_vec(v.clone(), &p.shape()));
+        }
     }
 
     /// Mean-squared-error loss on a labeled batch (differentiable).
@@ -280,6 +304,22 @@ mod tests {
                 "parameter {} got zero gradient",
                 p.name()
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_values_rebuild_an_identical_predictor() {
+        let original = small();
+        // A differently seeded predictor becomes bit-identical after
+        // loading the snapshot — the mechanism parallel MAML workers use.
+        let rebuilt = TransformerPredictor::new(*original.config(), 999);
+        let x = vec![vec![0.25; 6], vec![0.75; 6]];
+        assert_ne!(original.predict(&x), rebuilt.predict(&x));
+        rebuilt.load_values(&original.snapshot_values());
+        assert_eq!(original.predict(&x), rebuilt.predict(&x));
+        // Loaded values are fresh trainable leaves.
+        for p in rebuilt.params() {
+            assert!(p.get().requires_grad(), "{} lost requires_grad", p.name());
         }
     }
 

@@ -16,9 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use metadse_mlkit::wasserstein::wasserstein_1d;
-use metadse_mlkit::{
-    GradientBoosting, RandomForest, Regressor, RidgeRegression,
-};
+use metadse_mlkit::{GradientBoosting, RandomForest, Regressor, RidgeRegression};
 use metadse_nn::autograd::grad;
 use metadse_nn::layers::Module;
 use metadse_nn::optim::{Adam, Optimizer};
@@ -91,11 +89,7 @@ impl TrEnDse {
     }
 
     /// Builds the pooled training set for one target task.
-    fn pooled(
-        &self,
-        support_x: &[Vec<Elem>],
-        support_y: &[Elem],
-    ) -> (Vec<Vec<Elem>>, Vec<Elem>) {
+    fn pooled(&self, support_x: &[Vec<Elem>], support_y: &[Elem]) -> (Vec<Vec<Elem>>, Vec<Elem>) {
         let ranked = self.rank_sources(support_y);
         let mut x = Vec::new();
         let mut y = Vec::new();
@@ -130,9 +124,7 @@ impl TrEnDse {
         ridge.fit(&x, &y);
         query_x
             .iter()
-            .map(|q| {
-                (forest.predict_one(q) + gbrt.predict_one(q) + ridge.predict_one(q)) / 3.0
-            })
+            .map(|q| (forest.predict_one(q) + gbrt.predict_one(q) + ridge.predict_one(q)) / 3.0)
             .collect()
     }
 }
@@ -303,10 +295,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let task = TaskSampler::new(5, 30).sample(&target, Metric::Ipc, &mut rng);
 
-        let t = TrEnDse::new(sources, Metric::Ipc, TrEnDseConfig {
-            num_similar: 1,
-            ..TrEnDseConfig::default()
-        });
+        let t = TrEnDse::new(
+            sources,
+            Metric::Ipc,
+            TrEnDseConfig {
+                num_similar: 1,
+                ..TrEnDseConfig::default()
+            },
+        );
         let preds = t.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
         let err = rmse(&task.query_y, &preds);
 

@@ -13,8 +13,10 @@ use metadse_nn::autograd::{grad, no_grad};
 use metadse_nn::layers::{self, Module, Param};
 use metadse_nn::optim::CosineAnnealing;
 use metadse_nn::{Elem, Tensor};
+use metadse_parallel::ParallelConfig;
 use metadse_workloads::{Dataset, Task};
 
+use crate::maml::fan_out_tasks;
 use crate::predictor::TransformerPredictor;
 
 /// Mask-generation hyperparameters.
@@ -259,6 +261,33 @@ pub fn adapt_and_predict(
     predictions
 }
 
+/// Runs [`adapt_and_predict`] over many tasks, fanning the per-task
+/// adaptation across threads.
+///
+/// Each task adapts independently from the same pre-trained parameters and
+/// the same mask prior, so workers rebuild a thread-local predictor from a
+/// plain-buffer snapshot and a fresh mask `Param` from the mask's values —
+/// predictions come back in task order and are bit-identical to the serial
+/// sweep (which runs inline when one thread is effective).
+pub fn adapt_sweep(
+    model: &TransformerPredictor,
+    tasks: &[Task],
+    mask: Option<&Param>,
+    config: &AdaptConfig,
+    parallel: &ParallelConfig,
+) -> Vec<Vec<Elem>> {
+    let mask_buffer: Option<(Vec<Elem>, Vec<usize>)> = mask.map(|m| (m.get().to_vec(), m.shape()));
+    fan_out_tasks(model, parallel, tasks.len(), |m, i| {
+        // adapt_and_predict itself copies the mask into a fresh per-task
+        // Param, so a worker-local reconstruction is value-identical to
+        // passing the caller's mask directly.
+        let local_mask = mask_buffer
+            .as_ref()
+            .map(|(v, s)| Param::new("wam.mask", Tensor::param_from_vec(v.clone(), s)));
+        adapt_and_predict(m, &tasks[i], local_mask.as_ref(), config)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +435,35 @@ mod tests {
         // Model fully restored: no mask, same parameters.
         assert_eq!(model.predict(&probe)[0], before);
         assert!(model.encoder().last_attention().mask().is_none());
+    }
+
+    #[test]
+    fn adapt_sweep_matches_serial_adaptation() {
+        let dim = 6;
+        let model = tiny_model(dim);
+        let ds = toy_dataset(dim, 60, 8);
+        let mask = generate_mask(&model, std::slice::from_ref(&ds), &WamConfig::default(), 16);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sampler = TaskSampler::new(5, 6);
+        let tasks: Vec<Task> = (0..4)
+            .map(|_| sampler.sample(&ds, Metric::Ipc, &mut rng))
+            .collect();
+        let cfg = AdaptConfig {
+            steps: 4,
+            ..AdaptConfig::default()
+        };
+        let serial: Vec<Vec<Elem>> = tasks
+            .iter()
+            .map(|t| adapt_and_predict(&model, t, Some(&mask), &cfg))
+            .collect();
+        let swept = adapt_sweep(
+            &model,
+            &tasks,
+            Some(&mask),
+            &cfg,
+            &ParallelConfig::with_threads(3),
+        );
+        assert_eq!(serial, swept);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Regression tests for the parallel execution layer: fanning per-task
+//! work across threads must be bit-identical to the serial path, because
+//! tasks are sampled serially, each task is a pure function of the
+//! meta-parameter snapshot, and reductions run in task order.
+
+use metadse::maml::{pretrain, MamlConfig};
+use metadse::predictor::{PredictorConfig, TransformerPredictor};
+use metadse_nn::layers::Module;
+use metadse_parallel::ParallelConfig;
+use metadse_workloads::{Dataset, Metric, Sample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_dataset(seed: u64, dim: usize, n: usize, shift: f64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = (0..n)
+        .map(|_| {
+            let features: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let y: f64 = features
+                .iter()
+                .enumerate()
+                .map(|(j, v)| v * ((j as f64 * 0.7 + shift).sin() + 1.0))
+                .sum::<f64>()
+                / dim as f64;
+            Sample {
+                features,
+                ipc: y,
+                power_w: y * 10.0,
+            }
+        })
+        .collect();
+    Dataset::from_samples(format!("synthetic-{seed}"), samples)
+}
+
+fn tiny_model(dim: usize) -> TransformerPredictor {
+    TransformerPredictor::new(
+        PredictorConfig {
+            num_params: dim,
+            d_model: 8,
+            heads: 2,
+            depth: 1,
+            d_hidden: 16,
+            head_hidden: 8,
+        },
+        5,
+    )
+}
+
+#[test]
+fn pretrain_is_bit_identical_across_thread_counts() {
+    let dim = 6;
+    // tiny() needs support_size + query_size = 50 samples per task.
+    let train: Vec<Dataset> = (0..2)
+        .map(|i| synthetic_dataset(60 + i, dim, 80, i as f64 * 0.4))
+        .collect();
+    let val = vec![synthetic_dataset(70, dim, 80, 0.2)];
+
+    let run = |threads: usize| {
+        let model = tiny_model(dim);
+        let config = MamlConfig {
+            parallel: ParallelConfig::with_threads(threads),
+            ..MamlConfig::tiny()
+        };
+        let report = pretrain(&model, &train, &val, Metric::Ipc, &config);
+        let params: Vec<Vec<f64>> = model.params().iter().map(|p| p.get().to_vec()).collect();
+        (report, params)
+    };
+
+    let (serial_report, serial_params) = run(1);
+    let (parallel_report, parallel_params) = run(4);
+
+    assert_eq!(
+        serial_report, parallel_report,
+        "losses must match bit-for-bit across thread counts"
+    );
+    assert_eq!(
+        serial_params, parallel_params,
+        "final parameters must match bit-for-bit across thread counts"
+    );
+}

@@ -1,10 +1,21 @@
 //! Random forest regressor (bagged CART trees with feature subsetting).
 
+use metadse_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::tree::RegressionTree;
 use crate::Regressor;
+
+/// SplitMix64 finalizer used to derive independent per-tree seeds: each
+/// tree's RNG is a pure function of (forest seed, tree index), so trees
+/// can fit on any thread in any order with bit-identical results.
+fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
 
 /// Random forest: bootstrap-resampled regression trees whose splits see a
 /// random √d feature subset, averaged at prediction time.
@@ -16,6 +27,7 @@ pub struct RandomForest {
     max_depth: usize,
     min_samples_leaf: usize,
     seed: u64,
+    parallel: ParallelConfig,
     trees: Vec<RegressionTree>,
 }
 
@@ -25,14 +37,23 @@ impl RandomForest {
     /// # Panics
     ///
     /// Panics if `n_trees`, `max_depth` or `min_samples_leaf` is zero.
-    pub fn new(n_trees: usize, max_depth: usize, min_samples_leaf: usize, seed: u64) -> RandomForest {
+    pub fn new(
+        n_trees: usize,
+        max_depth: usize,
+        min_samples_leaf: usize,
+        seed: u64,
+    ) -> RandomForest {
         assert!(n_trees > 0, "a forest needs trees");
-        assert!(max_depth > 0 && min_samples_leaf > 0, "invalid tree hyperparameters");
+        assert!(
+            max_depth > 0 && min_samples_leaf > 0,
+            "invalid tree hyperparameters"
+        );
         RandomForest {
             n_trees,
             max_depth,
             min_samples_leaf,
             seed,
+            parallel: ParallelConfig::default(),
             trees: Vec::new(),
         }
     }
@@ -40,6 +61,12 @@ impl RandomForest {
     /// The paper-style default: 100 trees of depth 12.
     pub fn default_for_dse(seed: u64) -> RandomForest {
         RandomForest::new(100, 12, 2, seed)
+    }
+
+    /// Sets the thread configuration used by [`Regressor::fit`].
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> RandomForest {
+        self.parallel = parallel;
+        self
     }
 
     /// Number of fitted trees.
@@ -57,25 +84,26 @@ impl Regressor for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert!(!x.is_empty(), "cannot fit on an empty dataset");
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let d = x[0].len();
         let k = (d as f64).sqrt().round().max(1.0) as usize;
-        self.trees = (0..self.n_trees)
-            .map(|_| {
-                // Bootstrap resample.
-                let mut bx = Vec::with_capacity(x.len());
-                let mut by = Vec::with_capacity(y.len());
-                for _ in 0..x.len() {
-                    let i = rng.gen_range(0..x.len());
-                    bx.push(x[i].clone());
-                    by.push(y[i]);
-                }
-                let mut tree = RegressionTree::new(self.max_depth, self.min_samples_leaf)
-                    .with_max_features(k);
-                tree.fit_seeded(&bx, &by, &mut rng);
-                tree
-            })
-            .collect();
+        // Each tree's bootstrap and feature subsets come from an RNG
+        // derived from (seed, tree index), so tree `t` is the same no
+        // matter which worker fits it.
+        self.trees = self.parallel.run_indexed(self.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, t as u64));
+            // Bootstrap resample.
+            let mut bx = Vec::with_capacity(x.len());
+            let mut by = Vec::with_capacity(y.len());
+            for _ in 0..x.len() {
+                let i = rng.gen_range(0..x.len());
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree =
+                RegressionTree::new(self.max_depth, self.min_samples_leaf).with_max_features(k);
+            tree.fit_seeded(&bx, &by, &mut rng);
+            tree
+        });
     }
 
     fn predict_one(&self, x: &[f64]) -> f64 {
@@ -144,7 +172,26 @@ mod tests {
         tree.fit(&x, &y);
         let forest_err = rmse(&ty, &forest.predict(&tx));
         let tree_err = rmse(&ty, &tree.predict(&tx));
-        assert!(forest_err <= tree_err * 1.05, "forest {forest_err} vs tree {tree_err}");
+        assert!(
+            forest_err <= tree_err * 1.05,
+            "forest {forest_err} vs tree {tree_err}"
+        );
+    }
+
+    #[test]
+    fn forest_is_bit_identical_across_thread_counts() {
+        let (x, y) = noisy_quadratic(120, 11);
+        let fit_with = |threads: usize| {
+            let mut rf =
+                RandomForest::new(12, 6, 2, 5).with_parallel(ParallelConfig::with_threads(threads));
+            rf.fit(&x, &y);
+            rf
+        };
+        let serial = fit_with(1);
+        for threads in [2, 4] {
+            let parallel = fit_with(threads);
+            assert_eq!(serial.trees, parallel.trees, "threads={threads} diverged");
+        }
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! Gradient-boosted regression trees (squared loss).
 
+use metadse_parallel::ParallelConfig;
+
 use crate::tree::RegressionTree;
 use crate::Regressor;
+
+/// Below this many rows, per-sample fan-out costs more than it saves.
+const PARALLEL_PREDICT_MIN_ROWS: usize = 64;
 
 /// GBRT: stage-wise additive model where each shallow tree fits the current
 /// residuals, shrunk by a learning rate.
@@ -13,6 +18,7 @@ pub struct GradientBoosting {
     learning_rate: f64,
     max_depth: usize,
     min_samples_leaf: usize,
+    parallel: ParallelConfig,
     base_prediction: f64,
     trees: Vec<RegressionTree>,
 }
@@ -40,6 +46,7 @@ impl GradientBoosting {
             learning_rate,
             max_depth,
             min_samples_leaf,
+            parallel: ParallelConfig::default(),
             base_prediction: 0.0,
             trees: Vec::new(),
         }
@@ -48,6 +55,16 @@ impl GradientBoosting {
     /// The paper-style default: 200 stages of depth-3 trees at rate 0.08.
     pub fn default_for_dse() -> GradientBoosting {
         GradientBoosting::new(200, 0.08, 3, 2)
+    }
+
+    /// Sets the thread configuration used by [`Regressor::fit`].
+    ///
+    /// Boosting stages are inherently sequential (each tree fits the
+    /// previous stage's residuals), so parallelism applies to the
+    /// per-sample prediction sweep inside each stage.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> GradientBoosting {
+        self.parallel = parallel;
+        self
     }
 
     /// Number of fitted stages.
@@ -68,12 +85,25 @@ impl Regressor for GradientBoosting {
         self.base_prediction = y.iter().sum::<f64>() / y.len() as f64;
         let mut current: Vec<f64> = vec![self.base_prediction; y.len()];
         self.trees = Vec::with_capacity(self.n_estimators);
+        let fan_out = x.len() >= PARALLEL_PREDICT_MIN_ROWS;
         for _ in 0..self.n_estimators {
             let residuals: Vec<f64> = y.iter().zip(&current).map(|(t, c)| t - c).collect();
             let mut tree = RegressionTree::new(self.max_depth, self.min_samples_leaf);
             tree.fit(x, &residuals);
-            for (c, xi) in current.iter_mut().zip(x) {
-                *c += self.learning_rate * tree.predict_one(xi);
+            // Tree prediction is pure per sample; results come back in
+            // sample order, so the update is identical across thread
+            // counts.
+            if fan_out {
+                let preds = self
+                    .parallel
+                    .run_indexed(x.len(), |i| tree.predict_one(&x[i]));
+                for (c, p) in current.iter_mut().zip(&preds) {
+                    *c += self.learning_rate * p;
+                }
+            } else {
+                for (c, xi) in current.iter_mut().zip(x) {
+                    *c += self.learning_rate * tree.predict_one(xi);
+                }
             }
             self.trees.push(tree);
         }
@@ -82,12 +112,7 @@ impl Regressor for GradientBoosting {
     fn predict_one(&self, x: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "predict called before fit");
         self.base_prediction
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_one(x))
-                    .sum::<f64>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>()
     }
 }
 

@@ -56,9 +56,7 @@ impl GaussianMixture {
 
         let mut model = GaussianMixture {
             weights: vec![1.0 / k as f64; k],
-            means: (0..k)
-                .map(|_| data[rng.gen_range(0..n)].clone())
-                .collect(),
+            means: (0..k).map(|_| data[rng.gen_range(0..n)].clone()).collect(),
             variances: vec![global_var.clone(); k],
         };
 

@@ -44,6 +44,7 @@ impl RidgeRegression {
 
 /// Solves `A x = b` for symmetric positive-definite `A` by Gaussian
 /// elimination with partial pivoting. `A` is row-major `n × n`.
+#[allow(clippy::needless_range_loop)] // elimination reads two rows of `a` at once
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
@@ -101,6 +102,7 @@ impl Regressor for RidgeRegression {
                 }
             }
         }
+        #[allow(clippy::needless_range_loop)] // mirrors across two rows of `xtx`
         for j in 0..d {
             for k in 0..j {
                 xtx[j][k] = xtx[k][j];
@@ -120,13 +122,7 @@ impl Regressor for RidgeRegression {
 
     fn predict_one(&self, x: &[f64]) -> f64 {
         assert!(self.fitted, "predict called before fit");
-        self.intercept
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }
 

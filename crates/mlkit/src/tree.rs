@@ -48,7 +48,10 @@ impl RegressionTree {
     ///
     /// Panics if `max_depth` or `min_samples_leaf` is zero.
     pub fn new(max_depth: usize, min_samples_leaf: usize) -> RegressionTree {
-        assert!(max_depth > 0 && min_samples_leaf > 0, "invalid tree hyperparameters");
+        assert!(
+            max_depth > 0 && min_samples_leaf > 0,
+            "invalid tree hyperparameters"
+        );
         RegressionTree {
             max_depth,
             min_samples_leaf,
@@ -110,8 +113,7 @@ impl RegressionTree {
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
         for &f in &candidates {
-            if let Some((threshold, sse)) = best_split_on(x, y, indices, f, self.min_samples_leaf)
-            {
+            if let Some((threshold, sse)) = best_split_on(x, y, indices, f, self.min_samples_leaf) {
                 if best.is_none() || sse < best.unwrap().2 {
                     best = Some((f, threshold, sse));
                 }
@@ -120,9 +122,8 @@ impl RegressionTree {
         let Some((feature, threshold, _)) = best else {
             return Node::Leaf(mean);
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| x[i][feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return Node::Leaf(mean);
         }
@@ -192,10 +193,7 @@ impl Regressor for RegressionTree {
     }
 
     fn predict_one(&self, x: &[f64]) -> f64 {
-        let mut node = self
-            .root
-            .as_ref()
-            .expect("predict called before fit");
+        let mut node = self.root.as_ref().expect("predict called before fit");
         loop {
             match node {
                 Node::Leaf(v) => return *v,
@@ -205,7 +203,11 @@ impl Regressor for RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -238,9 +240,7 @@ mod tests {
         let mut deep = RegressionTree::new(6, 1);
         shallow.fit(&x, &y);
         deep.fit(&x, &y);
-        let err = |t: &RegressionTree| -> f64 {
-            crate::metrics::rmse(&y, &t.predict(&x))
-        };
+        let err = |t: &RegressionTree| -> f64 { crate::metrics::rmse(&y, &t.predict(&x)) };
         assert!(err(&deep) < err(&shallow) * 0.5);
     }
 

@@ -32,12 +32,7 @@ pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
 
     if xs.len() == ys.len() {
         // Equal sizes: mean absolute difference of order statistics.
-        return xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
-            / xs.len() as f64;
+        return xs.iter().zip(&ys).map(|(x, y)| (x - y).abs()).sum::<f64>() / xs.len() as f64;
     }
 
     // General case: integrate |F⁻¹_a(q) − F⁻¹_b(q)| dq over the merged
@@ -127,22 +122,21 @@ mod tests {
             let ab = wasserstein_1d(&a, &b);
             let bc = wasserstein_1d(&b, &c);
             let ac = wasserstein_1d(&a, &c);
-            assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab} + {bc}");
+            assert!(
+                ac <= ab + bc + 1e-9,
+                "triangle violated: {ac} > {ab} + {bc}"
+            );
         }
     }
 
     #[test]
     fn matrix_is_symmetric_with_zero_diagonal() {
-        let samples = vec![
-            vec![0.0, 1.0],
-            vec![5.0, 6.0, 7.0],
-            vec![-1.0],
-        ];
+        let samples = vec![vec![0.0, 1.0], vec![5.0, 6.0, 7.0], vec![-1.0]];
         let m = distance_matrix(&samples);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
             }
         }
         assert!(m[0][1] > 0.0);

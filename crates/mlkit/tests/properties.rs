@@ -1,118 +1,188 @@
-//! Property-based tests of the classical-ML toolkit.
-
-use proptest::prelude::*;
+//! Property-style tests of the classical-ML toolkit.
+//!
+//! Each test draws many random cases from a seeded [`StdRng`] (the hermetic
+//! build has no proptest), so failures are reproducible from the fixed seed.
 
 use metadse_mlkit::metrics::{explained_variance, geometric_mean, mape, quantile, rmse};
 use metadse_mlkit::wasserstein::wasserstein_1d;
 use metadse_mlkit::{GradientBoosting, RandomForest, RegressionTree, Regressor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn labeled_data() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, -5.0..5.0f64), 10..60).prop_map(|rows| {
-        let x: Vec<Vec<f64>> = rows.iter().map(|(a, b, _)| vec![*a, *b]).collect();
-        let y: Vec<f64> = rows.iter().map(|(a, b, n)| a * 3.0 + b * b + n * 0.01).collect();
-        (x, y)
-    })
+const CASES: usize = 48;
+
+fn random_vec(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A noisy low-dimensional regression problem: y = 3a + b^2 + small noise.
+fn labeled_data(rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = rng.gen_range(10..60usize);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = rng.gen_range(0.0..1.0);
+        let b = rng.gen_range(0.0..1.0);
+        let noise = rng.gen_range(-5.0..5.0);
+        x.push(vec![a, b]);
+        y.push(a * 3.0 + b * b + noise * 0.01);
+    }
+    (x, y)
+}
 
-    #[test]
-    fn rmse_is_nonnegative_and_zero_iff_equal(y in proptest::collection::vec(-10.0..10.0f64, 2..30)) {
-        prop_assert_eq!(rmse(&y, &y), 0.0);
+#[test]
+fn rmse_is_nonnegative_and_zero_iff_equal() {
+    let mut rng = StdRng::seed_from_u64(0x4d01);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2..30usize);
+        let y = random_vec(&mut rng, len, -10.0, 10.0);
+        assert_eq!(rmse(&y, &y), 0.0);
         let shifted: Vec<f64> = y.iter().map(|v| v + 1.0).collect();
-        prop_assert!((rmse(&y, &shifted) - 1.0).abs() < 1e-12);
+        assert!((rmse(&y, &shifted) - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn rmse_is_symmetric(a in proptest::collection::vec(-10.0..10.0f64, 2..20),
-                         shift in -2.0..2.0f64) {
+#[test]
+fn rmse_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x4d02);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2..20usize);
+        let a = random_vec(&mut rng, len, -10.0, 10.0);
+        let shift = rng.gen_range(-2.0..2.0);
         let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
-        prop_assert!((rmse(&a, &b) - rmse(&b, &a)).abs() < 1e-12);
+        assert!((rmse(&a, &b) - rmse(&b, &a)).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn mape_is_scale_invariant(y in proptest::collection::vec(0.5..10.0f64, 2..20),
-                               c in 0.5..4.0f64) {
+#[test]
+fn mape_is_scale_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x4d03);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2..20usize);
+        let y = random_vec(&mut rng, len, 0.5, 10.0);
+        let c = rng.gen_range(0.5..4.0);
         let pred: Vec<f64> = y.iter().map(|v| v * 1.1).collect();
         let sy: Vec<f64> = y.iter().map(|v| v * c).collect();
         let sp: Vec<f64> = pred.iter().map(|v| v * c).collect();
-        prop_assert!((mape(&y, &pred) - mape(&sy, &sp)).abs() < 1e-10);
+        assert!((mape(&y, &pred) - mape(&sy, &sp)).abs() < 1e-10);
     }
+}
 
-    #[test]
-    fn explained_variance_at_most_one(y in proptest::collection::vec(-5.0..5.0f64, 3..20),
-                                      noise in -1.0..1.0f64) {
-        prop_assume!(y.iter().any(|&v| (v - y[0]).abs() > 1e-6));
+#[test]
+fn explained_variance_at_most_one() {
+    let mut rng = StdRng::seed_from_u64(0x4d04);
+    for _ in 0..CASES {
+        let len = rng.gen_range(3..20usize);
+        let y = random_vec(&mut rng, len, -5.0, 5.0);
+        let noise = rng.gen_range(-1.0..1.0);
+        if !y.iter().any(|&v| (v - y[0]).abs() > 1e-6) {
+            continue;
+        }
         let pred: Vec<f64> = y.iter().map(|v| v + noise * 0.3).collect();
-        prop_assert!(explained_variance(&y, &pred) <= 1.0 + 1e-12);
+        assert!(explained_variance(&y, &pred) <= 1.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn geometric_mean_between_min_and_max(y in proptest::collection::vec(0.1..10.0f64, 1..20)) {
+#[test]
+fn geometric_mean_between_min_and_max() {
+    let mut rng = StdRng::seed_from_u64(0x4d05);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..20usize);
+        let y = random_vec(&mut rng, len, 0.1, 10.0);
         let g = geometric_mean(&y);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(0.0_f64, f64::max);
-        prop_assert!(g >= lo - 1e-12 && g <= hi + 1e-12);
+        assert!(g >= lo - 1e-12 && g <= hi + 1e-12);
     }
+}
 
-    #[test]
-    fn quantiles_are_monotone(y in proptest::collection::vec(-10.0..10.0f64, 2..30),
-                              a in 0.0..1.0f64, b in 0.0..1.0f64) {
+#[test]
+fn quantiles_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x4d06);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2..30usize);
+        let y = random_vec(&mut rng, len, -10.0, 10.0);
+        let a = rng.gen_range(0.0..1.0);
+        let b = rng.gen_range(0.0..1.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(quantile(&y, lo) <= quantile(&y, hi) + 1e-12);
+        assert!(quantile(&y, lo) <= quantile(&y, hi) + 1e-12);
     }
+}
 
-    #[test]
-    fn wasserstein_identity_and_symmetry(a in proptest::collection::vec(-5.0..5.0f64, 1..20),
-                                         b in proptest::collection::vec(-5.0..5.0f64, 1..20)) {
-        prop_assert!(wasserstein_1d(&a, &a) < 1e-12);
+#[test]
+fn wasserstein_identity_and_symmetry() {
+    let mut rng = StdRng::seed_from_u64(0x4d07);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..20usize);
+        let a = random_vec(&mut rng, len, -5.0, 5.0);
+        let len = rng.gen_range(1..20usize);
+        let b = random_vec(&mut rng, len, -5.0, 5.0);
+        assert!(wasserstein_1d(&a, &a) < 1e-12);
         let ab = wasserstein_1d(&a, &b);
         let ba = wasserstein_1d(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!(ab >= 0.0);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab >= 0.0);
     }
+}
 
-    #[test]
-    fn wasserstein_translation_equivariance(a in proptest::collection::vec(-5.0..5.0f64, 1..15),
-                                            shift in -3.0..3.0f64) {
+#[test]
+fn wasserstein_translation_equivariance() {
+    let mut rng = StdRng::seed_from_u64(0x4d08);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..15usize);
+        let a = random_vec(&mut rng, len, -5.0, 5.0);
+        let shift = rng.gen_range(-3.0..3.0);
         let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
-        prop_assert!((wasserstein_1d(&a, &b) - shift.abs()).abs() < 1e-9);
+        assert!((wasserstein_1d(&a, &b) - shift.abs()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn tree_predictions_stay_within_label_range((x, y) in labeled_data()) {
+#[test]
+fn tree_predictions_stay_within_label_range() {
+    let mut rng = StdRng::seed_from_u64(0x4d09);
+    for _ in 0..CASES {
+        let (x, y) = labeled_data(&mut rng);
         let mut tree = RegressionTree::new(6, 1);
         tree.fit(&x, &y);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for row in &x {
             let p = tree.predict_one(row);
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
         }
     }
+}
 
-    #[test]
-    fn forest_predictions_stay_within_label_range((x, y) in labeled_data()) {
+#[test]
+fn forest_predictions_stay_within_label_range() {
+    let mut rng = StdRng::seed_from_u64(0x4d0a);
+    for _ in 0..CASES {
+        let (x, y) = labeled_data(&mut rng);
         let mut rf = RandomForest::new(8, 6, 1, 3);
         rf.fit(&x, &y);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for row in x.iter().take(10) {
             let p = rf.predict_one(row);
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn gbrt_training_error_decreases_with_stages((x, y) in labeled_data()) {
-        prop_assume!(y.iter().any(|&v| (v - y[0]).abs() > 1e-3));
+#[test]
+fn gbrt_training_error_decreases_with_stages() {
+    let mut rng = StdRng::seed_from_u64(0x4d0b);
+    for _ in 0..CASES {
+        let (x, y) = labeled_data(&mut rng);
+        if !y.iter().any(|&v| (v - y[0]).abs() > 1e-3) {
+            continue;
+        }
         let mut small = GradientBoosting::new(3, 0.3, 3, 1);
         let mut large = GradientBoosting::new(40, 0.3, 3, 1);
         small.fit(&x, &y);
         large.fit(&x, &y);
         let e_small = rmse(&y, &small.predict(&x));
         let e_large = rmse(&y, &large.predict(&x));
-        prop_assert!(e_large <= e_small + 1e-9, "{e_large} > {e_small}");
+        assert!(e_large <= e_small + 1e-9, "{e_large} > {e_small}");
     }
 }

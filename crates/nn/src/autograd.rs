@@ -71,8 +71,8 @@ pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
 ///
 /// let x = Tensor::param_from_vec(vec![3.0], &[1]);
 /// let y = x.powf(3.0); // y = x^3
-/// let dy = autograd::grad(&y, &[x.clone()], true);
-/// let d2y = autograd::grad(&dy[0], &[x.clone()], false);
+/// let dy = autograd::grad(&y, std::slice::from_ref(&x), true);
+/// let d2y = autograd::grad(&dy[0], std::slice::from_ref(&x), false);
 /// assert!((dy[0].value() - 27.0).abs() < 1e-9); // 3x^2
 /// assert!((d2y[0].value() - 18.0).abs() < 1e-9); // 6x
 /// ```
@@ -169,7 +169,7 @@ mod tests {
     fn grad_of_sum_is_ones() {
         let x = Tensor::param_from_vec(vec![1.0, 2.0, 3.0], &[3]);
         let y = x.sum_all();
-        let g = grad(&y, &[x.clone()], false);
+        let g = grad(&y, std::slice::from_ref(&x), false);
         assert_eq!(g[0].to_vec(), vec![1.0, 1.0, 1.0]);
         assert!(!g[0].requires_grad());
     }
@@ -179,7 +179,7 @@ mod tests {
         // y = x*x + x  =>  dy/dx = 2x + 1
         let x = Tensor::param_from_vec(vec![3.0], &[1]);
         let y = x.mul(&x).add(&x).sum_all();
-        let g = grad(&y, &[x.clone()], false);
+        let g = grad(&y, std::slice::from_ref(&x), false);
         assert!((g[0].to_vec()[0] - 7.0).abs() < 1e-12);
     }
 
@@ -219,9 +219,9 @@ mod tests {
     fn second_order_gradient_of_cubic() {
         let x = Tensor::param_from_vec(vec![2.0], &[1]);
         let y = x.powf(3.0).sum_all();
-        let dy = grad(&y, &[x.clone()], true);
+        let dy = grad(&y, std::slice::from_ref(&x), true);
         assert!(dy[0].requires_grad(), "create_graph should keep grads live");
-        let d2y = grad(&dy[0].sum_all(), &[x.clone()], false);
+        let d2y = grad(&dy[0].sum_all(), std::slice::from_ref(&x), false);
         // d2/dx2 x^3 = 6x = 12
         assert!((d2y[0].to_vec()[0] - 12.0).abs() < 1e-9);
     }
@@ -230,9 +230,9 @@ mod tests {
     fn third_order_gradient_of_quartic() {
         let x = Tensor::param_from_vec(vec![1.5], &[1]);
         let y = x.powf(4.0).sum_all();
-        let d1 = grad(&y, &[x.clone()], true);
-        let d2 = grad(&d1[0].sum_all(), &[x.clone()], true);
-        let d3 = grad(&d2[0].sum_all(), &[x.clone()], false);
+        let d1 = grad(&y, std::slice::from_ref(&x), true);
+        let d2 = grad(&d1[0].sum_all(), std::slice::from_ref(&x), true);
+        let d3 = grad(&d2[0].sum_all(), std::slice::from_ref(&x), false);
         // d3/dx3 x^4 = 24x = 36
         assert!((d3[0].to_vec()[0] - 36.0).abs() < 1e-9);
     }
@@ -241,7 +241,7 @@ mod tests {
     fn first_order_gradients_are_detached() {
         let x = Tensor::param_from_vec(vec![2.0], &[1]);
         let y = x.mul(&x).sum_all();
-        let g = grad(&y, &[x.clone()], false);
+        let g = grad(&y, std::slice::from_ref(&x), false);
         assert!(!g[0].requires_grad());
     }
 }

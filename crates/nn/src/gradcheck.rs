@@ -126,15 +126,8 @@ mod tests {
     fn exp_ln_sqrt_chain_checks() {
         let x0 = params(&[4], 2);
         // Keep inputs positive for ln/sqrt.
-        let x = Tensor::param_from_vec(
-            x0.to_vec().iter().map(|v| v.abs() + 0.5).collect(),
-            &[4],
-        );
-        let r = check_gradients(
-            |xs| xs[0].ln().exp().sqrt().sum_all(),
-            &[x],
-            1e-6,
-        );
+        let x = Tensor::param_from_vec(x0.to_vec().iter().map(|v| v.abs() + 0.5).collect(), &[4]);
+        let r = check_gradients(|xs| xs[0].ln().exp().sqrt().sum_all(), &[x], 1e-6);
         assert!(r[0].passes(1e-5), "report {:?}", r[0]);
     }
 
@@ -165,11 +158,7 @@ mod tests {
     #[test]
     fn gelu_and_sigmoid_check() {
         let x = params(&[5], 7);
-        let r = check_gradients(
-            |xs| xs[0].gelu().sigmoid().sum_all(),
-            &[x],
-            1e-5,
-        );
+        let r = check_gradients(|xs| xs[0].gelu().sigmoid().sum_all(), &[x], 1e-5);
         assert!(r[0].passes(1e-6), "report {:?}", r[0]);
     }
 

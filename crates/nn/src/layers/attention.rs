@@ -43,7 +43,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut R,
     ) -> MultiHeadAttention {
-        assert!(heads > 0 && d_model % heads == 0, "d_model {d_model} must divide into {heads} heads");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "d_model {d_model} must divide into {heads} heads"
+        );
         MultiHeadAttention {
             wq: Linear::new(&format!("{name}.wq"), d_model, d_model, true, rng),
             wk: Linear::new(&format!("{name}.wk"), d_model, d_model, true, rng),
@@ -211,17 +214,17 @@ mod tests {
         let a = attn.last_attention().unwrap().to_vec();
         for (i, row) in a.chunks(4).enumerate() {
             let head_row = i % 4;
-            assert!((row[head_row] - 1.0).abs() < 1e-6, "diagonal should dominate");
+            assert!(
+                (row[head_row] - 1.0).abs() < 1e-6,
+                "diagonal should dominate"
+            );
         }
     }
 
     #[test]
     fn learnable_mask_joins_params_and_gets_gradients() {
         let attn = layer(4);
-        let mask = Param::new(
-            "mask",
-            Tensor::param_from_vec(vec![0.0; 9], &[3, 3]),
-        );
+        let mask = Param::new("mask", Tensor::param_from_vec(vec![0.0; 9], &[3, 3]));
         attn.set_mask(mask.clone());
         assert_eq!(attn.params().len(), 9, "8 linear params + mask");
         let mut rng = StdRng::seed_from_u64(11);

@@ -27,7 +27,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: Elem, seed: u64) -> Dropout {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             p,
             training: Cell::new(true),

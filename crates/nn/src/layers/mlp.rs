@@ -19,7 +19,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new<R: Rng + ?Sized>(name: &str, widths: &[usize], rng: &mut R) -> Mlp {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
@@ -77,7 +80,7 @@ mod tests {
         let y = x.mul_scalar(3.0).add_scalar(-0.5);
         let params = mlp.params();
         let mut last = f64::INFINITY;
-        for _ in 0..400 {
+        for _ in 0..1000 {
             let loss = mse(&mlp.forward(&x), &y);
             last = loss.value();
             let tensors: Vec<_> = params.iter().map(|p| p.get()).collect();

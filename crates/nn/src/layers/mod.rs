@@ -165,16 +165,16 @@ mod tests {
     #[test]
     fn snapshot_restore_roundtrip() {
         let p = Param::new("w", Tensor::param_from_vec(vec![1.0], &[1]));
-        let saved = snapshot(&[p.clone()]);
+        let saved = snapshot(std::slice::from_ref(&p));
         p.set(Tensor::param_from_vec(vec![9.0], &[1]));
-        restore(&[p.clone()], &saved);
+        restore(std::slice::from_ref(&p), &saved);
         assert_eq!(p.get().to_vec(), vec![1.0]);
     }
 
     #[test]
     fn clone_values_creates_independent_leaves() {
         let p = Param::new("w", Tensor::param_from_vec(vec![1.0], &[1]));
-        let copies = clone_values(&[p.clone()]);
+        let copies = clone_values(std::slice::from_ref(&p));
         p.get().assign_vec(&[5.0]);
         assert_eq!(copies[0].to_vec(), vec![1.0]);
         assert!(copies[0].requires_grad());

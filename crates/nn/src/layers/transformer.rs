@@ -74,7 +74,13 @@ impl TransformerEncoder {
     ) -> TransformerEncoder {
         let layers = (0..depth)
             .map(|i| {
-                TransformerEncoderLayer::new(&format!("{name}.layer{i}"), d_model, heads, d_hidden, rng)
+                TransformerEncoderLayer::new(
+                    &format!("{name}.layer{i}"),
+                    d_model,
+                    heads,
+                    d_hidden,
+                    rng,
+                )
             })
             .collect();
         TransformerEncoder {
@@ -149,7 +155,11 @@ mod tests {
         let grads = grad(&loss, &tensors, false);
         for (p, g) in enc.params().iter().zip(&grads) {
             let nonzero = g.to_vec().iter().any(|&v| v != 0.0);
-            assert!(nonzero, "parameter {} received an all-zero gradient", p.name());
+            assert!(
+                nonzero,
+                "parameter {} received an all-zero gradient",
+                p.name()
+            );
         }
     }
 

@@ -33,7 +33,7 @@
 //! for _ in 0..200 {
 //!     let pred = x.matmul(&w);
 //!     let loss = pred.sub(&y).powf(2.0).mean_all();
-//!     let g = autograd::grad(&loss, &[w.clone()], false);
+//!     let g = autograd::grad(&loss, std::slice::from_ref(&w), false);
 //!     w.sub_assign_scaled(&g[0], 0.05);
 //! }
 //! assert!((w.to_vec()[0] - 2.0).abs() < 1e-6);

@@ -193,8 +193,7 @@ impl CosineAnnealing {
     /// Learning rate at `step` (clamped to the final value afterwards).
     pub fn lr_at(&self, step: usize) -> Elem {
         let t = (step.min(self.total_steps)) as Elem / self.total_steps as Elem;
-        self.lr_min
-            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f64::consts::PI * t).cos())
+        self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f64::consts::PI * t).cos())
     }
 
     /// Applies the schedule to an optimizer for the given step.

@@ -1,10 +1,215 @@
 //! Batched matrix multiplication.
+//!
+//! The forward kernel packs each distinct B block transposed once per call
+//! (a broadcast 2-D weight is packed exactly once and reused by every
+//! batch), then runs a dot-product microkernel with contiguous access to
+//! both operands. Batches whose A block is mostly zeros — masked attention
+//! rows — instead take an axpy path that skips zero multiplicands
+//! entirely. The choice is data-dependent, so it is identical across
+//! thread counts.
+//!
+//! The backward pass never materializes a transposed operand: when the
+//! gradient itself needs no graph (`create_graph = false`, the common
+//! first-order case), both parent gradients are accumulated directly into
+//! buffers of the parents' shapes, with broadcast batch reduction folded
+//! into the accumulation. Only double-backward (second-order MAML) falls
+//! back to the tensor-op composition.
 
+use std::collections::HashMap;
 use std::rc::Rc;
 
+use crate::autograd;
 use crate::tensor::shape::{broadcast_shapes, broadcast_strides, numel, OffsetWalker};
 use crate::tensor::{BackwardFn, Tensor};
 use crate::Elem;
+
+/// A batch's A block is "sparse" when at least this fraction of it is
+/// exactly zero; the axpy kernel then skips whole zero terms.
+const SPARSE_ZERO_FRACTION: f64 = 0.25;
+
+/// Packs the `k x n` block of `db` at `base` transposed (as `n x k`) onto
+/// the end of `packed`, returning the block's start within `packed`.
+fn pack_transposed(db: &[Elem], base: usize, k: usize, n: usize, packed: &mut Vec<Elem>) -> usize {
+    let start = packed.len();
+    packed.resize(start + n * k, 0.0);
+    let block = &mut packed[start..];
+    for kk in 0..k {
+        let row = &db[base + kk * n..base + (kk + 1) * n];
+        for (j, &v) in row.iter().enumerate() {
+            block[j * k + kk] = v;
+        }
+    }
+    start
+}
+
+/// Dense microkernel: `out[i, j] = dot(a_row_i, bt_row_j)` with four output
+/// columns per pass over the A row. Each output element is one accumulator
+/// filled in ascending-k order.
+fn dense_block(
+    da: &[Elem],
+    a_base: usize,
+    bt: &[Elem],
+    out: &mut [Elem],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &da[a_base + i * k..a_base + (i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            let b1 = &bt[(j + 1) * k..(j + 2) * k];
+            let b2 = &bt[(j + 2) * k..(j + 3) * k];
+            let b3 = &bt[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for (kk, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let bj = &bt[j * k..(j + 1) * k];
+            let mut s = 0.0;
+            for (kk, &av) in a_row.iter().enumerate() {
+                s += av * bj[kk];
+            }
+            o_row[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// Sparse microkernel: row-major axpy accumulation that skips zero A
+/// entries — each zero avoids an entire length-`n` pass.
+#[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
+fn sparse_block(
+    da: &[Elem],
+    a_base: usize,
+    db: &[Elem],
+    b_base: usize,
+    out: &mut [Elem],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        for kk in 0..k {
+            let a_ik = da[a_base + i * k + kk];
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &db[b_base + kk * n..b_base + (kk + 1) * n];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// The full forward kernel over all (possibly broadcast) batches.
+fn matmul_forward(
+    da: &[Elem],
+    db: &[Elem],
+    offsets_a: &[usize],
+    offsets_b: &[usize],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<Elem> {
+    let batch_count = offsets_a.len();
+    let mut out = vec![0.0 as Elem; batch_count * m * n];
+    // Distinct B blocks packed transposed, keyed by their buffer offset. A
+    // broadcast weight has one distinct offset: packed once, reused.
+    let mut packed: Vec<Elem> = Vec::new();
+    let mut slots: HashMap<usize, usize> = HashMap::new();
+    for bi in 0..batch_count {
+        let a_base = offsets_a[bi];
+        let b_base = offsets_b[bi];
+        let out_block = &mut out[bi * m * n..(bi + 1) * m * n];
+        let zeros = da[a_base..a_base + m * k]
+            .iter()
+            .filter(|v| **v == 0.0)
+            .count();
+        if (zeros as f64) >= SPARSE_ZERO_FRACTION * (m * k) as f64 {
+            sparse_block(da, a_base, db, b_base, out_block, m, k, n);
+        } else {
+            let slot = *slots
+                .entry(b_base)
+                .or_insert_with(|| pack_transposed(db, b_base, k, n, &mut packed));
+            dense_block(da, a_base, &packed[slot..slot + n * k], out_block, m, k, n);
+        }
+    }
+    out
+}
+
+/// Raw first-order gradients for both operands, with the broadcast batch
+/// reduction folded into the accumulation (replacing `sum_to`).
+///
+/// `dL/dA[i, kk] = dot_j(g[i, ·], B[kk, ·])` — both rows contiguous in the
+/// original layouts, so no transpose is ever materialized. `dL/dB` uses the
+/// axpy form with zero-skip on A (zero attention weights contribute no
+/// gradient term). Batches accumulate in ascending order, so broadcast
+/// parents see the same summation order as the serial tensor-op path.
+#[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
+fn matmul_backward_raw(
+    dg: &[Elem],
+    da: &[Elem],
+    db: &[Elem],
+    offsets_a: &[usize],
+    offsets_b: &[usize],
+    m: usize,
+    k: usize,
+    n: usize,
+    want_ga: bool,
+    want_gb: bool,
+) -> (Option<Vec<Elem>>, Option<Vec<Elem>>) {
+    let mut ga = want_ga.then(|| vec![0.0 as Elem; da.len()]);
+    let mut gb = want_gb.then(|| vec![0.0 as Elem; db.len()]);
+    for bi in 0..offsets_a.len() {
+        let a_base = offsets_a[bi];
+        let b_base = offsets_b[bi];
+        let g_base = bi * m * n;
+        if let Some(ga) = ga.as_mut() {
+            for i in 0..m {
+                let g_row = &dg[g_base + i * n..g_base + (i + 1) * n];
+                for kk in 0..k {
+                    let b_row = &db[b_base + kk * n..b_base + (kk + 1) * n];
+                    let mut s = 0.0;
+                    for (gv, bv) in g_row.iter().zip(b_row) {
+                        s += gv * bv;
+                    }
+                    ga[a_base + i * k + kk] += s;
+                }
+            }
+        }
+        if let Some(gb) = gb.as_mut() {
+            for i in 0..m {
+                let g_row = &dg[g_base + i * n..g_base + (i + 1) * n];
+                for kk in 0..k {
+                    let a_ik = da[a_base + i * k + kk];
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let gb_row = &mut gb[b_base + kk * n..b_base + (kk + 1) * n];
+                    for (o, &gv) in gb_row.iter_mut().zip(g_row) {
+                        *o += a_ik * gv;
+                    }
+                }
+            }
+        }
+    }
+    (ga, gb)
+}
 
 impl Tensor {
     /// Matrix product over the last two axes, broadcasting leading (batch)
@@ -25,16 +230,14 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let (m, ka) = (
-            self.shape()[self.ndim() - 2],
-            self.shape()[self.ndim() - 1],
-        );
+        let (m, ka) = (self.shape()[self.ndim() - 2], self.shape()[self.ndim() - 1]);
         let (kb, n) = (
             other.shape()[other.ndim() - 2],
             other.shape()[other.ndim() - 1],
         );
         assert_eq!(
-            ka, kb,
+            ka,
+            kb,
             "matmul inner dimensions disagree: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -71,46 +274,43 @@ impl Tensor {
 
         let da = self.data();
         let db = other.data();
-        let mut out = vec![0.0 as Elem; batch_count * m * n];
-        for bi in 0..batch_count {
-            let a_base = offsets_a[bi];
-            let b_base = offsets_b[bi];
-            let o_base = bi * m * n;
-            for i in 0..m {
-                for kk in 0..ka {
-                    let a_ik = da[a_base + i * ka + kk];
-                    if a_ik == 0.0 {
-                        continue;
-                    }
-                    let b_row = b_base + kk * n;
-                    let o_row = o_base + i * n;
-                    for j in 0..n {
-                        out[o_row + j] += a_ik * db[b_row + j];
-                    }
-                }
-            }
-        }
+        let out = matmul_forward(&da, &db, &offsets_a, &offsets_b, m, ka, n);
         drop(da);
         drop(db);
 
         let mut out_shape = batch;
         out_shape.push(m);
         out_shape.push(n);
-        let backward: BackwardFn = Rc::new(|g, ps, _out| {
+        let backward: BackwardFn = Rc::new(move |g, ps, _out| {
             let a = &ps[0];
             let b = &ps[1];
-            // dL/dA = g · Bᵀ, reduced back over broadcast batch dims.
-            let ga = g.matmul(&b.transpose_last2()).sum_to(a.shape());
-            // dL/dB = Aᵀ · g, reduced back over broadcast batch dims.
-            let gb = a.transpose_last2().matmul(g).sum_to(b.shape());
-            vec![Some(ga), Some(gb)]
+            if autograd::is_grad_enabled() {
+                // Double-backward (create_graph): stay on tensor ops so
+                // the gradients remain differentiable.
+                // dL/dA = g · Bᵀ, reduced back over broadcast batch dims.
+                let ga = g.matmul(&b.transpose_last2()).sum_to(a.shape());
+                // dL/dB = Aᵀ · g, reduced back over broadcast batch dims.
+                let gb = a.transpose_last2().matmul(g).sum_to(b.shape());
+                return vec![Some(ga), Some(gb)];
+            }
+            let (ga, gb) = matmul_backward_raw(
+                &g.data(),
+                &a.data(),
+                &b.data(),
+                &offsets_a,
+                &offsets_b,
+                m,
+                ka,
+                n,
+                a.requires_grad(),
+                b.requires_grad(),
+            );
+            vec![
+                ga.map(|v| Tensor::from_vec(v, a.shape())),
+                gb.map(|v| Tensor::from_vec(v, b.shape())),
+            ]
         });
-        Tensor::from_op(
-            out,
-            out_shape,
-            vec![self.clone(), other.clone()],
-            backward,
-        )
+        Tensor::from_op(out, out_shape, vec![self.clone(), other.clone()], backward)
     }
 
     /// Swaps the last two axes (`transpose(ndim-2, ndim-1)`).
@@ -127,7 +327,10 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use crate::autograd::grad;
+    use crate::gradcheck::check_gradients;
     use crate::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn matmul_2d() {
@@ -196,9 +399,153 @@ mod tests {
         // f(x) = (x @ x).sum() for 1x1 x is x^2; second derivative is 2.
         let x = Tensor::param_from_vec(vec![3.0], &[1, 1]);
         let y = x.matmul(&x).sum_all();
-        let d1 = grad(&y, &[x.clone()], true);
+        let d1 = grad(&y, std::slice::from_ref(&x), true);
         assert!((d1[0].to_vec()[0] - 6.0).abs() < 1e-12);
-        let d2 = grad(&d1[0].sum_all(), &[x.clone()], false);
+        let d2 = grad(&d1[0].sum_all(), std::slice::from_ref(&x), false);
         assert!((d2[0].to_vec()[0] - 2.0).abs() < 1e-12);
+    }
+
+    /// Dense wide-enough shapes to exercise both the unrolled and tail
+    /// columns of the packed microkernel.
+    #[test]
+    fn dense_kernel_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 8, 4), (5, 3, 6), (2, 16, 9)] {
+            let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let out = Tensor::from_vec(a.clone(), &[m, k])
+                .matmul(&Tensor::from_vec(b.clone(), &[k, n]))
+                .to_vec();
+            for i in 0..m {
+                for j in 0..n {
+                    let want: f64 = (0..k).map(|kk| a[i * k + kk] * b[kk * n + j]).sum();
+                    assert!(
+                        (out[i * n + j] - want).abs() < 1e-12,
+                        "({m},{k},{n})[{i},{j}]: {} vs {want}",
+                        out[i * n + j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sparse (zero-heavy) A blocks take the axpy path; the result must be
+    /// identical to the dense answer.
+    #[test]
+    fn sparse_path_matches_dense_answer() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, k, n) = (6, 8, 5);
+        // ~60% zeros: safely above the sparse threshold.
+        let a: Vec<f64> = (0..m * k)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.6 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0..2.0)
+                }
+            })
+            .collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let out = Tensor::from_vec(a.clone(), &[m, k])
+            .matmul(&Tensor::from_vec(b.clone(), &[k, n]))
+            .to_vec();
+        for i in 0..m {
+            for j in 0..n {
+                let want: f64 = (0..k).map(|kk| a[i * k + kk] * b[kk * n + j]).sum();
+                assert!((out[i * n + j] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Numerical gradient check of the fast (non-differentiable) backward
+    /// over plain 2-D operands.
+    #[test]
+    fn gradcheck_matmul_2d() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a =
+            Tensor::param_from_vec((0..12).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[3, 4]);
+        let b =
+            Tensor::param_from_vec((0..20).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[4, 5]);
+        let reports = check_gradients(
+            |t| t[0].matmul(&t[1]).mul(&t[0].matmul(&t[1])).sum_all(),
+            &[a, b],
+            1e-5,
+        );
+        assert!(reports[0].passes(1e-6), "{:?}", reports[0]);
+        assert!(reports[1].passes(1e-6), "{:?}", reports[1]);
+    }
+
+    /// Gradient check across broadcast (non-contiguous) batch offsets: a
+    /// batched LHS against a shared 2-D weight, and a 1-batch LHS
+    /// broadcast against a batched RHS.
+    #[test]
+    fn gradcheck_matmul_broadcast_batches() {
+        let mut rng = StdRng::seed_from_u64(14);
+        // [2, 3, 2] @ [2, 4] — the weight gradient reduces over the batch.
+        let x = Tensor::param_from_vec(
+            (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[2, 3, 2],
+        );
+        let w = Tensor::param_from_vec((0..8).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[2, 4]);
+        let reports = check_gradients(|t| t[0].matmul(&t[1]).squared_norm(), &[x, w], 1e-5);
+        assert!(reports[0].passes(1e-6), "{:?}", reports[0]);
+        assert!(reports[1].passes(1e-6), "{:?}", reports[1]);
+
+        // [1, 2, 3] @ [4, 3, 2] — the LHS gradient reduces over the batch.
+        let a = Tensor::param_from_vec(
+            (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[1, 2, 3],
+        );
+        let b = Tensor::param_from_vec(
+            (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[4, 3, 2],
+        );
+        let reports = check_gradients(|t| t[0].matmul(&t[1]).squared_norm(), &[a, b], 1e-5);
+        assert!(reports[0].passes(1e-6), "{:?}", reports[0]);
+        assert!(reports[1].passes(1e-6), "{:?}", reports[1]);
+    }
+
+    /// Gradient check through a zero-heavy (sparse-path) operand.
+    #[test]
+    fn gradcheck_matmul_sparse_path() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = Tensor::param_from_vec(
+            (0..24)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect(),
+            &[4, 6],
+        );
+        let b =
+            Tensor::param_from_vec((0..18).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[6, 3]);
+        let reports = check_gradients(|t| t[0].matmul(&t[1]).squared_norm(), &[a, b], 1e-5);
+        assert!(reports[0].passes(1e-6), "{:?}", reports[0]);
+        assert!(reports[1].passes(1e-6), "{:?}", reports[1]);
+    }
+
+    /// The fast backward and the tensor-op (double-backward) composition
+    /// must agree to rounding on identical inputs.
+    #[test]
+    fn fast_and_differentiable_backwards_agree() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let x = Tensor::param_from_vec(
+            (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[2, 3, 5],
+        );
+        let w =
+            Tensor::param_from_vec((0..20).map(|_| rng.gen_range(-1.0..1.0)).collect(), &[5, 4]);
+        let loss = x.matmul(&w).sum_all();
+        let fast = grad(&loss, &[x.clone(), w.clone()], false);
+        let slow = grad(&loss, &[x.clone(), w.clone()], true);
+        for (f, s) in fast.iter().zip(&slow) {
+            for (fv, sv) in f.to_vec().iter().zip(s.to_vec()) {
+                assert!((fv - sv).abs() < 1e-12, "{fv} vs {sv}");
+            }
+        }
     }
 }

@@ -8,8 +8,8 @@
 pub mod shape;
 
 mod composite;
-mod operators;
 mod matmul;
+mod operators;
 mod ops;
 
 use std::cell::{Ref, RefCell};
@@ -263,7 +263,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn sub_assign_scaled(&self, other: &Tensor, scale: Elem) {
-        assert_eq!(self.shape(), other.shape(), "sub_assign_scaled shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "sub_assign_scaled shape mismatch"
+        );
         let mut data = self.inner.data.borrow_mut();
         let rhs = other.inner.data.borrow();
         for (d, r) in data.iter_mut().zip(rhs.iter()) {
@@ -348,8 +352,8 @@ mod tests {
         let t = Tensor::randn(&[10_000], &mut rng);
         let data = t.to_vec();
         let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
-        let var: f64 = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / data.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }

@@ -7,8 +7,7 @@
 use std::rc::Rc;
 
 use crate::tensor::shape::{
-    broadcast_shapes, broadcast_strides, broadcastable_to, contiguous_strides, numel,
-    OffsetWalker,
+    broadcast_shapes, broadcast_strides, broadcastable_to, contiguous_strides, numel, OffsetWalker,
 };
 use crate::tensor::{BackwardFn, Tensor};
 use crate::Elem;
@@ -22,11 +21,7 @@ fn axis_blocks(shape: &[usize], axis: usize) -> (usize, usize, usize) {
     (outer, dim, inner)
 }
 
-fn unary(
-    input: &Tensor,
-    f: impl Fn(Elem) -> Elem,
-    backward: BackwardFn,
-) -> Tensor {
+fn unary(input: &Tensor, f: impl Fn(Elem) -> Elem, backward: BackwardFn) -> Tensor {
     let data = input.data().iter().map(|&x| f(x)).collect();
     Tensor::from_op(data, input.shape().to_vec(), vec![input.clone()], backward)
 }
@@ -37,7 +32,11 @@ fn is_suffix_shape(small: &[usize], big: &[usize]) -> bool {
     small.len() <= big.len() && big[big.len() - small.len()..] == *small
 }
 
-fn binary_values(a: &Tensor, b: &Tensor, f: impl Fn(Elem, Elem) -> Elem) -> (Vec<Elem>, Vec<usize>) {
+fn binary_values(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(Elem, Elem) -> Elem,
+) -> (Vec<Elem>, Vec<usize>) {
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
         panic!(
             "shapes {:?} and {:?} are not broadcast-compatible",
@@ -90,10 +89,7 @@ impl Tensor {
     pub fn add(&self, other: &Tensor) -> Tensor {
         let (data, shape) = binary_values(self, other, |x, y| x + y);
         let backward: BackwardFn = Rc::new(|g, ps, _out| {
-            vec![
-                Some(g.sum_to(ps[0].shape())),
-                Some(g.sum_to(ps[1].shape())),
-            ]
+            vec![Some(g.sum_to(ps[0].shape())), Some(g.sum_to(ps[1].shape()))]
         });
         Tensor::from_op(data, shape, vec![self.clone(), other.clone()], backward)
     }
@@ -201,8 +197,7 @@ impl Tensor {
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        let backward: BackwardFn =
-            Rc::new(|g, _ps, out| vec![Some(g.mul_scalar(0.5).div(out))]);
+        let backward: BackwardFn = Rc::new(|g, _ps, out| vec![Some(g.mul_scalar(0.5).div(out))]);
         unary(self, Elem::sqrt, backward)
     }
 
@@ -237,9 +232,7 @@ impl Tensor {
 
     /// Elementwise rectified linear unit, `max(x, 0)`.
     pub fn relu(&self) -> Tensor {
-        let backward: BackwardFn = Rc::new(|g, ps, _out| {
-            vec![Some(g.mul(&ps[0].step_mask()))]
-        });
+        let backward: BackwardFn = Rc::new(|g, ps, _out| vec![Some(g.mul(&ps[0].step_mask()))]);
         unary(self, |x| if x > 0.0 { x } else { 0.0 }, backward)
     }
 
@@ -247,9 +240,7 @@ impl Tensor {
     ///
     /// The gradient at zero is taken to be zero.
     pub fn abs(&self) -> Tensor {
-        let backward: BackwardFn = Rc::new(|g, ps, _out| {
-            vec![Some(g.mul(&ps[0].sign_detached()))]
-        });
+        let backward: BackwardFn = Rc::new(|g, ps, _out| vec![Some(g.mul(&ps[0].sign_detached()))]);
         unary(self, Elem::abs, backward)
     }
 
@@ -258,9 +249,8 @@ impl Tensor {
     /// Negative bases with fractional exponents produce `NaN`, mirroring
     /// `f64::powf`.
     pub fn powf(&self, p: Elem) -> Tensor {
-        let backward: BackwardFn = Rc::new(move |g, ps, _out| {
-            vec![Some(g.mul(&ps[0].powf(p - 1.0).mul_scalar(p)))]
-        });
+        let backward: BackwardFn =
+            Rc::new(move |g, ps, _out| vec![Some(g.mul(&ps[0].powf(p - 1.0).mul_scalar(p)))]);
         unary(self, |x| x.powf(p), backward)
     }
 
@@ -314,8 +304,7 @@ impl Tensor {
             data[off] += src[i];
         }
         drop(src);
-        let backward: BackwardFn =
-            Rc::new(|g, ps, _out| vec![Some(g.broadcast_to(ps[0].shape()))]);
+        let backward: BackwardFn = Rc::new(|g, ps, _out| vec![Some(g.broadcast_to(ps[0].shape()))]);
         Tensor::from_op(data, target.to_vec(), vec![self.clone()], backward)
     }
 
@@ -409,9 +398,13 @@ impl Tensor {
             numel(new_shape)
         );
         let original: Vec<usize> = self.shape().to_vec();
-        let backward: BackwardFn =
-            Rc::new(move |g, _ps, _out| vec![Some(g.reshape(&original))]);
-        Tensor::from_op(self.to_vec(), new_shape.to_vec(), vec![self.clone()], backward)
+        let backward: BackwardFn = Rc::new(move |g, _ps, _out| vec![Some(g.reshape(&original))]);
+        Tensor::from_op(
+            self.to_vec(),
+            new_shape.to_vec(),
+            vec![self.clone()],
+            backward,
+        )
     }
 
     /// Swaps two axes (materializing the result).
@@ -420,7 +413,10 @@ impl Tensor {
     ///
     /// Panics if either axis is out of range.
     pub fn transpose(&self, a: usize, b: usize) -> Tensor {
-        assert!(a < self.ndim() && b < self.ndim(), "transpose axes out of range");
+        assert!(
+            a < self.ndim() && b < self.ndim(),
+            "transpose axes out of range"
+        );
         if a == b {
             return self.clone();
         }
@@ -466,7 +462,11 @@ impl Tensor {
     /// Panics if the slice exceeds the axis bounds.
     pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Tensor {
         let (outer, dim, inner) = axis_blocks(self.shape(), axis);
-        assert!(start + len <= dim, "slice [{start}, {}) exceeds axis size {dim}", start + len);
+        assert!(
+            start + len <= dim,
+            "slice [{start}, {}) exceeds axis size {dim}",
+            start + len
+        );
         let src = self.data();
         let mut data = Vec::with_capacity(outer * len * inner);
         for o in 0..outer {
@@ -479,9 +479,8 @@ impl Tensor {
         let mut out_shape: Vec<usize> = self.shape().to_vec();
         out_shape[axis] = len;
         let after = dim - start - len;
-        let backward: BackwardFn = Rc::new(move |g, _ps, _out| {
-            vec![Some(g.pad_axis_zeros(axis, start, after))]
-        });
+        let backward: BackwardFn =
+            Rc::new(move |g, _ps, _out| vec![Some(g.pad_axis_zeros(axis, start, after))]);
         Tensor::from_op(data, out_shape, vec![self.clone()], backward)
     }
 
@@ -496,16 +495,14 @@ impl Tensor {
             for d in 0..dim {
                 let src_base = (o * dim + d) * inner;
                 let dst_base = (o * new_dim + before + d) * inner;
-                data[dst_base..dst_base + inner]
-                    .copy_from_slice(&src[src_base..src_base + inner]);
+                data[dst_base..dst_base + inner].copy_from_slice(&src[src_base..src_base + inner]);
             }
         }
         drop(src);
         let mut out_shape: Vec<usize> = self.shape().to_vec();
         out_shape[axis] = new_dim;
-        let backward: BackwardFn = Rc::new(move |g, _ps, _out| {
-            vec![Some(g.slice_axis(axis, before, dim))]
-        });
+        let backward: BackwardFn =
+            Rc::new(move |g, _ps, _out| vec![Some(g.slice_axis(axis, before, dim))]);
         Tensor::from_op(data, out_shape, vec![self.clone()], backward)
     }
 
@@ -602,9 +599,8 @@ impl Tensor {
         }
         drop(src);
         let idx: Vec<usize> = indices.to_vec();
-        let backward: BackwardFn = Rc::new(move |g, _ps, _out| {
-            vec![Some(g.scatter_add_rows(&idx, rows))]
-        });
+        let backward: BackwardFn =
+            Rc::new(move |g, _ps, _out| vec![Some(g.scatter_add_rows(&idx, rows))]);
         Tensor::from_op(
             data,
             vec![indices.len(), cols],
@@ -634,9 +630,8 @@ impl Tensor {
         }
         drop(src);
         let idx: Vec<usize> = indices.to_vec();
-        let backward: BackwardFn = Rc::new(move |g, _ps, _out| {
-            vec![Some(g.index_select_rows(&idx))]
-        });
+        let backward: BackwardFn =
+            Rc::new(move |g, _ps, _out| vec![Some(g.index_select_rows(&idx))]);
         Tensor::from_op(data, vec![rows, cols], vec![self.clone()], backward)
     }
 
@@ -794,7 +789,7 @@ mod tests {
     fn reshape_and_gradient() {
         let a = p(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let y = a.reshape(&[4]).mul_scalar(2.0).sum_all();
-        let g = grad(&y, &[a.clone()], false);
+        let g = grad(&y, std::slice::from_ref(&a), false);
         assert_eq!(g[0].shape(), &[2, 2]);
         assert_eq!(g[0].to_vec(), vec![2.0; 4]);
     }
@@ -863,8 +858,8 @@ mod tests {
         // y = (x*x) * x = x^3 via primitives; check d2y/dx2 = 6x.
         let x = p(&[2.5], &[1]);
         let y = x.mul(&x).mul(&x).sum_all();
-        let d1 = grad(&y, &[x.clone()], true);
-        let d2 = grad(&d1[0].sum_all(), &[x.clone()], false);
+        let d1 = grad(&y, std::slice::from_ref(&x), true);
+        let d2 = grad(&d1[0].sum_all(), std::slice::from_ref(&x), false);
         assert!((d2[0].to_vec()[0] - 15.0).abs() < 1e-9);
     }
 

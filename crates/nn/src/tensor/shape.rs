@@ -30,10 +30,10 @@ pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
 pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0; ndim];
-    for i in 0..ndim {
+    for (i, slot) in out.iter_mut().enumerate() {
         let da = dim_from_end(a, ndim - 1 - i);
         let db = dim_from_end(b, ndim - 1 - i);
-        out[i] = if da == db {
+        *slot = if da == db {
             da
         } else if da == 1 {
             db

@@ -1,107 +1,144 @@
-//! Property-based tests of the tensor/autodiff core.
-
-use proptest::prelude::*;
+//! Property-style tests of the tensor/autodiff core.
+//!
+//! Each test draws many random cases from a seeded [`StdRng`] (the hermetic
+//! build has no proptest), so failures are reproducible from the fixed seed.
 
 use metadse_nn::autograd::grad;
 use metadse_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small shape and matching data.
-fn tensor_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<f64>)> {
-    (1usize..4, 1usize..4, 1usize..4).prop_flat_map(|(a, b, c)| {
-        let shape = vec![a, b, c];
-        let n = a * b * c;
-        (
-            Just(shape),
-            proptest::collection::vec(-10.0..10.0f64, n..=n),
-        )
-    })
+const CASES: usize = 64;
+
+/// A small random 3-D shape and matching data in `[-10, 10)`.
+fn random_case(rng: &mut StdRng) -> (Vec<usize>, Vec<f64>) {
+    let shape = vec![
+        rng.gen_range(1..4usize),
+        rng.gen_range(1..4usize),
+        rng.gen_range(1..4usize),
+    ];
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    (shape, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn add_commutes((shape, data) in tensor_strategy(), scale in -3.0..3.0f64) {
+#[test]
+fn add_commutes() {
+    let mut rng = StdRng::seed_from_u64(0x6e01);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
+        let scale = rng.gen_range(-3.0..3.0);
         let a = Tensor::from_vec(data.clone(), &shape);
         let b = Tensor::from_vec(data.iter().map(|v| v * scale).collect(), &shape);
-        prop_assert_eq!(a.add(&b).to_vec(), b.add(&a).to_vec());
+        assert_eq!(a.add(&b).to_vec(), b.add(&a).to_vec());
     }
+}
 
-    #[test]
-    fn mul_distributes_over_add((shape, data) in tensor_strategy()) {
+#[test]
+fn mul_distributes_over_add() {
+    let mut rng = StdRng::seed_from_u64(0x6e02);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let a = Tensor::from_vec(data.clone(), &shape);
         let b = Tensor::from_vec(data.iter().map(|v| v + 1.0).collect(), &shape);
         let c = Tensor::from_vec(data.iter().map(|v| v - 2.0).collect(), &shape);
         let lhs = a.mul(&b.add(&c)).to_vec();
         let rhs = a.mul(&b).add(&a.mul(&c)).to_vec();
         for (l, r) in lhs.iter().zip(&rhs) {
-            prop_assert!((l - r).abs() < 1e-9, "{l} vs {r}");
+            assert!((l - r).abs() < 1e-9, "{l} vs {r}");
         }
     }
+}
 
-    #[test]
-    fn reshape_roundtrip_preserves_data((shape, data) in tensor_strategy()) {
+#[test]
+fn reshape_roundtrip_preserves_data() {
+    let mut rng = StdRng::seed_from_u64(0x6e03);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data.clone(), &shape);
         let n = t.numel();
         let flat = t.reshape(&[n]);
         let back = flat.reshape(&shape);
-        prop_assert_eq!(back.to_vec(), data);
+        assert_eq!(back.to_vec(), data);
     }
+}
 
-    #[test]
-    fn transpose_is_involutive((shape, data) in tensor_strategy()) {
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = StdRng::seed_from_u64(0x6e04);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data.clone(), &shape);
         let back = t.transpose(0, 2).transpose(0, 2);
-        prop_assert_eq!(back.to_vec(), data);
+        assert_eq!(back.to_vec(), data);
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions((shape, data) in tensor_strategy()) {
+#[test]
+fn softmax_rows_are_distributions() {
+    let mut rng = StdRng::seed_from_u64(0x6e05);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data, &shape);
         let s = t.softmax(2);
         let v = s.to_vec();
         let inner = shape[2];
         for row in v.chunks(inner) {
             let total: f64 = row.iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-9, "row sums to {total}");
-            prop_assert!(row.iter().all(|&p| p >= 0.0));
+            assert!((total - 1.0).abs() < 1e-9, "row sums to {total}");
+            assert!(row.iter().all(|&p| p >= 0.0));
         }
     }
+}
 
-    #[test]
-    fn sum_to_then_broadcast_preserves_total((shape, data) in tensor_strategy()) {
+#[test]
+fn sum_to_then_broadcast_preserves_total() {
+    let mut rng = StdRng::seed_from_u64(0x6e06);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data, &shape);
         let reduced = t.sum_to(&[shape[2]]);
         let total_before: f64 = t.to_vec().iter().sum();
         let total_after: f64 = reduced.to_vec().iter().sum();
-        prop_assert!((total_before - total_after).abs() < 1e-8);
+        assert!((total_before - total_after).abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn gradient_of_sum_is_ones((shape, data) in tensor_strategy()) {
+#[test]
+fn gradient_of_sum_is_ones() {
+    let mut rng = StdRng::seed_from_u64(0x6e07);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::param_from_vec(data, &shape);
-        let g = grad(&t.sum_all(), &[t.clone()], false);
-        prop_assert!(g[0].to_vec().iter().all(|&v| v == 1.0));
+        let g = grad(&t.sum_all(), std::slice::from_ref(&t), false);
+        assert!(g[0].to_vec().iter().all(|&v| v == 1.0));
     }
+}
 
-    #[test]
-    fn gradient_is_linear_in_scaling((shape, data) in tensor_strategy(), c in -4.0..4.0f64) {
+#[test]
+fn gradient_is_linear_in_scaling() {
+    let mut rng = StdRng::seed_from_u64(0x6e08);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
+        let c = rng.gen_range(-4.0..4.0);
         // d(c * f)/dx = c * df/dx for f = sum of squares.
         let x = Tensor::param_from_vec(data, &shape);
         let f = x.mul(&x).sum_all();
-        let gf = grad(&f, &[x.clone()], false);
+        let gf = grad(&f, std::slice::from_ref(&x), false);
         let cf = x.mul(&x).sum_all().mul_scalar(c);
-        let gcf = grad(&cf, &[x.clone()], false);
+        let gcf = grad(&cf, std::slice::from_ref(&x), false);
         for (a, b) in gcf[0].to_vec().iter().zip(gf[0].to_vec()) {
-            prop_assert!((a - c * b).abs() < 1e-8, "{a} vs {}", c * b);
+            assert!((a - c * b).abs() < 1e-8, "{a} vs {}", c * b);
         }
     }
+}
 
-    #[test]
-    fn matmul_matches_manual_2x2(
-        a in proptest::collection::vec(-5.0..5.0f64, 4..=4),
-        b in proptest::collection::vec(-5.0..5.0f64, 4..=4),
-    ) {
+#[test]
+fn matmul_matches_manual_2x2() {
+    let mut rng = StdRng::seed_from_u64(0x6e09);
+    for _ in 0..CASES {
+        let a: Vec<f64> = (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let b: Vec<f64> = (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let ta = Tensor::from_vec(a.clone(), &[2, 2]);
         let tb = Tensor::from_vec(b.clone(), &[2, 2]);
         let c = ta.matmul(&tb).to_vec();
@@ -112,32 +149,44 @@ proptest! {
             a[2] * b[1] + a[3] * b[3],
         ];
         for (x, y) in c.iter().zip(&manual) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn relu_output_nonnegative_and_idempotent((shape, data) in tensor_strategy()) {
+#[test]
+fn relu_output_nonnegative_and_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x6e0a);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data, &shape);
         let r = t.relu();
-        prop_assert!(r.to_vec().iter().all(|&v| v >= 0.0));
-        prop_assert_eq!(r.relu().to_vec(), r.to_vec());
+        assert!(r.to_vec().iter().all(|&v| v >= 0.0));
+        assert_eq!(r.relu().to_vec(), r.to_vec());
     }
+}
 
-    #[test]
-    fn exp_ln_roundtrip_for_positive((shape, data) in tensor_strategy()) {
+#[test]
+fn exp_ln_roundtrip_for_positive() {
+    let mut rng = StdRng::seed_from_u64(0x6e0b);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data.iter().map(|v| v.abs() + 0.1).collect(), &shape);
         let back = t.ln().exp().to_vec();
         for (a, b) in back.iter().zip(t.to_vec()) {
-            prop_assert!((a - b).abs() < 1e-9 * b.max(1.0));
+            assert!((a - b).abs() < 1e-9 * b.max(1.0));
         }
     }
+}
 
-    #[test]
-    fn concat_slice_roundtrip((shape, data) in tensor_strategy()) {
+#[test]
+fn concat_slice_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x6e0c);
+    for _ in 0..CASES {
+        let (shape, data) = random_case(&mut rng);
         let t = Tensor::from_vec(data.clone(), &shape);
         let c = Tensor::concat(&[t.clone(), t.clone()], 1);
         let first = c.slice_axis(1, 0, shape[1]);
-        prop_assert_eq!(first.to_vec(), data);
+        assert_eq!(first.to_vec(), data);
     }
 }

@@ -14,7 +14,7 @@ fn numeric_second(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
 fn analytic_second(build: impl Fn(&Tensor) -> Tensor, x: f64) -> f64 {
     let t = Tensor::param_from_vec(vec![x], &[1]);
     let y = build(&t).sum_all();
-    let d1 = grad(&y, &[t.clone()], true);
+    let d1 = grad(&y, std::slice::from_ref(&t), true);
     let d2 = grad(&d1[0].sum_all(), &[t], false);
     d2[0].to_vec()[0]
 }
@@ -98,10 +98,18 @@ fn hessian_vector_structure_through_matmul() {
     let x = Tensor::from_vec(vec![1.0, 2.0, 0.5, -1.0], &[2, 2]);
     let w = Tensor::param_from_vec(vec![0.3, -0.7], &[2, 1]);
     let y = x.matmul(&w).squared_norm();
-    let d1 = grad(&y, &[w.clone()], true);
+    let d1 = grad(&y, std::slice::from_ref(&w), true);
     // d1 = 2 XᵀX w; differentiate each component wrt w.
-    let g0 = grad(&d1[0].slice_axis(0, 0, 1).sum_all(), &[w.clone()], false);
-    let g1 = grad(&d1[0].slice_axis(0, 1, 1).sum_all(), &[w.clone()], false);
+    let g0 = grad(
+        &d1[0].slice_axis(0, 0, 1).sum_all(),
+        std::slice::from_ref(&w),
+        false,
+    );
+    let g1 = grad(
+        &d1[0].slice_axis(0, 1, 1).sum_all(),
+        std::slice::from_ref(&w),
+        false,
+    );
     // 2 XᵀX = 2 * [[1.25, 1.5], [1.5, 5.0]]
     let h = [g0[0].to_vec(), g1[0].to_vec()];
     assert!((h[0][0] - 2.5).abs() < 1e-9, "H00 {}", h[0][0]);
@@ -118,10 +126,10 @@ fn maml_style_second_order_matches_manual_unroll() {
     let alpha = 0.1;
     let w = Tensor::param_from_vec(vec![1.0], &[1]);
     let inner = w.sub_scalar(3.0).powf(2.0).sum_all();
-    let gi = grad(&inner, &[w.clone()], true);
+    let gi = grad(&inner, std::slice::from_ref(&w), true);
     let w_fast = w.sub(&gi[0].mul_scalar(alpha));
     let outer = w_fast.powf(2.0).sum_all();
-    let meta = grad(&outer, &[w.clone()], false);
+    let meta = grad(&outer, std::slice::from_ref(&w), false);
     let w_fast_val = 1.0 - alpha * 2.0 * (1.0 - 3.0);
     let expected = 2.0 * w_fast_val * (1.0 - 2.0 * alpha);
     assert!(
@@ -134,11 +142,11 @@ fn maml_style_second_order_matches_manual_unroll() {
     // create_graph = false (a constant) — the derivative loses the
     // (1 - 2α) factor.
     let inner2 = w.sub_scalar(3.0).powf(2.0).sum_all();
-    let gi_detached = grad(&inner2, &[w.clone()], false);
+    let gi_detached = grad(&inner2, std::slice::from_ref(&w), false);
     assert!(!gi_detached[0].requires_grad());
     let w_fast_fo = w.sub(&gi_detached[0].mul_scalar(alpha));
     let outer_fo = w_fast_fo.powf(2.0).sum_all();
-    let meta_fo = grad(&outer_fo, &[w.clone()], false);
+    let meta_fo = grad(&outer_fo, std::slice::from_ref(&w), false);
     let expected_fo = 2.0 * w_fast_val;
     assert!(
         (meta_fo[0].to_vec()[0] - expected_fo).abs() < 1e-12,

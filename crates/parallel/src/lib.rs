@@ -1,0 +1,168 @@
+//! Deterministic task-parallel execution for the MetaDSE workspace.
+//!
+//! The MetaDSE pipeline is full of *task-level* independence — per-task MAML
+//! inner loops, per-design-point simulations, per-tree forest fitting — but
+//! the `metadse-nn` autograd graph is `Rc`/`RefCell`-based and therefore
+//! thread-bound. This crate provides the execution pattern every parallel
+//! hot path uses instead of making the graph `Send`:
+//!
+//! 1. **snapshot** — the caller captures plain `Vec<f64>` inputs on the main
+//!    thread (parameter buffers, sampled tasks, design points),
+//! 2. **fan-out** — [`ParallelConfig::run_indexed`] evaluates a pure
+//!    function of the task index on `std::thread::scope` workers, each of
+//!    which may rebuild thread-local state (e.g. a model) from the snapshot,
+//! 3. **deterministic reduce** — results come back ordered by task index,
+//!    so the caller reduces them in exactly the serial order and the final
+//!    floats are bit-identical to a serial run.
+//!
+//! Thread count resolution: explicit `threads: Some(n)` wins, otherwise the
+//! `METADSE_THREADS` environment variable, otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Thread-count knob plumbed through the pipeline's configuration structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelConfig {
+    /// Worker threads. `Some(1)` forces the exact serial code path;
+    /// `None` defers to `METADSE_THREADS`, then to the machine.
+    pub threads: Option<usize>,
+}
+
+impl ParallelConfig {
+    /// A configuration pinned to `n` threads.
+    pub fn with_threads(n: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads: Some(n.max(1)),
+        }
+    }
+
+    /// A configuration pinned to one thread (exact serial execution).
+    pub fn serial() -> ParallelConfig {
+        ParallelConfig::with_threads(1)
+    }
+
+    /// The resolved worker-thread count: explicit setting, else
+    /// `METADSE_THREADS`, else available parallelism (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        if let Ok(v) = std::env::var("METADSE_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Evaluates `f(0..n)` and returns the results **in index order**.
+    ///
+    /// With one effective thread (or `n <= 1`) this runs `f` inline on the
+    /// caller's thread, serially, in index order — no threads are spawned.
+    /// Otherwise workers pull indices from a shared counter, so `f` must be
+    /// a pure function of its index for results to be deterministic; index
+    /// ordering of the output makes any subsequent reduction independent of
+    /// scheduling.
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.effective_threads().min(n.max(1));
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, value) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| panic!("index {i} never produced")))
+            .collect()
+    }
+
+    /// Maps `f` over `items` in parallel, preserving item order.
+    pub fn map_slice<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.run_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let cfg = ParallelConfig::with_threads(4);
+        let out = cfg.run_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as f64).sqrt().sin();
+        let serial = ParallelConfig::serial().run_indexed(257, f);
+        let parallel = ParallelConfig::with_threads(8).run_indexed(257, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<usize> = ParallelConfig::with_threads(4).run_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let out = ParallelConfig::with_threads(3).map_slice(&items, |v| v * 10);
+        assert_eq!(out, vec![30, 10, 40, 10, 50, 90, 20, 60]);
+    }
+
+    #[test]
+    fn explicit_threads_beat_the_env_var() {
+        // `Some(n)` must win regardless of METADSE_THREADS.
+        assert_eq!(ParallelConfig::with_threads(3).effective_threads(), 3);
+        assert_eq!(ParallelConfig::serial().effective_threads(), 1);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_still_covers_everything() {
+        let out = ParallelConfig::with_threads(16).run_indexed(3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Deterministic random-number generation for the MetaDSE workspace.
+//!
+//! This crate re-implements, from scratch, the small slice of the `rand`
+//! crate API the workspace uses (`Rng::gen_range`, `SeedableRng::
+//! seed_from_u64`, `rngs::StdRng`, `rngs::mock::StepRng`) so the workspace
+//! builds hermetically with no external dependencies. The library target is
+//! named `rand`, so `use rand::Rng;` works unchanged across the workspace.
+//!
+//! [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha-based `StdRng`, but every consumer
+//! in this workspace only relies on *seed determinism*, never on a specific
+//! stream.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.gen_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of uniformly distributed 64-bit values.
+///
+/// The single required method is [`Rng::next_u64`]; everything else is
+/// provided. The trait is usable through `&mut R` and unsized bounds
+/// (`R: Rng + ?Sized`) like upstream `rand`.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    ///
+    /// Supports half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges over
+    /// the integer types used in the workspace, and half-open ranges over
+    /// `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to draw a uniform sample of `T` from an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Converts 64 random bits to a `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + (self.end - self.start) * u;
+        // Guard the (rounding-only) case v == end so the half-open contract
+        // holds exactly.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, i64, i32);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++ with
+    /// SplitMix64 seed expansion.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro256++ requires a non-zero state; splitmix64 never maps
+            // four consecutive outputs to all-zero, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Trivial generators for tests.
+    pub mod mock {
+        use super::super::Rng;
+
+        /// Arithmetic-progression generator: yields `initial`,
+        /// `initial + increment`, ... (wrapping). Mirrors
+        /// `rand::rngs::mock::StepRng`.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates a generator starting at `initial`, advancing by
+            /// `increment` per draw.
+            pub fn new(initial: u64, increment: u64) -> StepRng {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl Rng for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_covers_the_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds_and_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..200 {
+            let v = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&v));
+        }
+        let v: i32 = rng.gen_range(-3..3);
+        assert!((-3..3).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_int_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn works_through_unsized_and_reborrowed_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = draw(&mut rng);
+        let b = draw(&mut &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn step_rng_is_an_arithmetic_progression() {
+        let mut rng = StepRng::new(3, 10);
+        assert_eq!(rng.next_u64(), 3);
+        assert_eq!(rng.next_u64(), 13);
+        assert_eq!(rng.next_u64(), 23);
+    }
+}

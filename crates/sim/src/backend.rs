@@ -44,15 +44,18 @@ mod throughput {
 pub fn evaluate(config: &CpuConfig, workload: &WorkloadProfile) -> BackendModel {
     // The in-flight window is the ROB, but it can only fill as far as free
     // physical registers and LSQ slots allow.
-    let int_cap = ((config.int_regfile as Elem - ARCH_REGS).max(8.0))
-        / workload.frac_int_writers().max(0.05);
+    let int_cap =
+        ((config.int_regfile as Elem - ARCH_REGS).max(8.0)) / workload.frac_int_writers().max(0.05);
     let fp_cap = if workload.frac_fp_writers() > 0.01 {
         ((config.fp_regfile as Elem - ARCH_REGS).max(8.0)) / workload.frac_fp_writers()
     } else {
         Elem::INFINITY
     };
     let lsq_cap = config.load_store_queue as Elem / workload.frac_mem().max(0.05);
-    let effective_window = (config.rob_size as Elem).min(int_cap).min(fp_cap).min(lsq_cap);
+    let effective_window = (config.rob_size as Elem)
+        .min(int_cap)
+        .min(fp_cap)
+        .min(lsq_cap);
 
     let window_limit = effective_window / BASE_LIFETIME;
 
@@ -72,9 +75,17 @@ pub fn evaluate(config: &CpuConfig, workload: &WorkloadProfile) -> BackendModel 
         }
     };
     let fu_limit = fu(config.int_alu, throughput::INT_ALU, workload.frac_int_alu)
-        .min(fu(config.int_mult_div, throughput::INT_MUL, workload.frac_int_mul))
+        .min(fu(
+            config.int_mult_div,
+            throughput::INT_MUL,
+            workload.frac_int_mul,
+        ))
         .min(fu(config.fp_alu, throughput::FP_ALU, workload.frac_fp_alu))
-        .min(fu(config.fp_mult_div, throughput::FP_MUL, workload.frac_fp_mul));
+        .min(fu(
+            config.fp_mult_div,
+            throughput::FP_MUL,
+            workload.frac_fp_mul,
+        ));
 
     BackendModel {
         effective_window,
@@ -125,7 +136,11 @@ mod tests {
         c.rob_size = 256;
         c.int_regfile = 64; // only ~30 renames available
         let m = evaluate(&c, &w);
-        assert!(m.effective_window < 256.0 * 0.5, "window {}", m.effective_window);
+        assert!(
+            m.effective_window < 256.0 * 0.5,
+            "window {}",
+            m.effective_window
+        );
         c.int_regfile = 256;
         let m2 = evaluate(&c, &w);
         assert!(m2.effective_window > m.effective_window);

@@ -46,8 +46,8 @@ pub fn evaluate(config: &CpuConfig, workload: &WorkloadProfile) -> BranchModel {
 
     // Return-address-stack overflow: deep call chains wrap the RAS and
     // corrupt return predictions.
-    let overflow = ((workload.call_depth - config.ras_size as Elem) / workload.call_depth)
-        .clamp(0.0, 1.0);
+    let overflow =
+        ((workload.call_depth - config.ras_size as Elem) / workload.call_depth).clamp(0.0, 1.0);
     let returns = CALL_RETURN_FRAC * 0.5 * overflow;
 
     let mispredict_rate = (direction + indirect + returns).clamp(0.0, 0.5);

@@ -169,7 +169,10 @@ mod tests {
         let s64 = evaluate(&c, &streaming).l1d_miss_rate;
         let p64 = evaluate(&c, &chasing).l1d_miss_rate;
         assert!(s64 < s32, "streaming should gain from longer lines");
-        assert!(p64 > p32, "pointer chasing should lose capacity to long lines");
+        assert!(
+            p64 > p32,
+            "pointer chasing should lose capacity to long lines"
+        );
     }
 
     #[test]

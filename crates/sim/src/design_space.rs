@@ -267,10 +267,7 @@ impl DesignSpace {
 
     /// Total number of distinct configurations.
     pub fn cardinality(&self) -> u128 {
-        self.specs
-            .iter()
-            .map(|s| s.cardinality() as u128)
-            .product()
+        self.specs.iter().map(|s| s.cardinality() as u128).product()
     }
 
     /// Uniform random design point.
@@ -532,7 +529,11 @@ mod tests {
             .collect();
         seen.sort_unstable();
         seen.dedup();
-        assert!(seen.len() >= 20, "LHS should cover most strata, got {}", seen.len());
+        assert!(
+            seen.len() >= 20,
+            "LHS should cover most strata, got {}",
+            seen.len()
+        );
     }
 
     #[test]

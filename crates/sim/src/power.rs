@@ -44,8 +44,8 @@ pub fn area_mm2(config: &CpuConfig) -> Elem {
     let rf = 0.0022 * (config.int_regfile + config.fp_regfile) as Elem * port_tax;
     let btb = 0.00045 * config.btb_size as Elem;
     let ras = 0.002 * config.ras_size as Elem;
-    let fetch = 0.004 * config.fetch_buffer_bytes as Elem / 16.0
-        + 0.003 * config.fetch_queue_uops as Elem;
+    let fetch =
+        0.004 * config.fetch_buffer_bytes as Elem / 16.0 + 0.003 * config.fetch_queue_uops as Elem;
     // Functional units.
     let fus = 0.28 * config.int_alu as Elem
         + 0.85 * config.int_mult_div as Elem
@@ -92,7 +92,7 @@ pub fn evaluate(
     let e_l2 = array_energy_nj(config.l2_cache_kb as Elem * 1024.0)
         * (1.0 + 0.05 * config.l2_assoc as Elem);
     let e_dram = 18.0; // off-chip access, fixed per event
-    // Execution: per-class op energies.
+                       // Execution: per-class op energies.
     let e_ops = workload.frac_int_alu * 0.12
         + workload.frac_int_mul * 0.65
         + workload.frac_fp_alu * 0.55
@@ -130,9 +130,9 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache;
     use crate::design_space::{ConfigPoint, DesignSpace};
     use crate::workload::WorkloadProfileBuilder;
-    use crate::cache;
 
     fn mid_config() -> CpuConfig {
         let ds = DesignSpace::new();
@@ -160,7 +160,10 @@ mod tests {
         let p1 = power_of(&c, 1.5).total_w;
         c.core_freq_ghz = 3.0;
         let p3 = power_of(&c, 1.5).total_w;
-        assert!(p3 > 3.0 * p1, "p3 {p3} should exceed 3x p1 {p1} (V² scaling)");
+        assert!(
+            p3 > 3.0 * p1,
+            "p3 {p3} should exceed 3x p1 {p1} (V² scaling)"
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl Simulator {
     /// Simulator with a custom residue amplitude (0 disables it); useful
     /// for tests that check exact analytical properties.
     pub fn with_noise(noise_amplitude: Elem) -> Simulator {
-        assert!((0.0..0.5).contains(&noise_amplitude), "amplitude out of range");
+        assert!(
+            (0.0..0.5).contains(&noise_amplitude),
+            "amplitude out of range"
+        );
         Simulator { noise_amplitude }
     }
 
@@ -247,6 +250,9 @@ mod tests {
             ipc_hi = ipc_hi.max(o.ipc);
         }
         // The design space must produce a real spread, or DSE is trivial.
-        assert!(ipc_hi / ipc_lo > 1.8, "IPC spread too small: {ipc_lo}..{ipc_hi}");
+        assert!(
+            ipc_hi / ipc_lo > 1.8,
+            "IPC spread too small: {ipc_lo}..{ipc_hi}"
+        );
     }
 }

@@ -209,6 +209,7 @@ impl WorkloadProfileBuilder {
 
     /// Sets the instruction mix
     /// `(int_alu, int_mul, fp_alu, fp_mul, load, store, branch)`.
+    #[allow(clippy::too_many_arguments)] // mirrors the seven-way instruction mix
     pub fn mix(
         &mut self,
         int_alu: Elem,
@@ -230,7 +231,12 @@ impl WorkloadProfileBuilder {
     }
 
     /// Sets `(branch_entropy, indirect_fraction, call_depth)`.
-    pub fn branch_behavior(&mut self, entropy: Elem, indirect: Elem, call_depth: Elem) -> &mut Self {
+    pub fn branch_behavior(
+        &mut self,
+        entropy: Elem,
+        indirect: Elem,
+        call_depth: Elem,
+    ) -> &mut Self {
         self.profile.branch_entropy = entropy;
         self.profile.indirect_branch_frac = indirect;
         self.profile.call_depth = call_depth;

@@ -1,80 +1,90 @@
-//! Property-based tests of the analytical CPU model: architectural
+//! Property-style tests of the analytical CPU model: architectural
 //! monotonicities and output sanity over random (config, workload) pairs.
-
-use proptest::prelude::*;
+//!
+//! Each test draws many random cases from a seeded [`StdRng`] (the hermetic
+//! build has no proptest), so failures are reproducible from the fixed seed.
 
 use metadse_sim::{
     BranchPredictorKind, ConfigPoint, DesignSpace, Simulator, WorkloadProfile,
     WorkloadProfileBuilder,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 48;
 
 fn space() -> DesignSpace {
     DesignSpace::new()
 }
 
-/// Strategy: a random design point as candidate indices.
-fn point_strategy() -> impl Strategy<Value = ConfigPoint> {
-    let cards: Vec<usize> = space().specs().iter().map(|s| s.cardinality()).collect();
-    cards
-        .into_iter()
-        .map(|c| (0..c).boxed())
-        .collect::<Vec<_>>()
-        .prop_map(ConfigPoint::new)
+/// A uniformly random design point as candidate indices.
+fn random_point(rng: &mut StdRng) -> ConfigPoint {
+    let indices = space()
+        .specs()
+        .iter()
+        .map(|s| rng.gen_range(0..s.cardinality()))
+        .collect();
+    ConfigPoint::new(indices)
 }
 
-/// Strategy: a random but valid workload profile.
-fn profile_strategy() -> impl Strategy<Value = WorkloadProfile> {
-    (
-        0.0..1.0f64,   // entropy
-        0.0..0.4f64,   // indirect
-        2.0..64.0f64,  // call depth
-        2.0..512.0f64, // l1 ws
-        32.0..8192.0f64,
-        0.0..1.0f64, // locality
-        1.0..8.0f64, // ilp
-        1.0..8.0f64, // mlp
-        0.0..0.9f64, // streaming
-    )
-        .prop_map(
-            |(entropy, indirect, depth, ws1, ws2, locality, ilp, mlp, streaming)| {
-                WorkloadProfileBuilder::new("prop")
-                    .branch_behavior(entropy, indirect, depth)
-                    .memory_behavior(ws1, ws2, 32.0, locality, streaming)
-                    .parallelism(ilp, mlp)
-                    .build()
-                    .expect("strategy stays in the valid range")
-            },
-        )
+/// A random but valid workload profile.
+fn random_profile(rng: &mut StdRng) -> WorkloadProfile {
+    let entropy = rng.gen_range(0.0..1.0);
+    let indirect = rng.gen_range(0.0..0.4);
+    let depth = rng.gen_range(2.0..64.0);
+    let ws1 = rng.gen_range(2.0..512.0);
+    let ws2 = rng.gen_range(32.0..8192.0);
+    let locality = rng.gen_range(0.0..1.0);
+    let ilp = rng.gen_range(1.0..8.0);
+    let mlp = rng.gen_range(1.0..8.0);
+    let streaming = rng.gen_range(0.0..0.9);
+    WorkloadProfileBuilder::new("prop")
+        .branch_behavior(entropy, indirect, depth)
+        .memory_behavior(ws1, ws2, 32.0, locality, streaming)
+        .parallelism(ilp, mlp)
+        .build()
+        .expect("sampled values stay in the valid range")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn outputs_are_finite_and_bounded(point in point_strategy(), profile in profile_strategy()) {
+#[test]
+fn outputs_are_finite_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x5101);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
         let ds = space();
         let sim = Simulator::new();
         let out = sim.simulate_point(&ds, &point, &profile);
         let width = ds.config(&point).pipeline_width as f64;
-        prop_assert!(out.ipc > 0.0 && out.ipc <= width + 1e-9);
-        prop_assert!(out.power_w > 0.0 && out.power_w.is_finite());
-        prop_assert!(out.area_mm2 > 0.0 && out.area_mm2.is_finite());
-        prop_assert!((0.0..=1.0).contains(&out.l1d_miss_rate));
-        prop_assert!((0.0..=1.0).contains(&out.l2_miss_rate));
-        prop_assert!((0.0..=0.5).contains(&out.branch_mispredict_rate));
+        assert!(out.ipc > 0.0 && out.ipc <= width + 1e-9);
+        assert!(out.power_w > 0.0 && out.power_w.is_finite());
+        assert!(out.area_mm2 > 0.0 && out.area_mm2.is_finite());
+        assert!((0.0..=1.0).contains(&out.l1d_miss_rate));
+        assert!((0.0..=1.0).contains(&out.l2_miss_rate));
+        assert!((0.0..=0.5).contains(&out.branch_mispredict_rate));
     }
+}
 
-    #[test]
-    fn simulation_is_a_pure_function(point in point_strategy(), profile in profile_strategy()) {
+#[test]
+fn simulation_is_a_pure_function() {
+    let mut rng = StdRng::seed_from_u64(0x5102);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
         let ds = space();
         let sim = Simulator::new();
         let a = sim.simulate_point(&ds, &point, &profile);
         let b = sim.simulate_point(&ds, &point, &profile);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn bigger_l1_never_increases_misses(point in point_strategy(), profile in profile_strategy()) {
+#[test]
+fn bigger_l1_never_increases_misses() {
+    let mut rng = StdRng::seed_from_u64(0x5103);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
         let ds = space();
         let sim = Simulator::with_noise(0.0);
         let mut config = ds.config(&point);
@@ -82,11 +92,16 @@ proptest! {
         let small = sim.simulate(&config, &profile).l1d_miss_rate;
         config.l1_cache_kb = 64;
         let big = sim.simulate(&config, &profile).l1d_miss_rate;
-        prop_assert!(big <= small + 1e-12, "{big} > {small}");
+        assert!(big <= small + 1e-12, "{big} > {small}");
     }
+}
 
-    #[test]
-    fn higher_frequency_never_reduces_power(point in point_strategy(), profile in profile_strategy()) {
+#[test]
+fn higher_frequency_never_reduces_power() {
+    let mut rng = StdRng::seed_from_u64(0x5104);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
         let ds = space();
         let sim = Simulator::with_noise(0.0);
         let mut config = ds.config(&point);
@@ -94,11 +109,16 @@ proptest! {
         let slow = sim.simulate(&config, &profile).power_w;
         config.core_freq_ghz = 3.0;
         let fast = sim.simulate(&config, &profile).power_w;
-        prop_assert!(fast > slow, "{fast} <= {slow}");
+        assert!(fast > slow, "{fast} <= {slow}");
     }
+}
 
-    #[test]
-    fn tournament_never_loses_to_bimode(point in point_strategy(), profile in profile_strategy()) {
+#[test]
+fn tournament_never_loses_to_bimode() {
+    let mut rng = StdRng::seed_from_u64(0x5105);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
         let ds = space();
         let sim = Simulator::with_noise(0.0);
         let mut config = ds.config(&point);
@@ -106,39 +126,52 @@ proptest! {
         let bimode = sim.simulate(&config, &profile).branch_mispredict_rate;
         config.branch_predictor = BranchPredictorKind::Tournament;
         let tournament = sim.simulate(&config, &profile).branch_mispredict_rate;
-        prop_assert!(tournament <= bimode + 1e-12);
+        assert!(tournament <= bimode + 1e-12);
     }
+}
 
-    #[test]
-    fn bigger_rob_never_shrinks_the_window(point in point_strategy(), profile in profile_strategy()) {
-        // Note: a bigger ROB can legitimately *lower IPC* on branchy code
-        // (longer flush penalty), so the monotone quantity is the
-        // structural window, not end-to-end IPC.
+#[test]
+fn bigger_rob_never_shrinks_the_window() {
+    // Note: a bigger ROB can legitimately *lower IPC* on branchy code
+    // (longer flush penalty), so the monotone quantity is the structural
+    // window, not end-to-end IPC.
+    let mut rng = StdRng::seed_from_u64(0x5106);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
         let ds = space();
         let mut config = ds.config(&point);
         config.rob_size = 32;
         let small = metadse_sim::backend::evaluate(&config, &profile).effective_window;
         config.rob_size = 256;
         let big = metadse_sim::backend::evaluate(&config, &profile).effective_window;
-        prop_assert!(big >= small - 1e-12, "{big} < {small}");
+        assert!(big >= small - 1e-12, "{big} < {small}");
     }
+}
 
-    #[test]
-    fn encode_stays_in_unit_interval(point in point_strategy()) {
+#[test]
+fn encode_stays_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0x5107);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
         let ds = space();
         let features = ds.encode(&point);
-        prop_assert_eq!(features.len(), 21);
-        prop_assert!(features.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert_eq!(features.len(), 21);
+        assert!(features.iter().all(|&f| (0.0..=1.0).contains(&f)));
     }
+}
 
-    #[test]
-    fn area_monotone_in_cache_size(point in point_strategy()) {
+#[test]
+fn area_monotone_in_cache_size() {
+    let mut rng = StdRng::seed_from_u64(0x5108);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
         let ds = space();
         let mut config = ds.config(&point);
         config.l2_cache_kb = 128;
         let small = metadse_sim::power::area_mm2(&config);
         config.l2_cache_kb = 256;
         let big = metadse_sim::power::area_mm2(&config);
-        prop_assert!(big > small);
+        assert!(big > small);
     }
 }

@@ -11,6 +11,7 @@ use std::path::Path;
 
 use rand::Rng;
 
+use metadse_parallel::ParallelConfig;
 use metadse_sim::{ConfigPoint, DesignSpace, Elem, Simulator};
 
 use crate::phases::PhaseSet;
@@ -73,7 +74,8 @@ impl Dataset {
         }
     }
 
-    /// Simulates `n` uniform-random design points for `workload`.
+    /// Simulates `n` uniform-random design points for `workload`, using
+    /// the default thread count (`METADSE_THREADS`, else the machine).
     pub fn generate<R: Rng + ?Sized>(
         space: &DesignSpace,
         simulator: &Simulator,
@@ -81,41 +83,86 @@ impl Dataset {
         n: usize,
         rng: &mut R,
     ) -> Dataset {
-        let points: Vec<ConfigPoint> = (0..n).map(|_| space.random_point(rng)).collect();
-        Self::generate_at(space, simulator, workload, &points)
+        Self::generate_with(
+            space,
+            simulator,
+            workload,
+            n,
+            rng,
+            &ParallelConfig::default(),
+        )
     }
 
-    /// Simulates the given design points for `workload`.
+    /// Simulates `n` uniform-random design points for `workload` with an
+    /// explicit thread configuration.
+    ///
+    /// Points are sampled serially from `rng` on the calling thread, so
+    /// the RNG stream — and therefore the dataset — is bit-identical for
+    /// every thread count.
+    pub fn generate_with<R: Rng + ?Sized>(
+        space: &DesignSpace,
+        simulator: &Simulator,
+        workload: SpecWorkload,
+        n: usize,
+        rng: &mut R,
+        parallel: &ParallelConfig,
+    ) -> Dataset {
+        let points: Vec<ConfigPoint> = (0..n).map(|_| space.random_point(rng)).collect();
+        Self::generate_at_with(space, simulator, workload, &points, parallel)
+    }
+
+    /// Simulates the given design points for `workload`, using the default
+    /// thread count (`METADSE_THREADS`, else the machine).
     pub fn generate_at(
         space: &DesignSpace,
         simulator: &Simulator,
         workload: SpecWorkload,
         points: &[ConfigPoint],
     ) -> Dataset {
+        Self::generate_at_with(
+            space,
+            simulator,
+            workload,
+            points,
+            &ParallelConfig::default(),
+        )
+    }
+
+    /// Simulates the given design points for `workload` with an explicit
+    /// thread configuration.
+    ///
+    /// Each point's simulation is a pure function of the point, so
+    /// fanning points out across threads and collecting results in point
+    /// order yields bit-identical datasets for every thread count.
+    pub fn generate_at_with(
+        space: &DesignSpace,
+        simulator: &Simulator,
+        workload: SpecWorkload,
+        points: &[ConfigPoint],
+        parallel: &ParallelConfig,
+    ) -> Dataset {
         let phases = PhaseSet::generate(workload);
-        let samples = points
-            .iter()
-            .map(|point| {
-                let features = space.encode(point);
-                let config = space.config(point);
-                // Aggregate over phases the way SimPoint does for the full
-                // program: each phase contributes `weight` instructions,
-                // so cycles add as weight / IPC and power is time-weighted.
-                let mut cycles = 0.0;
-                let mut energy_like = 0.0;
-                for phase in phases.phases() {
-                    let out = simulator.simulate(&config, &phase.profile);
-                    let phase_cycles = phase.weight / out.ipc.max(1e-6);
-                    cycles += phase_cycles;
-                    energy_like += out.power_w * phase_cycles;
-                }
-                Sample {
-                    features,
-                    ipc: 1.0 / cycles,
-                    power_w: energy_like / cycles,
-                }
-            })
-            .collect();
+        let samples = parallel.run_indexed(points.len(), |i| {
+            let point = &points[i];
+            let features = space.encode(point);
+            let config = space.config(point);
+            // Aggregate over phases the way SimPoint does for the full
+            // program: each phase contributes `weight` instructions,
+            // so cycles add as weight / IPC and power is time-weighted.
+            let mut cycles = 0.0;
+            let mut energy_like = 0.0;
+            for phase in phases.phases() {
+                let out = simulator.simulate(&config, &phase.profile);
+                let phase_cycles = phase.weight / out.ipc.max(1e-6);
+                cycles += phase_cycles;
+                energy_like += out.power_w * phase_cycles;
+            }
+            Sample {
+                features,
+                ipc: 1.0 / cycles,
+                power_w: energy_like / cycles,
+            }
+        });
         Dataset {
             workload_name: workload.name().to_string(),
             samples,
@@ -173,7 +220,11 @@ impl Dataset {
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
         writeln!(w, "# workload: {}", self.workload_name)?;
-        let dim = if self.samples.is_empty() { 0 } else { self.feature_dim() };
+        let dim = if self.samples.is_empty() {
+            0
+        } else {
+            self.feature_dim()
+        };
         let header: Vec<String> = (0..dim)
             .map(|i| format!("f{i}"))
             .chain(["ipc".to_string(), "power_w".to_string()])
@@ -272,6 +323,29 @@ mod tests {
     fn generation_is_deterministic_in_the_seed() {
         assert_eq!(small_dataset(10, 7), small_dataset(10, 7));
         assert_ne!(small_dataset(10, 7), small_dataset(10, 8));
+    }
+
+    #[test]
+    fn generation_is_bit_identical_across_thread_counts() {
+        let space = DesignSpace::new();
+        let sim = Simulator::new();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(99);
+            Dataset::generate_with(
+                &space,
+                &sim,
+                SpecWorkload::Xz657,
+                16,
+                &mut rng,
+                &ParallelConfig::with_threads(threads),
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            let parallel = run(threads);
+            // PartialEq over f64 fields: bit-identical samples, same order.
+            assert_eq!(serial, parallel, "threads={threads} diverged");
+        }
     }
 
     #[test]

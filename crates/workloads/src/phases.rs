@@ -205,7 +205,10 @@ mod tests {
             assert!(phase.profile.data_ws_l1_kb > base.data_ws_l1_kb * 0.7);
             assert!(phase.profile.data_ws_l1_kb < base.data_ws_l1_kb * 1.3);
         }
-        assert!(any_different, "phases should not all equal the base profile");
+        assert!(
+            any_different,
+            "phases should not all equal the base profile"
+        );
     }
 
     #[test]

@@ -361,7 +361,8 @@ mod tests {
             if w != SpecWorkload::Mcf605 {
                 let p = w.profile();
                 assert!(
-                    mcf.data_ws_l1_kb >= p.data_ws_l1_kb || mcf.spatial_locality <= p.spatial_locality,
+                    mcf.data_ws_l1_kb >= p.data_ws_l1_kb
+                        || mcf.spatial_locality <= p.spatial_locality,
                     "{w} should not dominate mcf's memory hostility"
                 );
             }

@@ -74,12 +74,7 @@ impl TaskSampler {
     /// # Panics
     ///
     /// Panics if the dataset has fewer than `support + query` rows.
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        dataset: &Dataset,
-        metric: Metric,
-        rng: &mut R,
-    ) -> Task {
+    pub fn sample<R: Rng + ?Sized>(&self, dataset: &Dataset, metric: Metric, rng: &mut R) -> Task {
         let need = self.support_size + self.query_size;
         assert!(
             dataset.len() >= need,
@@ -170,12 +165,7 @@ mod tests {
             assert!(!t.query_x.contains(s), "support row leaked into query");
         }
         // All 30 rows used exactly once.
-        let mut all: Vec<f64> = t
-            .support_y
-            .iter()
-            .chain(&t.query_y)
-            .copied()
-            .collect();
+        let mut all: Vec<f64> = t.support_y.iter().chain(&t.query_y).copied().collect();
         all.sort_by(f64::total_cmp);
         let expected: Vec<f64> = (0..30).map(|i| i as f64).collect();
         assert_eq!(all, expected);

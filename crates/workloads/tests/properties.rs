@@ -1,85 +1,119 @@
-//! Property-based tests of the workload/dataset layer.
-
-use proptest::prelude::*;
+//! Property-style tests of the workload/dataset layer.
+//!
+//! Each test draws many random cases from a seeded [`StdRng`] (the hermetic
+//! build has no proptest), so failures are reproducible from the fixed seed.
 
 use metadse_sim::{DesignSpace, Simulator};
 use metadse_workloads::{Dataset, Metric, PhaseSet, SpecWorkload, TaskSampler, WorkloadSplit};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn any_workload() -> impl Strategy<Value = SpecWorkload> {
-    (0usize..SpecWorkload::ALL.len()).prop_map(|i| SpecWorkload::ALL[i])
+const CASES: usize = 24;
+
+fn any_workload(rng: &mut StdRng) -> SpecWorkload {
+    SpecWorkload::ALL[rng.gen_range(0..SpecWorkload::ALL.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn phase_weights_always_sum_to_one(w in any_workload()) {
+#[test]
+fn phase_weights_always_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(0x7701);
+    for _ in 0..CASES {
+        let w = any_workload(&mut rng);
         let set = PhaseSet::generate(w);
         let total: f64 = set.phases().iter().map(|p| p.weight).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(set.len() >= 8 && set.len() <= 30);
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(set.len() >= 8 && set.len() <= 30);
     }
+}
 
-    #[test]
-    fn phases_remain_valid_profiles(w in any_workload()) {
+#[test]
+fn phases_remain_valid_profiles() {
+    let mut rng = StdRng::seed_from_u64(0x7702);
+    for _ in 0..CASES {
+        let w = any_workload(&mut rng);
         for phase in PhaseSet::generate(w).phases() {
-            prop_assert!(phase.profile.validate().is_ok());
+            assert!(phase.profile.validate().is_ok());
         }
     }
+}
 
-    #[test]
-    fn datasets_have_positive_labels(w in any_workload(), seed in 0u64..1000) {
+#[test]
+fn datasets_have_positive_labels() {
+    let mut rng = StdRng::seed_from_u64(0x7703);
+    for _ in 0..CASES {
+        let w = any_workload(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let space = DesignSpace::new();
         let sim = Simulator::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ds = Dataset::generate(&space, &sim, w, 12, &mut rng);
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let ds = Dataset::generate(&space, &sim, w, 12, &mut gen_rng);
         for s in ds.samples() {
-            prop_assert!(s.ipc > 0.0 && s.ipc <= 12.0);
-            prop_assert!(s.power_w > 0.0);
-            prop_assert_eq!(s.features.len(), 21);
+            assert!(s.ipc > 0.0 && s.ipc <= 12.0);
+            assert!(s.power_w > 0.0);
+            assert_eq!(s.features.len(), 21);
         }
     }
+}
 
-    #[test]
-    fn tasks_partition_without_overlap(seed in 0u64..1000,
-                                       support in 2usize..8,
-                                       query in 2usize..8) {
+#[test]
+fn tasks_partition_without_overlap() {
+    let mut rng = StdRng::seed_from_u64(0x7704);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
+        let support = rng.gen_range(2usize..8);
+        let query = rng.gen_range(2usize..8);
         let space = DesignSpace::new();
         let sim = Simulator::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ds = Dataset::generate(&space, &sim, SpecWorkload::Xz657, support + query + 4, &mut rng);
-        let task = TaskSampler::new(support, query).sample(&ds, Metric::Ipc, &mut rng);
-        prop_assert_eq!(task.support_size(), support);
-        prop_assert_eq!(task.query_size(), query);
+        let mut task_rng = StdRng::seed_from_u64(seed);
+        let ds = Dataset::generate(
+            &space,
+            &sim,
+            SpecWorkload::Xz657,
+            support + query + 4,
+            &mut task_rng,
+        );
+        let task = TaskSampler::new(support, query).sample(&ds, Metric::Ipc, &mut task_rng);
+        assert_eq!(task.support_size(), support);
+        assert_eq!(task.query_size(), query);
         for s in &task.support_x {
-            prop_assert!(!task.query_x.contains(s), "support row leaked into query");
+            assert!(!task.query_x.contains(s), "support row leaked into query");
         }
     }
+}
 
-    #[test]
-    fn random_splits_are_always_disjoint(seed in 0u64..10_000) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let split = WorkloadSplit::random(&mut rng);
-        prop_assert!(split.is_disjoint());
-        prop_assert_eq!(split.train.len() + split.validation.len() + split.test.len(), 17);
+#[test]
+fn random_splits_are_always_disjoint() {
+    let mut rng = StdRng::seed_from_u64(0x7705);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..10_000);
+        let mut split_rng = StdRng::seed_from_u64(seed);
+        let split = WorkloadSplit::random(&mut split_rng);
+        assert!(split.is_disjoint());
+        assert_eq!(
+            split.train.len() + split.validation.len() + split.test.len(),
+            17
+        );
     }
+}
 
-    #[test]
-    fn csv_roundtrip_is_lossless_enough(seed in 0u64..500) {
+#[test]
+fn csv_roundtrip_is_lossless_enough() {
+    let mut rng = StdRng::seed_from_u64(0x7706);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
         let space = DesignSpace::new();
         let sim = Simulator::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ds = Dataset::generate(&space, &sim, SpecWorkload::Wrf621, 6, &mut rng);
-        let path = std::env::temp_dir().join(format!("metadse-prop-{seed}-{}.csv", std::process::id()));
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let ds = Dataset::generate(&space, &sim, SpecWorkload::Wrf621, 6, &mut gen_rng);
+        let path =
+            std::env::temp_dir().join(format!("metadse-prop-{seed}-{}.csv", std::process::id()));
         ds.write_csv(&path).unwrap();
         let back = Dataset::read_csv(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        prop_assert_eq!(back.len(), ds.len());
+        assert_eq!(back.len(), ds.len());
         for (a, b) in ds.samples().iter().zip(back.samples()) {
-            prop_assert!((a.ipc - b.ipc).abs() < 1e-8);
-            prop_assert!((a.power_w - b.power_w).abs() < 1e-8);
+            assert!((a.ipc - b.ipc).abs() < 1e-8);
+            assert!((a.power_w - b.power_w).abs() < 1e-8);
         }
     }
 }

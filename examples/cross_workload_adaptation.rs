@@ -64,16 +64,8 @@ fn main() {
 
     // WAM mask from pre-training attention statistics (Fig. 4).
     let mask = wam::generate_mask(&meta_model, &train, &WamConfig::default(), 64);
-    let kept = mask
-        .get()
-        .to_vec()
-        .iter()
-        .filter(|&&v| v == 0.0)
-        .count();
-    println!(
-        "  WAM keeps {kept}/{} parameter interactions",
-        21 * 21
-    );
+    let kept = mask.get().to_vec().iter().filter(|&&v| v == 0.0).count();
+    println!("  WAM keeps {kept}/{} parameter interactions", 21 * 21);
 
     // Few-shot adaptation on the unseen workload (Algorithm 2).
     let sampler = TaskSampler::new(10, 40);
@@ -81,8 +73,8 @@ fn main() {
         steps: 10,
         lr: 0.05,
         lr_min: 1e-3,
-                mask_lr_multiplier: 1.0,
-            };
+        mask_lr_multiplier: 1.0,
+    };
     let scratch_model = TransformerPredictor::new(config, 1);
     let mut meta_scores = TaskScores::new();
     let mut scratch_scores = TaskScores::new();

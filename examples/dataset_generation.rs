@@ -15,11 +15,7 @@ fn main() {
     let space = DesignSpace::new();
     println!("Table I design space:");
     for spec in space.specs() {
-        let values: Vec<String> = spec
-            .candidates()
-            .iter()
-            .map(|v| format!("{v}"))
-            .collect();
+        let values: Vec<String> = spec.candidates().iter().map(|v| format!("{v}")).collect();
         let preview = if values.len() > 6 {
             format!(
                 "{}, …, {} ({} candidates)",
@@ -54,7 +50,10 @@ fn main() {
     println!("  area               {:.1} mm²", out.area_mm2);
     println!("  L1D miss rate      {:.1} %", out.l1d_miss_rate * 100.0);
     println!("  L2 miss rate       {:.1} %", out.l2_miss_rate * 100.0);
-    println!("  branch mispredict  {:.2} %", out.branch_mispredict_rate * 100.0);
+    println!(
+        "  branch mispredict  {:.2} %",
+        out.branch_mispredict_rate * 100.0
+    );
     println!(
         "  CPI breakdown      base {:.2} + branch {:.2} + memory {:.2}\n",
         out.cpi_base, out.cpi_branch, out.cpi_memory

@@ -47,7 +47,9 @@ fn main() {
         |batch| {
             let i = ipc_model.predict(batch);
             let p = power_model.predict(batch);
-            i.into_iter().zip(p.into_iter().map(|v| v * p_scale)).collect()
+            i.into_iter()
+                .zip(p.into_iter().map(|v| v * p_scale))
+                .collect()
         },
         &ExplorerConfig {
             initial_samples: 256,

@@ -49,6 +49,9 @@ fn main() {
     for (i, (p, y)) in preds.iter().zip(&test_y).take(5).enumerate() {
         println!("  sample {i}: predicted {p:.3}, simulated {y:.3}");
     }
-    assert!(rmse < spread, "the surrogate should beat the mean predictor");
+    assert!(
+        rmse < spread,
+        "the surrogate should beat the mean predictor"
+    );
     println!("ok: surrogate beats the trivial predictor");
 }

@@ -7,8 +7,8 @@
 //! cargo run --release --example workload_similarity
 //! ```
 
-use metadse_repro::prelude::*;
 use metadse_repro::mlkit::wasserstein::wasserstein_1d;
+use metadse_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,7 +26,10 @@ fn main() {
         SpecWorkload::Lbm619,
         SpecWorkload::Imagick638,
     ];
-    println!("simulating {} workloads × 150 design points…", workloads.len());
+    println!(
+        "simulating {} workloads × 150 design points…",
+        workloads.len()
+    );
     let datasets: Vec<Dataset> = workloads
         .iter()
         .map(|&w| Dataset::generate(&space, &simulator, w, 150, &mut rng))

@@ -59,8 +59,8 @@ fn full_metadse_pipeline_runs_and_learns() {
         steps: 10,
         lr: 0.05,
         lr_min: 1e-3,
-                mask_lr_multiplier: 1.0,
-            };
+        mask_lr_multiplier: 1.0,
+    };
     let mut adapted = TaskScores::new();
     let mut frozen = TaskScores::new();
     let mut eval_rng = StdRng::seed_from_u64(200);
@@ -148,14 +148,14 @@ fn checkpointing_roundtrips_a_trained_predictor() {
 
     let model = TransformerPredictor::new(tiny_predictor_config(), 9);
     metadse_repro::core::trendse::train_supervised(&model, &x, &y, 2, 2e-3, 16, 1);
-    let expected = model.predict(&x[..4].to_vec());
+    let expected = model.predict(&x[..4]);
 
     let path = std::env::temp_dir().join(format!("metadse-it-{}.ckpt", std::process::id()));
     save_params(&model.params(), &path).expect("save");
 
     let restored = TransformerPredictor::new(tiny_predictor_config(), 10);
     load_params(&restored.params(), &path).expect("load");
-    assert_eq!(restored.predict(&x[..4].to_vec()), expected);
+    assert_eq!(restored.predict(&x[..4]), expected);
     std::fs::remove_file(path).ok();
 }
 
