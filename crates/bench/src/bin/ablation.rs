@@ -7,7 +7,7 @@
 
 use metadse::ablation::{run_order_ablation, run_wam_density_ablation};
 use metadse::experiment::Environment;
-use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, f4, report, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
@@ -29,7 +29,7 @@ fn main() {
             f4(p.rmse),
         ]);
     }
-    println!("{}", render_table(&rows));
+    report::table(&rows);
     let _ = write_csv("ablation_wam_density", &rows);
 
     // First- vs second-order MAML.
@@ -51,10 +51,10 @@ fn main() {
             format!("{:.1}", order.second_order_secs),
         ],
     ];
-    println!("{}", render_table(&rows));
-    println!(
+    report::table(&rows);
+    report::line(format!(
         "second-order cost multiple: {:.2}x",
         order.second_order_secs / order.first_order_secs.max(1e-9)
-    );
+    ));
     let _ = write_csv("ablation_maml_order", &rows);
 }

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use metadse::experiment::{run_fig2, run_fig5, run_fig6, run_table2, run_table3, Environment};
-use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, f4, report, scale_from_args, write_csv};
 use metadse_workloads::Metric;
 
 fn main() {
@@ -22,12 +22,12 @@ fn main() {
     );
     let t0 = Instant::now();
     let env = Environment::build(&scale, scale.seed);
-    println!(
-        "environment: {} workloads × {} design points  [{:?}]\n",
+    report::line(format!(
+        "environment: {} workloads × {} design points  [{:?}]",
         env.datasets.len(),
         scale.samples_per_workload,
         t0.elapsed()
-    );
+    ));
 
     // --- Fig. 2 ---
     let t = Instant::now();
@@ -41,14 +41,15 @@ fn main() {
         }
     }
     flat.sort_by(f64::total_cmp);
-    println!(
-        "[Fig. 2] {} workloads; pairwise W1 min {:.3} / median {:.3} / max {:.3}  [{:?}]",
+    report::section("Fig. 2");
+    report::line(format!(
+        "{} workloads; pairwise W1 min {:.3} / median {:.3} / max {:.3}  [{:?}]",
         fig2.names.len(),
         flat[0],
         flat[flat.len() / 2],
         flat[flat.len() - 1],
         t.elapsed()
-    );
+    ));
 
     // --- Fig. 5 ---
     let t = Instant::now();
@@ -69,14 +70,15 @@ fn main() {
             f4(r.metadse),
         ]);
     }
-    println!("\n[Fig. 5] IPC RMSE per test workload  [{:?}]", t.elapsed());
-    println!("{}", render_table(&rows));
+    report::section("Fig. 5");
+    report::line(format!("IPC RMSE per test workload  [{:?}]", t.elapsed()));
+    report::table(&rows);
     let _ = write_csv("fig5_ipc_rmse", &rows);
-    println!(
+    report::line(format!(
         "MetaDSE vs TrEnDSE geomean: {:+.1}% (paper -44.3%); WAM: {:+.1}% (paper -27%)",
         (fig5.geomean.metadse / fig5.geomean.trendse - 1.0) * 100.0,
         (fig5.geomean.metadse / fig5.geomean.metadse_no_wam - 1.0) * 100.0
-    );
+    ));
 
     // --- Table II ---
     let t = Instant::now();
@@ -103,8 +105,9 @@ fn main() {
             format!("{:.4}±{:.4}", p.ev_mean, p.ev_ci),
         ]);
     }
-    println!("\n[Table II] overall results  [{:?}]", t.elapsed());
-    println!("{}", render_table(&rows));
+    report::section("Table II");
+    report::line(format!("overall results  [{:?}]", t.elapsed()));
+    report::table(&rows);
     let _ = write_csv("table2_overall", &rows);
 
     // --- Table III ---
@@ -119,11 +122,9 @@ fn main() {
         r.extend(row.rmse_by_k.iter().map(|(_, v)| f4(*v)));
         rows.push(r);
     }
-    println!(
-        "\n[Table III] downstream support sweep  [{:?}]",
-        t.elapsed()
-    );
-    println!("{}", render_table(&rows));
+    report::section("Table III");
+    report::line(format!("downstream support sweep  [{:?}]", t.elapsed()));
+    report::table(&rows);
     let _ = write_csv("table3_support_sweep", &rows);
 
     // --- Fig. 6 ---
@@ -133,9 +134,10 @@ fn main() {
     for p in &fig6.points {
         rows.push(vec![p.pretrain_support.to_string(), f4(p.rmse), f4(p.ev)]);
     }
-    println!("\n[Fig. 6] upstream support sweep  [{:?}]", t.elapsed());
-    println!("{}", render_table(&rows));
+    report::section("Fig. 6");
+    report::line(format!("upstream support sweep  [{:?}]", t.elapsed()));
+    report::table(&rows);
     let _ = write_csv("fig6_pretrain_sensitivity", &rows);
 
-    println!("\ntotal wall time: {:?}", t0.elapsed());
+    report::kv("total wall time", format!("{:?}", t0.elapsed()));
 }

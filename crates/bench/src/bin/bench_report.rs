@@ -4,9 +4,10 @@
 //! naive triple-loop reference, dataset simulation and the MAML/WAM task
 //! fan-out at one and four worker threads — and writes every sample to
 //! `BENCH_results.json` (name, mean wall-time in ns, iteration count,
-//! configured thread count). On a single-core container the multi-thread
-//! rows measure scheduling overhead rather than speedup; the `threads`
-//! field keeps that distinction machine-readable.
+//! configured thread count). The `t4` rows use the default
+//! [`ParallelConfig`], which clamps to the machine and falls back to the
+//! serial path below the work-size cutoff; the `t4_forced` rows disable
+//! both guards so genuine thread-spawn overhead stays measured.
 //!
 //! ```text
 //! cargo run --release -p metadse-bench --bin bench_report
@@ -15,6 +16,7 @@
 use metadse::maml::{pretrain, MamlConfig};
 use metadse::predictor::{PredictorConfig, TransformerPredictor};
 use metadse::wam::{self, AdaptConfig};
+use metadse_bench::report;
 use metadse_bench::timing::{black_box, Harness};
 use metadse_nn::autograd::no_grad;
 use metadse_nn::Tensor;
@@ -23,6 +25,22 @@ use metadse_sim::{DesignSpace, Simulator};
 use metadse_workloads::{Dataset, Metric, SpecWorkload, Task, TaskSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The thread counts every fan-out family is benchmarked at: serial,
+/// default four-thread config, and four threads with the serial-cutoff
+/// and hardware-clamp guards disabled.
+const THREAD_VARIANTS: [(&str, usize, bool); 3] =
+    [("t1", 1, false), ("t4", 4, false), ("t4_forced", 4, true)];
+
+/// Builds the [`ParallelConfig`] for one benchmark variant.
+fn variant_config(threads: usize, forced: bool) -> ParallelConfig {
+    let config = ParallelConfig::with_threads(threads);
+    if forced {
+        config.with_serial_cutoff(1).oversubscribed()
+    } else {
+        config
+    }
+}
 
 /// Reference matmul: the textbook i-j-k triple loop the packed kernel is
 /// measured against.
@@ -76,23 +94,23 @@ fn simulator_benches(h: &mut Harness) {
 fn dataset_benches(h: &mut Harness) {
     let space = DesignSpace::new();
     let simulator = Simulator::new();
-    for threads in [1usize, 4] {
-        let parallel = ParallelConfig::with_threads(threads);
-        h.bench_threads(
-            &format!("dataset/generate/200pts/t{threads}"),
-            threads,
-            || {
-                let mut rng = StdRng::seed_from_u64(7);
-                black_box(Dataset::generate_with(
-                    &space,
-                    &simulator,
-                    SpecWorkload::Xalancbmk623,
-                    200,
-                    &mut rng,
-                    &parallel,
-                ))
-            },
+    for (label, threads, forced) in THREAD_VARIANTS {
+        let parallel = variant_config(threads, forced);
+        report::kv(
+            &format!("dataset/generate/200pts/{label} effective workers"),
+            parallel.workers_for(200),
         );
+        h.bench_threads(&format!("dataset/generate/200pts/{label}"), threads, || {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(Dataset::generate_with(
+                &space,
+                &simulator,
+                SpecWorkload::Xalancbmk623,
+                200,
+                &mut rng,
+                &parallel,
+            ))
+        });
     }
 }
 
@@ -118,7 +136,7 @@ fn maml_benches(h: &mut Harness) {
         .iter()
         .map(|&w| Dataset::generate(&space, &simulator, w, 60, &mut rng))
         .collect();
-    for threads in [1usize, 4] {
+    for (label, threads, forced) in THREAD_VARIANTS {
         let config = MamlConfig {
             epochs: 1,
             iterations_per_epoch: 2,
@@ -126,10 +144,10 @@ fn maml_benches(h: &mut Harness) {
             support_size: 5,
             query_size: 20,
             val_tasks: 0,
-            parallel: ParallelConfig::with_threads(threads),
+            parallel: variant_config(threads, forced),
             ..MamlConfig::paper()
         };
-        h.bench_threads(&format!("maml/pretrain_epoch/t{threads}"), threads, || {
+        h.bench_threads(&format!("maml/pretrain_epoch/{label}"), threads, || {
             let model = tiny_predictor();
             black_box(pretrain(&model, &train, &[], Metric::Ipc, &config))
         });
@@ -150,17 +168,29 @@ fn adapt_sweep_benches(h: &mut Harness) {
         steps: 5,
         ..AdaptConfig::default()
     };
-    for threads in [1usize, 4] {
-        let parallel = ParallelConfig::with_threads(threads);
-        h.bench_threads(
-            &format!("wam/adapt_sweep/8_tasks/t{threads}"),
-            threads,
-            || black_box(wam::adapt_sweep(&model, &tasks, None, &adapt, &parallel)),
+    for (label, threads, forced) in THREAD_VARIANTS {
+        let parallel = variant_config(threads, forced);
+        report::kv(
+            &format!("wam/adapt_sweep/8_tasks/{label} effective workers"),
+            parallel.workers_for(tasks.len()),
         );
+        h.bench_threads(&format!("wam/adapt_sweep/8_tasks/{label}"), threads, || {
+            black_box(wam::adapt_sweep(&model, &tasks, None, &adapt, &parallel))
+        });
     }
 }
 
 fn main() {
+    report::banner("MetaDSE hot-path benchmark report");
+    report::kv(
+        "hardware threads",
+        metadse_parallel::available_parallelism(),
+    );
+    report::kv(
+        "default serial cutoff",
+        metadse_parallel::DEFAULT_SERIAL_CUTOFF,
+    );
+
     let mut h = Harness::new().with_target_ms(300);
     matmul_benches(&mut h);
     simulator_benches(&mut h);
@@ -181,10 +211,10 @@ fn main() {
         })
         .collect();
     for line in &packed_vs_naive {
-        println!("{line}");
+        report::line(line);
     }
 
     let path = std::path::Path::new("BENCH_results.json");
     h.write_json(path).expect("write BENCH_results.json");
-    println!("wrote {}", path.display());
+    report::kv("wrote", path.display());
 }

@@ -4,7 +4,7 @@
 //! paper's character).
 
 use metadse::experiment::Environment;
-use metadse_bench::{render_table, scale_from_args};
+use metadse_bench::{report, scale_from_args};
 use metadse_mlkit::metrics::{mean, std_dev};
 use metadse_mlkit::{GradientBoosting, Regressor};
 use metadse_workloads::Metric;
@@ -32,12 +32,12 @@ fn main() {
             format!("{hi:.3}"),
         ]);
     }
-    println!("{}", render_table(&rows));
+    report::table(&rows);
 
     // Cross-workload transfer probe: fit GBRT on one workload, test on
     // another (normalized RMSE = RMSE / target std). Low values mean the
     // environment transfers easily (unlike the paper's gem5 data).
-    println!("cross-workload GBRT transfer (train row -> test col), RMSE/std:");
+    report::line("cross-workload GBRT transfer (train row -> test col), RMSE/std:");
     let probe: Vec<_> = env.datasets.keys().copied().take(6).collect();
     let mut t = vec![vec!["".to_string()]
         .into_iter()
@@ -59,5 +59,5 @@ fn main() {
         }
         t.push(row);
     }
-    println!("{}", render_table(&t));
+    report::table(&t);
 }

@@ -3,7 +3,7 @@
 //! similarity-based transfer is brittle).
 
 use metadse::experiment::{run_fig2, Environment};
-use metadse_bench::{banner, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, report, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
@@ -33,7 +33,7 @@ fn main() {
         row.extend(result.matrix[i].iter().map(|d| format!("{d:.3}")));
         rows.push(row);
     }
-    println!("{}", render_table(&rows));
+    report::table(&rows);
 
     // The paper's headline observation: similarity is inconsistent.
     let mut flat: Vec<f64> = Vec::new();
@@ -45,15 +45,15 @@ fn main() {
         }
     }
     flat.sort_by(f64::total_cmp);
-    println!(
+    report::line(format!(
         "pairwise distances: min {:.3}  median {:.3}  max {:.3}  (max/min ratio {:.1}x)",
         flat[0],
         flat[flat.len() / 2],
         flat[flat.len() - 1],
         flat[flat.len() - 1] / flat[0].max(1e-9)
-    );
+    ));
     match write_csv("fig2_wasserstein", &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+        Ok(p) => report::kv("wrote", p.display()),
+        Err(e) => report::warn(format!("could not write CSV: {e}")),
     }
 }

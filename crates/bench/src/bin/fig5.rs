@@ -3,7 +3,7 @@
 //! column and the headline improvement percentages.
 
 use metadse::experiment::{run_fig5, Environment};
-use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, f4, report, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
@@ -30,19 +30,19 @@ fn main() {
             f4(row.metadse),
         ]);
     }
-    println!("{}", render_table(&rows));
+    report::table(&rows);
 
     let g = &result.geomean;
-    println!(
+    report::line(format!(
         "MetaDSE vs TrEnDSE (geomean RMSE): {:+.1}%  (paper: -44.3%)",
         (g.metadse / g.trendse - 1.0) * 100.0
-    );
-    println!(
+    ));
+    report::line(format!(
         "WAM contribution (MetaDSE vs w/o WAM): {:+.1}%  (paper: -27%)",
         (g.metadse / g.metadse_no_wam - 1.0) * 100.0
-    );
+    ));
     match write_csv("fig5_ipc_rmse", &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+        Ok(p) => report::kv("wrote", p.display()),
+        Err(e) => report::warn(format!("could not write CSV: {e}")),
     }
 }

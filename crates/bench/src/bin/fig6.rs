@@ -4,7 +4,7 @@
 //! size aligns with the downstream size.
 
 use metadse::experiment::{run_fig6, Environment};
-use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, f4, report, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
@@ -21,19 +21,19 @@ fn main() {
     for p in &result.points {
         rows.push(vec![p.pretrain_support.to_string(), f4(p.rmse), f4(p.ev)]);
     }
-    println!("{}", render_table(&rows));
-    println!("downstream support fixed at {}", result.downstream_support);
+    report::table(&rows);
+    report::kv("downstream support fixed at", result.downstream_support);
     let best = result
         .points
         .iter()
         .min_by(|a, b| a.rmse.total_cmp(&b.rmse))
         .expect("non-empty sweep");
-    println!(
+    report::line(format!(
         "best RMSE at upstream support {} (paper: optimum near the downstream size)",
         best.pretrain_support
-    );
+    ));
     match write_csv("fig6_pretrain_sensitivity", &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+        Ok(p) => report::kv("wrote", p.display()),
+        Err(e) => report::warn(format!("could not write CSV: {e}")),
     }
 }

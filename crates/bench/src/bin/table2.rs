@@ -3,7 +3,7 @@
 //! the five test workloads with 95% confidence half-widths.
 
 use metadse::experiment::{run_table2, Environment};
-use metadse_bench::{banner, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, report, scale_from_args, write_csv};
 use metadse_workloads::Metric;
 
 fn main() {
@@ -43,20 +43,20 @@ fn main() {
             format!("{:.4}±{:.4}", power.ev_mean, power.ev_ci),
         ]);
     }
-    println!("{}", render_table(&rows));
-    println!(
+    report::table(&rows);
+    report::line(format!(
         "note: power RMSE is in normalized units (labels scaled by 1/{:.3} W)",
         env.power_scale
-    );
+    ));
 
     let meta = result.cell("MetaDSE", Metric::Ipc).unwrap().summary;
     let trendse = result.cell("TrEnDSE", Metric::Ipc).unwrap().summary;
-    println!(
+    report::line(format!(
         "MetaDSE vs TrEnDSE on IPC RMSE: {:+.1}%",
         (meta.rmse_mean / trendse.rmse_mean - 1.0) * 100.0
-    );
+    ));
     match write_csv("table2_overall", &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+        Ok(p) => report::kv("wrote", p.display()),
+        Err(e) => report::warn(format!("could not write CSV: {e}")),
     }
 }

@@ -5,7 +5,7 @@
 //! degrade sharply.
 
 use metadse::experiment::{run_table3, Environment};
-use metadse_bench::{banner, f4, render_table, scale_from_args, write_csv};
+use metadse_bench::{banner, f4, report, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
@@ -22,16 +22,16 @@ fn main() {
         r.extend(row.rmse_by_k.iter().map(|(_, v)| f4(*v)));
         rows.push(r);
     }
-    println!("{}", render_table(&rows));
+    report::table(&rows);
 
     let meta = &result.rows.last().expect("MetaDSE row").rmse_by_k;
     let (k5, k40) = (meta[0].1, meta[meta.len() - 1].1);
-    println!(
+    report::line(format!(
         "MetaDSE few-shot robustness: RMSE grows only {:.1}% when shots drop 40 -> 5",
         (k5 / k40 - 1.0) * 100.0
-    );
+    ));
     match write_csv("table3_support_sweep", &rows) {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+        Ok(p) => report::kv("wrote", p.display()),
+        Err(e) => report::warn(format!("could not write CSV: {e}")),
     }
 }

@@ -13,7 +13,7 @@ use metadse::maml::MamlConfig;
 use metadse::trendse::TrEnDse;
 use metadse::wam::{adapt_and_predict, AdaptConfig};
 use metadse::TaskScores;
-use metadse_bench::{f4, render_table};
+use metadse_bench::{f4, report};
 use metadse_workloads::{Metric, TaskSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,11 +47,11 @@ fn main() {
         let p = trendse.adapt_and_predict(&task.support_x, &task.support_y, &task.query_x);
         s.push(&task.query_y, &p);
     }
-    println!(
+    report::line(format!(
         "TrEnDSE reference: RMSE {} [{:?}]",
         f4(s.summary().rmse_mean),
         t0.elapsed()
-    );
+    ));
 
     // One meta-trained model (cacheable), many adaptation settings.
     let maml = MamlConfig {
@@ -63,10 +63,10 @@ fn main() {
     };
     let t0 = Instant::now();
     let (model, mask) = metadse::experiment::pretrain_metadse(&env, &scale, metric, &maml);
-    println!(
+    report::line(format!(
         "pretrain ready in {:.1} min",
         t0.elapsed().as_secs_f64() / 60.0
-    );
+    ));
 
     let mut rows = vec![vec![
         "adapt".to_string(),
@@ -105,6 +105,6 @@ fn main() {
             f4(s_m4.summary().rmse_mean),
             f4(s_m10.summary().rmse_mean),
         ]);
-        println!("{}", render_table(&rows));
+        report::table(&rows);
     }
 }

@@ -17,6 +17,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use metadse::experiment::Scale;
+pub use metadse_obs::report;
 
 /// Selects the experiment scale from CLI arguments (`--quick`, `--paper`)
 /// or the `METADSE_SCALE` environment variable (`quick`/`scaled`/`paper`).
@@ -44,48 +45,24 @@ pub fn scale_name(scale: &Scale) -> &'static str {
     }
 }
 
-/// Prints a banner naming the experiment and scale.
+/// Prints a banner naming the experiment and scale through the shared
+/// report sink.
 pub fn banner(experiment: &str, scale: &Scale) {
-    println!("================================================================");
-    println!(
+    report::banner(&format!(
         "MetaDSE reproduction — {experiment} ({} scale)",
         scale_name(scale)
-    );
-    println!("================================================================");
+    ));
 }
 
 /// Renders rows as an aligned text table. The first row is the header.
+/// Thin wrapper over [`report::render_table`], kept so every harness
+/// binary renders through one implementation.
 ///
 /// # Panics
 ///
 /// Panics if rows have inconsistent arity.
 pub fn render_table(rows: &[Vec<String>]) -> String {
-    if rows.is_empty() {
-        return String::new();
-    }
-    let cols = rows[0].len();
-    let mut widths = vec![0usize; cols];
-    for row in rows {
-        assert_eq!(row.len(), cols, "ragged table");
-        for (w, cell) in widths.iter_mut().zip(row) {
-            *w = (*w).max(cell.chars().count());
-        }
-    }
-    let mut out = String::new();
-    for (i, row) in rows.iter().enumerate() {
-        for (w, cell) in widths.iter().zip(row) {
-            out.push_str(&format!("{cell:<width$}  ", width = w));
-        }
-        out.push('\n');
-        if i == 0 {
-            for w in &widths {
-                out.push_str(&"-".repeat(*w));
-                out.push_str("  ");
-            }
-            out.push('\n');
-        }
-    }
-    out
+    report::render_table(rows)
 }
 
 /// Directory where result CSVs are written (`results/`, created on
@@ -202,7 +179,7 @@ pub mod timing {
                 iters,
                 threads,
             };
-            println!("{}", format_sample(&sample));
+            crate::report::line(format_sample(&sample));
             self.samples.push(sample);
             self.samples.last().expect("just pushed")
         }

@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use metadse_obs as obs;
+use metadse_obs::report;
 use metadse_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +150,7 @@ impl Environment {
     /// separate simulation campaigns — so a target task's query
     /// configurations never appear verbatim in any source dataset.
     pub fn build_with_split(scale: &Scale, split: WorkloadSplit, seed: u64) -> Environment {
+        let _span = obs::span("experiment/build_env");
         let space = DesignSpace::new();
         let simulator = Simulator::new();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -240,6 +243,7 @@ pub fn pretrain_metadse(
     metric: Metric,
     maml: &MamlConfig,
 ) -> (TransformerPredictor, metadse_nn::layers::Param) {
+    let _span = obs::span("experiment/pretrain");
     let model = TransformerPredictor::new(scale.predictor, scale.seed);
 
     let cache_path = std::env::var("METADSE_CACHE").ok().map(|_| {
@@ -279,10 +283,10 @@ pub fn pretrain_metadse(
         );
         if let Some(path) = &cache_path {
             if let Err(e) = metadse_nn::serialize::save_params(&model.params(), path) {
-                eprintln!(
-                    "warning: could not write checkpoint {}: {e}",
+                report::warn(format!(
+                    "could not write checkpoint {}: {e}",
                     path.display()
-                );
+                ));
             }
         }
     }

@@ -24,6 +24,7 @@
 //! to a serial run for the same seed; `threads = Some(1)` skips the
 //! snapshot entirely and runs the exact serial path.
 
+use metadse_obs as obs;
 use metadse_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,8 +142,16 @@ pub fn inner_adapt(
     let params = model.params();
     let theta = layers::snapshot(&params);
     let mut current = theta.clone();
-    for _ in 0..steps {
+    let mut first_loss = 0.0;
+    let mut last_loss = 0.0;
+    for step in 0..steps {
         let loss = model.mse_on(support_x, support_y);
+        obs::with(|| {
+            if step == 0 {
+                first_loss = loss.value();
+            }
+            last_loss = loss.value();
+        });
         let grads = grad(&loss, &current, create_graph);
         let updated: Vec<Tensor> = current
             .iter()
@@ -152,6 +161,13 @@ pub fn inner_adapt(
         layers::restore(&params, &updated);
         current = updated;
     }
+    obs::with(|| {
+        if steps > 0 {
+            // How much the support loss dropped over the inner loop —
+            // the paper's "does adaptation help" signal per task.
+            obs::histogram("maml/inner_loss_delta", first_loss - last_loss);
+        }
+    });
     theta
 }
 
@@ -175,12 +191,16 @@ where
     T: Send,
     F: Fn(&TransformerPredictor, usize) -> T + Sync,
 {
-    if parallel.effective_threads().min(n.max(1)) <= 1 {
+    if parallel.workers_for(n) <= 1 {
         return (0..n).map(|i| f(model, i)).collect();
     }
     let snapshot = model.snapshot_values();
     let geometry = *model.config();
     parallel.run_indexed(n, |i| {
+        // Each index pays a full predictor rebuild from the snapshot — the
+        // dominant fan-out overhead on small task counts (see the
+        // maml/worker_rebuilds counter and the trace_report attribution).
+        obs::counter("maml/worker_rebuilds", 1);
         let worker = TransformerPredictor::new(geometry, 0);
         worker.load_values(&snapshot);
         f(&worker, i)
@@ -244,6 +264,8 @@ pub fn pretrain(
     config: &MamlConfig,
 ) -> PretrainReport {
     assert!(!train.is_empty(), "need at least one training workload");
+    let _span = obs::span("maml/pretrain");
+    obs::gauge("maml/outer_lr", config.outer_lr);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let sampler = TaskSampler::new(config.support_size, config.query_size);
     let params = model.params();
@@ -258,6 +280,7 @@ pub fn pretrain(
     let mut best_params: Vec<Tensor> = layers::clone_values(&params);
 
     for epoch in 0..config.epochs {
+        let _epoch_span = obs::span("maml/epoch");
         let mut epoch_loss = 0.0;
         let mut epoch_count = 0usize;
         for _ in 0..config.iterations_per_epoch {
@@ -303,15 +326,23 @@ pub fn pretrain(
                     Tensor::from_vec(g, &p.shape())
                 })
                 .collect();
+            obs::with(|| {
+                let sq: Elem = grads
+                    .iter()
+                    .map(|g| g.to_vec().iter().map(|v| v * v).sum::<Elem>())
+                    .sum();
+                obs::histogram("maml/grad_norm", sq.sqrt());
+            });
             optimizer.step(&grads);
         }
-        report
-            .train_losses
-            .push(epoch_loss / epoch_count.max(1) as Elem);
+        let train_loss = epoch_loss / epoch_count.max(1) as Elem;
+        obs::gauge("maml/train_loss", train_loss);
+        report.train_losses.push(train_loss);
 
         // Meta-validation (step 5 of Fig. 3): post-adaptation loss on
         // held-out workloads decides which epoch's θ* ships.
         let val_loss = meta_validate(model, validation, metric, config, &mut rng);
+        obs::gauge("maml/val_loss", val_loss);
         report.val_losses.push(val_loss);
         if val_loss < report.best_val_loss {
             report.best_val_loss = val_loss;
@@ -335,6 +366,7 @@ fn meta_validate(
     if validation.is_empty() {
         return Elem::INFINITY;
     }
+    let _span = obs::span("maml/validate");
     let sampler = TaskSampler::new(config.support_size, config.query_size);
     // Serial sampling (RNG stream fixed), parallel per-task adaptation,
     // task-order summation: bit-identical at any thread count.

@@ -13,6 +13,7 @@ use metadse_nn::autograd::{grad, no_grad};
 use metadse_nn::layers::{self, Module, Param};
 use metadse_nn::optim::CosineAnnealing;
 use metadse_nn::{Elem, Tensor};
+use metadse_obs as obs;
 use metadse_parallel::ParallelConfig;
 use metadse_workloads::{Dataset, Task};
 
@@ -143,6 +144,7 @@ pub fn generate_mask(
     config: &WamConfig,
     batch_size: usize,
 ) -> Param {
+    let _span = obs::span("wam/generate_mask");
     let seq = model.config().num_params;
     let mut stats = AttentionStats::new(seq);
     model.set_record_attention(true);
@@ -156,6 +158,25 @@ pub fn generate_mask(
         }
     }
     model.set_record_attention(false);
+    obs::with(|| {
+        // Shannon entropy of the normalized interaction-frequency matrix:
+        // high = attention spread evenly (mask filters little signal),
+        // low = a few interactions dominate (mask is highly selective).
+        let freq = stats.frequencies();
+        let total: Elem = freq.iter().sum();
+        if total > 0.0 {
+            let entropy: Elem = freq
+                .iter()
+                .filter(|&&f| f > 0.0)
+                .map(|&f| {
+                    let p = f / total;
+                    -p * p.ln()
+                })
+                .sum();
+            obs::gauge("wam/mask_entropy", entropy);
+        }
+        obs::counter("wam/masks_generated", 1);
+    });
     let mask = stats.build_mask(config);
     Param::new(
         "wam.mask",
@@ -204,6 +225,8 @@ pub fn adapt(
     support_y: &[Elem],
     config: &AdaptConfig,
 ) -> Vec<Tensor> {
+    let _span = obs::span("wam/adapt_task");
+    obs::counter("wam/adapt_steps", config.steps as u64);
     let params = model.params();
     let theta = layers::snapshot(&params);
     let schedule = CosineAnnealing::new(config.lr, config.lr_min, config.steps.max(1));
@@ -276,6 +299,8 @@ pub fn adapt_sweep(
     config: &AdaptConfig,
     parallel: &ParallelConfig,
 ) -> Vec<Vec<Elem>> {
+    let _span = obs::span("wam/adapt_sweep");
+    obs::counter("wam/adapt_tasks", tasks.len() as u64);
     let mask_buffer: Option<(Vec<Elem>, Vec<usize>)> = mask.map(|m| (m.get().to_vec(), m.shape()));
     fan_out_tasks(model, parallel, tasks.len(), |m, i| {
         // adapt_and_predict itself copies the mask into a fresh per-task
@@ -461,7 +486,11 @@ mod tests {
             &tasks,
             Some(&mask),
             &cfg,
-            &ParallelConfig::with_threads(3),
+            // Cutoff 1 + oversubscribe: really fan these 4 tasks across
+            // workers even on a single-core host.
+            &ParallelConfig::with_threads(3)
+                .with_serial_cutoff(1)
+                .oversubscribed(),
         );
         assert_eq!(serial, swept);
     }

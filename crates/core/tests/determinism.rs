@@ -58,7 +58,11 @@ fn pretrain_is_bit_identical_across_thread_counts() {
     let run = |threads: usize| {
         let model = tiny_model(dim);
         let config = MamlConfig {
-            parallel: ParallelConfig::with_threads(threads),
+            // Cutoff 1 + oversubscribe: the meta-batch is only 2 tasks
+            // and the CI host may be single-core — force real workers.
+            parallel: ParallelConfig::with_threads(threads)
+                .with_serial_cutoff(1)
+                .oversubscribed(),
             ..MamlConfig::tiny()
         };
         let report = pretrain(&model, &train, &val, Metric::Ipc, &config);
@@ -77,4 +81,48 @@ fn pretrain_is_bit_identical_across_thread_counts() {
         serial_params, parallel_params,
         "final parameters must match bit-for-bit across thread counts"
     );
+
+    check_cross_build_digest(&serial_report, &serial_params);
+}
+
+/// FNV-1a over the exact bit patterns of the run's outputs: any
+/// difference in any parameter or reported loss changes the digest.
+fn run_digest(report: &impl std::fmt::Debug, params: &[Vec<f64>]) -> String {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(format!("{report:?}").as_bytes());
+    for p in params {
+        for v in p {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// Cross-build determinism check: observability is a compile-time
+/// feature, so "obs on vs off" cannot be compared within one test
+/// binary. Instead, when `METADSE_DIGEST_FILE` is set, the first build
+/// to run writes its run digest there and every later build (e.g. the
+/// same test re-run with `--features obs`, or with a different thread
+/// default) must reproduce it bit-for-bit.
+fn check_cross_build_digest(report: &impl std::fmt::Debug, params: &[Vec<f64>]) {
+    let Ok(path) = std::env::var("METADSE_DIGEST_FILE") else {
+        return;
+    };
+    let digest = run_digest(report, params);
+    match std::fs::read_to_string(&path) {
+        Ok(previous) => assert_eq!(
+            previous.trim(),
+            digest,
+            "pretrain digest diverged from the one recorded in {path} — \
+             a differently-featured build changed the numerics"
+        ),
+        Err(_) => std::fs::write(&path, &digest)
+            .unwrap_or_else(|e| panic!("could not record digest in {path}: {e}")),
+    }
 }

@@ -18,6 +18,8 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use metadse_obs as obs;
+
 use crate::autograd;
 use crate::tensor::shape::{broadcast_shapes, broadcast_strides, numel, OffsetWalker};
 use crate::tensor::{BackwardFn, Tensor};
@@ -132,6 +134,9 @@ fn matmul_forward(
     // broadcast weight has one distinct offset: packed once, reused.
     let mut packed: Vec<Elem> = Vec::new();
     let mut slots: HashMap<usize, usize> = HashMap::new();
+    // Path counts accumulate locally and flush as three counter bumps per
+    // call, so instrumentation cost stays off the per-batch inner loop.
+    let (mut sparse_batches, mut dense_batches, mut packs) = (0u64, 0u64, 0u64);
     for bi in 0..batch_count {
         let a_base = offsets_a[bi];
         let b_base = offsets_b[bi];
@@ -141,14 +146,20 @@ fn matmul_forward(
             .filter(|v| **v == 0.0)
             .count();
         if (zeros as f64) >= SPARSE_ZERO_FRACTION * (m * k) as f64 {
+            sparse_batches += 1;
             sparse_block(da, a_base, db, b_base, out_block, m, k, n);
         } else {
-            let slot = *slots
-                .entry(b_base)
-                .or_insert_with(|| pack_transposed(db, b_base, k, n, &mut packed));
+            dense_batches += 1;
+            let slot = *slots.entry(b_base).or_insert_with(|| {
+                packs += 1;
+                pack_transposed(db, b_base, k, n, &mut packed)
+            });
             dense_block(da, a_base, &packed[slot..slot + n * k], out_block, m, k, n);
         }
     }
+    obs::counter("nn/matmul_sparse_batches", sparse_batches);
+    obs::counter("nn/matmul_dense_batches", dense_batches);
+    obs::counter("nn/matmul_packs", packs);
     out
 }
 
@@ -271,6 +282,9 @@ impl Tensor {
                 .map(|o| o * (kb * n))
                 .collect()
         };
+
+        obs::counter("nn/matmul_calls", 1);
+        obs::counter("nn/matmul_flops", (2 * batch_count * m * ka * n) as u64);
 
         let da = self.data();
         let db = other.data();

@@ -1,0 +1,146 @@
+//! The shared human-readable report sink.
+//!
+//! Every harness binary prints through these functions instead of
+//! scattering `println!`s, so run output has one shape (banners, sections,
+//! key–value lines, aligned tables, warnings) and one place to intercept
+//! it. This module is always compiled — it is *output*, not
+//! instrumentation — and is independent of the `enabled` feature.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+
+/// Capture buffer for tests; `None` means lines go straight to stdout.
+static CAPTURE: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+fn emit(text: &str) {
+    let mut guard = CAPTURE.lock().expect("report capture poisoned");
+    match guard.as_mut() {
+        Some(buffer) => buffer.extend(text.lines().map(str::to_string)),
+        None => println!("{text}"),
+    }
+}
+
+/// Prints a full-width banner naming a run.
+pub fn banner(title: &str) {
+    let rule = "=".repeat(64);
+    emit(&rule);
+    emit(title);
+    emit(&rule);
+}
+
+/// Prints a section heading.
+pub fn section(title: &str) {
+    emit(&format!("\n[{title}]"));
+}
+
+/// Prints one line of report text.
+pub fn line(text: impl AsRef<str>) {
+    emit(text.as_ref());
+}
+
+/// Prints a key–value line.
+pub fn kv(key: &str, value: impl Display) {
+    emit(&format!("{key}: {value}"));
+}
+
+/// Prints a warning line to stderr (warnings must survive stdout
+/// redirection).
+pub fn warn(text: impl AsRef<str>) {
+    let mut guard = CAPTURE.lock().expect("report capture poisoned");
+    match guard.as_mut() {
+        Some(buffer) => buffer.push(format!("warning: {}", text.as_ref())),
+        None => eprintln!("warning: {}", text.as_ref()),
+    }
+}
+
+/// Renders rows as an aligned text table and prints it. The first row is
+/// the header.
+pub fn table(rows: &[Vec<String>]) {
+    emit(render_table(rows).trim_end_matches('\n'));
+}
+
+/// Renders rows as an aligned text table. The first row is the header.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent arity.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows[0].len();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (w, cell) in widths.iter().zip(row) {
+            out.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        out.push('\n');
+        if i == 0 {
+            for w in &widths {
+                out.push_str(&"-".repeat(*w));
+                out.push_str("  ");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Runs `f` with report output captured instead of printed; returns `f`'s
+/// result and the captured lines. Test hook — not meant for production
+/// flows (capture is process-global).
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<String>) {
+    {
+        let mut guard = CAPTURE.lock().expect("report capture poisoned");
+        *guard = Some(Vec::new());
+    }
+    let value = f();
+    let lines = {
+        let mut guard = CAPTURE.lock().expect("report capture poisoned");
+        guard.take().unwrap_or_default()
+    };
+    (value, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let rows = vec![
+            vec!["model".to_string(), "rmse".to_string()],
+            vec!["MetaDSE".to_string(), "0.22".to_string()],
+        ];
+        let s = render_table(&rows);
+        assert!(s.contains("model"));
+        assert!(s.contains("-----"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn capture_collects_all_shapes() {
+        let ((), lines) = capture(|| {
+            banner("demo");
+            section("phase");
+            kv("key", 7);
+            warn("careful");
+            table(&[
+                vec!["a".to_string(), "b".to_string()],
+                vec!["1".to_string(), "2".to_string()],
+            ]);
+        });
+        assert!(lines.iter().any(|l| l == "demo"));
+        assert!(lines.iter().any(|l| l.contains("[phase]")));
+        assert!(lines.iter().any(|l| l == "key: 7"));
+        assert!(lines.iter().any(|l| l == "warning: careful"));
+        assert!(lines.iter().any(|l| l.starts_with('a')));
+    }
+}

@@ -1,0 +1,282 @@
+//! Export sinks: JSON-lines trace dump and the human-readable summary.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{self, MetricsSnapshot};
+use crate::span::{self, SpanRecord};
+
+/// Escapes a string for embedding in a JSON value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for JSON (finite values only; non-finite become
+/// `null`, which JSON requires).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes the whole trace — every finished span, then every metric —
+/// as JSON lines.
+pub(crate) fn to_jsonl() -> String {
+    let mut out = String::new();
+    for r in span::finished() {
+        let parent = r.parent.map_or("null".to_string(), |p| p.to_string());
+        let worker = r.worker.map_or("null".to_string(), |w| w.to_string());
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"worker\":{}}}",
+            r.id,
+            parent,
+            json_escape(&r.name),
+            r.start_ns,
+            r.dur_ns,
+            worker
+        );
+    }
+    let snap = metrics::snapshot();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json_escape(name)
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            json_f64(*value)
+        );
+    }
+    for h in &snap.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(lo, hi, hits)| format!("[{},{},{hits}]", json_f64(*lo), json_f64(*hi)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            json_escape(&h.name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            buckets.join(",")
+        );
+    }
+    out
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats a general metric value compactly.
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// One aggregated node of the span tree: all spans sharing a name *and* an
+/// aggregated parent path collapse into one row.
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    total_ns: u64,
+    /// Distinct workers that recorded spans for this node (for thread
+    /// attribution); `None` entries mean the main thread.
+    workers: Vec<Option<usize>>,
+}
+
+/// Builds the aggregated span tree. Returns `(nodes, roots)`.
+fn build_tree(records: &[SpanRecord]) -> (Vec<Node>, Vec<usize>) {
+    // Parent ids may belong to spans that have not finished (e.g. the
+    // caller summarizes inside a root span): those children are treated
+    // as roots of their own subtrees.
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut roots: Vec<usize> = Vec::new();
+    let mut interned: HashMap<(Option<usize>, String), usize> = HashMap::new();
+    let mut node_of: HashMap<u64, usize> = HashMap::new();
+
+    // Resolve a span id to its aggregated node, interning ancestors first.
+    fn resolve(
+        id: u64,
+        by_id: &HashMap<u64, &SpanRecord>,
+        nodes: &mut Vec<Node>,
+        roots: &mut Vec<usize>,
+        interned: &mut HashMap<(Option<usize>, String), usize>,
+        node_of: &mut HashMap<u64, usize>,
+    ) -> usize {
+        if let Some(&n) = node_of.get(&id) {
+            return n;
+        }
+        let record = by_id[&id];
+        let parent_node = record
+            .parent
+            .filter(|p| by_id.contains_key(p))
+            .map(|p| resolve(p, by_id, nodes, roots, interned, node_of));
+        let key = (parent_node, record.name.clone());
+        let node = *interned.entry(key).or_insert_with(|| {
+            nodes.push(Node {
+                name: record.name.clone(),
+                children: Vec::new(),
+                calls: 0,
+                total_ns: 0,
+                workers: Vec::new(),
+            });
+            let idx = nodes.len() - 1;
+            match parent_node {
+                Some(p) => nodes[p].children.push(idx),
+                None => roots.push(idx),
+            }
+            idx
+        });
+        node_of.insert(id, node);
+        node
+    }
+
+    // Sort by start so tree rows appear in first-execution order.
+    let mut order: Vec<&SpanRecord> = records.iter().collect();
+    order.sort_by_key(|r| (r.start_ns, r.id));
+    for r in order {
+        let n = resolve(
+            r.id,
+            &by_id,
+            &mut nodes,
+            &mut roots,
+            &mut interned,
+            &mut node_of,
+        );
+        nodes[n].calls += 1;
+        nodes[n].total_ns += r.dur_ns;
+        if !nodes[n].workers.contains(&r.worker) {
+            nodes[n].workers.push(r.worker);
+        }
+    }
+    (nodes, roots)
+}
+
+fn render_node(nodes: &[Node], idx: usize, depth: usize, rows: &mut Vec<Vec<String>>) {
+    let n = &nodes[idx];
+    let mean = n.total_ns as f64 / n.calls.max(1) as f64;
+    let mut workers: Vec<String> = n
+        .workers
+        .iter()
+        .map(|w| w.map_or("main".to_string(), |i| format!("w{i}")))
+        .collect();
+    workers.sort();
+    rows.push(vec![
+        format!("{}{}", "  ".repeat(depth), n.name),
+        n.calls.to_string(),
+        fmt_ns(n.total_ns as f64),
+        fmt_ns(mean),
+        workers.join(","),
+    ]);
+    for &c in &n.children {
+        render_node(nodes, c, depth + 1, rows);
+    }
+}
+
+/// Renders the end-of-run report: span tree, then counters, gauges, and
+/// histograms.
+pub(crate) fn summary() -> String {
+    let mut out = String::new();
+    let records = span::finished();
+    if records.is_empty() {
+        out.push_str("spans: none recorded\n");
+    } else {
+        let (nodes, roots) = build_tree(&records);
+        let mut rows = vec![vec![
+            "span".to_string(),
+            "calls".to_string(),
+            "total".to_string(),
+            "mean".to_string(),
+            "threads".to_string(),
+        ]];
+        for root in roots {
+            render_node(&nodes, root, 0, &mut rows);
+        }
+        out.push_str(&crate::report::render_table(&rows));
+    }
+
+    let snap: MetricsSnapshot = metrics::snapshot();
+    if !snap.counters.is_empty() {
+        out.push('\n');
+        let mut rows = vec![vec!["counter".to_string(), "value".to_string()]];
+        for (name, value) in &snap.counters {
+            rows.push(vec![name.clone(), value.to_string()]);
+        }
+        out.push_str(&crate::report::render_table(&rows));
+    }
+    if !snap.gauges.is_empty() {
+        out.push('\n');
+        let mut rows = vec![vec!["gauge".to_string(), "value".to_string()]];
+        for (name, value) in &snap.gauges {
+            rows.push(vec![name.clone(), fmt_value(*value)]);
+        }
+        out.push_str(&crate::report::render_table(&rows));
+    }
+    if !snap.histograms.is_empty() {
+        out.push('\n');
+        let mut rows = vec![vec![
+            "histogram".to_string(),
+            "count".to_string(),
+            "mean".to_string(),
+            "min".to_string(),
+            "p50".to_string(),
+            "p99".to_string(),
+            "max".to_string(),
+        ]];
+        for h in &snap.histograms {
+            rows.push(vec![
+                h.name.clone(),
+                h.count.to_string(),
+                fmt_value(h.mean()),
+                fmt_value(if h.count == 0 { 0.0 } else { h.min }),
+                fmt_value(h.quantile(0.5)),
+                fmt_value(h.quantile(0.99)),
+                fmt_value(if h.count == 0 { 0.0 } else { h.max }),
+            ]);
+        }
+        out.push_str(&crate::report::render_table(&rows));
+    }
+    out
+}

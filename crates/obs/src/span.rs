@@ -1,0 +1,135 @@
+//! Hierarchical scoped spans.
+//!
+//! A span is an RAII guard: [`enter`] captures the start time and the
+//! enclosing span (this thread's innermost open span, or a parent adopted
+//! from another thread via [`adopt`] — how fan-out workers nest under the
+//! caller), and dropping the guard appends one immutable [`SpanRecord`]
+//! to the global trace. Start times are nanoseconds since the process's
+//! first span, so records from different threads share one clock.
+//!
+//! The per-thread state is a plain `Vec` stack in a thread-local; the
+//! only cross-thread synchronization is the record push at span end —
+//! spans mark *scopes*, not per-element work, so that mutex is cold.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpanRecord {
+    /// Unique id (allocation order).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name (`component/event`).
+    pub name: String,
+    /// Start, in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Fan-out worker id of the recording thread (`None` = main).
+    pub worker: Option<usize>,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn records() -> &'static Mutex<Vec<SpanRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static INHERITED: Cell<Option<u64>> = const { Cell::new(None) };
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The span guard. `!Send`: a span must end on the thread that opened it
+/// (the thread-local stack tracks nesting).
+#[must_use = "a span measures the scope of its guard; binding it to _ ends it immediately"]
+pub struct Span {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+    start_ns: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+pub(crate) fn enter(name: &str) -> Span {
+    let start = Instant::now();
+    let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied().or_else(|| INHERITED.get());
+        stack.push(id);
+        parent
+    });
+    Span {
+        id,
+        parent,
+        name: name.to_string(),
+        start,
+        start_ns,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(stack.last(), Some(&self.id), "span drop order violated");
+            stack.retain(|&id| id != self.id);
+        });
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_ns: self.start_ns,
+            dur_ns,
+            worker: WORKER.get(),
+        };
+        records()
+            .lock()
+            .expect("span records poisoned")
+            .push(record);
+    }
+}
+
+pub(crate) fn current() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+pub(crate) fn adopt(parent: Option<u64>) {
+    INHERITED.set(parent);
+}
+
+pub(crate) fn set_worker(id: Option<usize>) {
+    WORKER.set(id);
+}
+
+pub(crate) fn worker() -> Option<usize> {
+    WORKER.get()
+}
+
+/// Clones the finished-span trace (creation order of span *ends*).
+pub(crate) fn finished() -> Vec<SpanRecord> {
+    records().lock().expect("span records poisoned").clone()
+}
+
+/// Discards all finished spans. Open spans on other threads still record
+/// when they drop.
+pub(crate) fn reset() {
+    records().lock().expect("span records poisoned").clear();
+}

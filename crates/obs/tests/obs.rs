@@ -1,0 +1,162 @@
+//! Integration tests for the enabled observability layer.
+//!
+//! The registry and span store are process-global, so every test takes
+//! one shared lock: tests stay order-independent and `reset` cannot fire
+//! while another test is between a write and its assertion.
+#![cfg(feature = "enabled")]
+
+use std::sync::Mutex;
+use std::thread;
+
+use metadse_obs as obs;
+
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let _g = lock();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let before = obs::counter_value("test/concurrent_counter");
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    obs::counter("test/concurrent_counter", 1);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        obs::counter_value("test/concurrent_counter") - before,
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn concurrent_histogram_samples_are_lossless() {
+    let _g = lock();
+    thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                for i in 0..1000 {
+                    obs::histogram("test/concurrent_hist", (t * 1000 + i) as f64 + 0.5);
+                }
+            });
+        }
+    });
+    let line = obs::to_jsonl()
+        .lines()
+        .find(|l| l.contains("\"test/concurrent_hist\""))
+        .expect("histogram exported")
+        .to_string();
+    assert!(line.contains("\"count\":4000"), "{line}");
+    assert!(line.contains("\"min\":0.5"), "{line}");
+    assert!(line.contains("\"max\":3999.5"), "{line}");
+}
+
+#[test]
+fn gauge_keeps_the_last_write() {
+    let _g = lock();
+    obs::gauge("test/gauge", 1.5);
+    obs::gauge("test/gauge", -2.25);
+    assert_eq!(obs::gauge_value("test/gauge"), Some(-2.25));
+    assert_eq!(obs::gauge_value("test/no_such_gauge"), None);
+}
+
+#[test]
+fn spans_nest_and_attribute_worker_threads() {
+    let _g = lock();
+    {
+        let _outer = obs::span("test/outer");
+        let outer_id = obs::current_span();
+        assert!(outer_id.is_some());
+        {
+            let _inner = obs::span("test/inner");
+            assert_ne!(obs::current_span(), outer_id);
+        }
+        thread::scope(|scope| {
+            scope.spawn(move || {
+                obs::set_worker(Some(3));
+                obs::adopt_span(outer_id);
+                {
+                    // The worker tag is captured when the guard drops, so
+                    // the span must close before the tag is cleared.
+                    let _w = obs::span("test/worker_side");
+                }
+                obs::set_worker(None);
+            });
+        });
+    }
+    let jsonl = obs::to_jsonl();
+    let find = |name: &str| {
+        jsonl
+            .lines()
+            .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
+            .unwrap_or_else(|| panic!("span {name} exported"))
+            .to_string()
+    };
+    let outer = find("test/outer");
+    let inner = find("test/inner");
+    let worker = find("test/worker_side");
+    let id_of = |line: &str| {
+        line.split("\"id\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .expect("span line has an id")
+            .to_string()
+    };
+    assert!(
+        inner.contains(&format!("\"parent\":{}", id_of(&outer))),
+        "{inner}"
+    );
+    assert!(
+        worker.contains(&format!("\"parent\":{}", id_of(&outer))),
+        "{worker}"
+    );
+    assert!(worker.contains("\"worker\":3"), "{worker}");
+    assert!(outer.contains("\"worker\":null"), "{outer}");
+
+    let summary = obs::summary();
+    assert!(summary.contains("test/outer"), "{summary}");
+    assert!(summary.contains("  test/inner"), "{summary}");
+    assert!(summary.contains("w3"), "{summary}");
+}
+
+#[test]
+fn reset_zeroes_metrics_and_discards_spans() {
+    let _g = lock();
+    obs::counter("test/reset_counter", 5);
+    {
+        let _s = obs::span("test/reset_span");
+    }
+    assert_eq!(obs::counter_value("test/reset_counter"), 5);
+    obs::reset();
+    assert_eq!(obs::counter_value("test/reset_counter"), 0);
+    assert!(!obs::to_jsonl().contains("test/reset_span"));
+    // The registration survives: the counter keeps counting after reset.
+    obs::counter("test/reset_counter", 2);
+    assert_eq!(obs::counter_value("test/reset_counter"), 2);
+}
+
+#[test]
+fn jsonl_lines_are_wellformed_enough_to_split() {
+    let _g = lock();
+    obs::counter("test/jsonl \"quoted\"", 1);
+    let jsonl = obs::to_jsonl();
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains("jsonl"))
+        .expect("escaped counter exported");
+    assert!(line.contains("\\\"quoted\\\""), "{line}");
+    for l in jsonl.lines() {
+        assert!(
+            l.starts_with('{') && l.ends_with('}'),
+            "not a JSON object: {l}"
+        );
+    }
+}

@@ -18,9 +18,39 @@
 //! Thread count resolution: explicit `threads: Some(n)` wins, otherwise the
 //! `METADSE_THREADS` environment variable, otherwise
 //! [`std::thread::available_parallelism`].
+//!
+//! # Work-size threshold and oversubscription
+//!
+//! Spawning scoped workers costs tens of microseconds; a fan-out of a
+//! handful of tasks (or any fan-out on a machine with fewer cores than
+//! requested workers) loses more to scheduling than it gains. Two guards
+//! keep the parallel path honest — both only change *where* work runs, never
+//! its results, which stay bit-identical by construction:
+//!
+//! * fan-outs with fewer than [`ParallelConfig::serial_cutoff`] tasks
+//!   (default [`DEFAULT_SERIAL_CUTOFF`], overridable per-config or via
+//!   `METADSE_SERIAL_CUTOFF`) take the inline serial path;
+//! * the worker count is clamped to the machine's available parallelism
+//!   unless [`ParallelConfig::oversubscribe`] is set (measurement and
+//!   determinism tests set it to force real thread interleaving even on a
+//!   single-core host).
+//!
+//! When the `obs` feature of the workspace is enabled, every fan-out
+//! records its decision (`parallel/fanouts_serial`,
+//! `parallel/fanouts_parallel`, `parallel/spawned_workers` counters and the
+//! `parallel/serial_cutoff` gauge), workers tag their spans with a worker
+//! id, and spans opened inside workers nest under the caller's span.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+use metadse_obs as obs;
+
+/// Fan-outs smaller than this run serially unless a config or the
+/// `METADSE_SERIAL_CUTOFF` environment variable overrides it. Sixteen
+/// covers the pipeline's small sweeps (e.g. 8-task WAM adaptation), whose
+/// spawn overhead exceeded the win even on multi-core hosts.
+pub const DEFAULT_SERIAL_CUTOFF: usize = 16;
 
 /// Thread-count knob plumbed through the pipeline's configuration structs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,6 +58,15 @@ pub struct ParallelConfig {
     /// Worker threads. `Some(1)` forces the exact serial code path;
     /// `None` defers to `METADSE_THREADS`, then to the machine.
     pub threads: Option<usize>,
+    /// Minimum fan-out size that uses threads; smaller fan-outs run the
+    /// serial path. `None` defers to `METADSE_SERIAL_CUTOFF`, then to
+    /// [`DEFAULT_SERIAL_CUTOFF`].
+    pub serial_cutoff: Option<usize>,
+    /// Allow more workers than the machine has hardware threads.
+    /// Off by default (oversubscribing CPU-bound pure work only adds
+    /// scheduling overhead); determinism tests and overhead measurements
+    /// turn it on to force real cross-thread interleaving anywhere.
+    pub oversubscribe: bool,
 }
 
 impl ParallelConfig {
@@ -35,12 +74,28 @@ impl ParallelConfig {
     pub fn with_threads(n: usize) -> ParallelConfig {
         ParallelConfig {
             threads: Some(n.max(1)),
+            ..ParallelConfig::default()
         }
     }
 
     /// A configuration pinned to one thread (exact serial execution).
     pub fn serial() -> ParallelConfig {
         ParallelConfig::with_threads(1)
+    }
+
+    /// This configuration with the work-size threshold set to `n` tasks.
+    pub fn with_serial_cutoff(mut self, n: usize) -> ParallelConfig {
+        self.serial_cutoff = Some(n);
+        self
+    }
+
+    /// This configuration with the hardware-parallelism clamp disabled,
+    /// so the full requested worker count spawns even on a smaller
+    /// machine. Used by determinism tests (real interleaving on any host)
+    /// and overhead measurements.
+    pub fn oversubscribed(mut self) -> ParallelConfig {
+        self.oversubscribe = true;
+        self
     }
 
     /// The resolved worker-thread count: explicit setting, else
@@ -54,32 +109,74 @@ impl ParallelConfig {
                 return n.max(1);
             }
         }
-        thread::available_parallelism().map_or(1, |n| n.get())
+        available_parallelism()
+    }
+
+    /// The resolved work-size threshold: explicit setting, else
+    /// `METADSE_SERIAL_CUTOFF`, else [`DEFAULT_SERIAL_CUTOFF`].
+    pub fn effective_serial_cutoff(&self) -> usize {
+        if let Some(n) = self.serial_cutoff {
+            return n;
+        }
+        if let Ok(v) = std::env::var("METADSE_SERIAL_CUTOFF") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n;
+            }
+        }
+        DEFAULT_SERIAL_CUTOFF
+    }
+
+    /// The number of workers a fan-out of `n` tasks will actually use:
+    /// 1 (the serial path) when `n` is below the work-size threshold,
+    /// otherwise the thread count clamped to `n` and — unless
+    /// [`oversubscribed`](ParallelConfig::oversubscribed) — to the
+    /// machine's available parallelism.
+    pub fn workers_for(&self, n: usize) -> usize {
+        if n <= 1 || n < self.effective_serial_cutoff() {
+            return 1;
+        }
+        let mut workers = self.effective_threads();
+        if !self.oversubscribe {
+            workers = workers.min(available_parallelism());
+        }
+        workers.min(n)
     }
 
     /// Evaluates `f(0..n)` and returns the results **in index order**.
     ///
-    /// With one effective thread (or `n <= 1`) this runs `f` inline on the
-    /// caller's thread, serially, in index order — no threads are spawned.
-    /// Otherwise workers pull indices from a shared counter, so `f` must be
-    /// a pure function of its index for results to be deterministic; index
-    /// ordering of the output makes any subsequent reduction independent of
-    /// scheduling.
+    /// With one effective worker (see [`ParallelConfig::workers_for`])
+    /// this runs `f` inline on the caller's thread, serially, in index
+    /// order — no threads are spawned. Otherwise workers pull indices from
+    /// a shared counter, so `f` must be a pure function of its index for
+    /// results to be deterministic; index ordering of the output makes any
+    /// subsequent reduction independent of scheduling.
     pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let threads = self.effective_threads().min(n.max(1));
+        obs::gauge(
+            "parallel/serial_cutoff",
+            self.effective_serial_cutoff() as f64,
+        );
+        let threads = self.workers_for(n);
         if threads <= 1 {
+            obs::counter("parallel/fanouts_serial", 1);
             return (0..n).map(f).collect();
         }
+        obs::counter("parallel/fanouts_parallel", 1);
+        obs::counter("parallel/spawned_workers", threads as u64);
+        let parent_span = obs::current_span();
 
         let next = AtomicUsize::new(0);
         let per_worker: Vec<Vec<(usize, T)>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        obs::set_worker(Some(w));
+                        obs::adopt_span(parent_span);
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -121,14 +218,26 @@ impl ParallelConfig {
     }
 }
 
+/// The machine's available hardware parallelism (at least 1).
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A config that genuinely spawns `n` workers on any host: cutoff 1,
+    /// hardware clamp off — what the determinism tests use.
+    fn forced(n: usize) -> ParallelConfig {
+        ParallelConfig::with_threads(n)
+            .with_serial_cutoff(1)
+            .oversubscribed()
+    }
+
     #[test]
     fn results_come_back_in_index_order() {
-        let cfg = ParallelConfig::with_threads(4);
-        let out = cfg.run_indexed(100, |i| i * i);
+        let out = forced(4).run_indexed(100, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
 
@@ -136,20 +245,20 @@ mod tests {
     fn serial_and_parallel_agree() {
         let f = |i: usize| (i as f64).sqrt().sin();
         let serial = ParallelConfig::serial().run_indexed(257, f);
-        let parallel = ParallelConfig::with_threads(8).run_indexed(257, f);
+        let parallel = forced(8).run_indexed(257, f);
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn zero_tasks_is_fine() {
-        let out: Vec<usize> = ParallelConfig::with_threads(4).run_indexed(0, |i| i);
+        let out: Vec<usize> = forced(4).run_indexed(0, |i| i);
         assert!(out.is_empty());
     }
 
     #[test]
     fn map_slice_preserves_order() {
         let items = vec![3, 1, 4, 1, 5, 9, 2, 6];
-        let out = ParallelConfig::with_threads(3).map_slice(&items, |v| v * 10);
+        let out = forced(3).map_slice(&items, |v| v * 10);
         assert_eq!(out, vec![30, 10, 40, 10, 50, 90, 20, 60]);
     }
 
@@ -162,7 +271,37 @@ mod tests {
 
     #[test]
     fn more_threads_than_tasks_still_covers_everything() {
-        let out = ParallelConfig::with_threads(16).run_indexed(3, |i| i + 1);
+        let out = forced(16).run_indexed(3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn small_fanouts_take_the_serial_path() {
+        let cfg = ParallelConfig::with_threads(8).oversubscribed();
+        // Below the default cutoff: serial regardless of thread count.
+        assert_eq!(cfg.workers_for(DEFAULT_SERIAL_CUTOFF - 1), 1);
+        // At the cutoff: parallel.
+        assert_eq!(cfg.workers_for(DEFAULT_SERIAL_CUTOFF), 8);
+        // Explicit cutoff wins (workers also clamp to the task count).
+        assert_eq!(cfg.with_serial_cutoff(4).workers_for(5), 5);
+        assert_eq!(cfg.with_serial_cutoff(4).workers_for(3), 1);
+    }
+
+    #[test]
+    fn hardware_clamp_applies_unless_oversubscribed() {
+        let machine = available_parallelism();
+        let clamped = ParallelConfig::with_threads(machine + 7).with_serial_cutoff(1);
+        assert_eq!(clamped.workers_for(1000), machine);
+        assert_eq!(clamped.oversubscribed().workers_for(1000), machine + 7);
+    }
+
+    #[test]
+    fn serial_cutoff_never_splits_tiny_fanouts() {
+        // n <= 1 is always serial, even with cutoff 0.
+        let cfg = ParallelConfig::with_threads(4)
+            .with_serial_cutoff(0)
+            .oversubscribed();
+        assert_eq!(cfg.workers_for(1), 1);
+        assert_eq!(cfg.workers_for(0), 1);
     }
 }

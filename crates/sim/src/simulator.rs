@@ -4,6 +4,8 @@
 //! pipeline, and power models into the (IPC, power) labels used throughout
 //! the MetaDSE reproduction — the role gem5 + McPAT play in the paper.
 
+use metadse_obs as obs;
+
 use crate::backend;
 use crate::branch;
 use crate::cache;
@@ -107,6 +109,13 @@ impl Simulator {
 
         let power_model = power::evaluate(config, workload, &cache_model, ipc);
         let power_w = power_model.total_w * (1.0 + 0.6 * jitter);
+
+        obs::counter("sim/simulations", 1);
+        obs::histogram("sim/branch_mispredict_rate", branch_model.mispredict_rate);
+        obs::histogram("sim/l1d_miss_rate", cache_model.l1d_miss_rate);
+        obs::histogram("sim/l2_miss_rate", cache_model.l2_miss_rate);
+        obs::histogram("sim/cpi_branch", pipe.cpi_branch);
+        obs::histogram("sim/cpi_memory", pipe.cpi_memory);
 
         SimOutput {
             ipc,

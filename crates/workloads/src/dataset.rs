@@ -11,6 +11,7 @@ use std::path::Path;
 
 use rand::Rng;
 
+use metadse_obs as obs;
 use metadse_parallel::ParallelConfig;
 use metadse_sim::{ConfigPoint, DesignSpace, Elem, Simulator};
 
@@ -141,7 +142,13 @@ impl Dataset {
         points: &[ConfigPoint],
         parallel: &ParallelConfig,
     ) -> Dataset {
+        let _span = obs::span("dataset/generate");
+        obs::counter("dataset/points", points.len() as u64);
         let phases = PhaseSet::generate(workload);
+        obs::counter(
+            "dataset/phase_sims",
+            (points.len() * phases.phases().len()) as u64,
+        );
         let samples = parallel.run_indexed(points.len(), |i| {
             let point = &points[i];
             let features = space.encode(point);
@@ -337,7 +344,11 @@ mod tests {
                 SpecWorkload::Xz657,
                 16,
                 &mut rng,
-                &ParallelConfig::with_threads(threads),
+                // Cutoff 1 + oversubscribe: really spawn workers for these
+                // 16 points even on a single-core host.
+                &ParallelConfig::with_threads(threads)
+                    .with_serial_cutoff(1)
+                    .oversubscribed(),
             )
         };
         let serial = run(1);
