@@ -180,7 +180,74 @@ fn adapt_sweep_benches(h: &mut Harness) {
     }
 }
 
+/// Reads `wall_ns` for one benchmark name out of a committed
+/// `BENCH_results.json` (one `{"name": …, "wall_ns": …, …}` object per
+/// line, as written by [`Harness::write_json`]).
+fn committed_wall_ns(json: &str, name: &str) -> Option<u128> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let field = line.split("\"wall_ns\": ").nth(1)?;
+    let digits: String = field.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// CI regression gate: re-times `maml/pretrain_epoch/t1` at a reduced
+/// measurement budget and fails (exit 1) if it regressed more than 25%
+/// against the committed `BENCH_results.json` baseline. The check is
+/// best-of-three: a genuine regression slows every attempt, while a
+/// scheduler hiccup or noisy neighbour only spoils one, so the gate
+/// passes as soon as any attempt lands inside the limit. Never rewrites
+/// the baseline file.
+fn smoke() {
+    const SMOKE_BENCH: &str = "maml/pretrain_epoch/t1";
+    const MAX_RATIO: f64 = 1.25;
+    const ATTEMPTS: usize = 3;
+
+    report::banner("MetaDSE benchmark smoke check");
+    let committed = std::fs::read_to_string("BENCH_results.json")
+        .expect("smoke mode needs the committed BENCH_results.json baseline");
+    let baseline =
+        committed_wall_ns(&committed, SMOKE_BENCH).expect("baseline entry for smoke benchmark");
+    report::kv("baseline wall_ns", baseline);
+
+    let mut best = u128::MAX;
+    for attempt in 1..=ATTEMPTS {
+        let mut h = Harness::new().with_target_ms(150);
+        maml_benches(&mut h);
+        let sample = h
+            .samples()
+            .iter()
+            .find(|s| s.name == SMOKE_BENCH)
+            .expect("smoke benchmark ran");
+
+        let ratio = sample.wall_ns as f64 / baseline as f64;
+        report::kv(
+            &format!("attempt {attempt}/{ATTEMPTS} wall_ns"),
+            sample.wall_ns,
+        );
+        report::kv("ratio", format!("{ratio:.3}"));
+        if metadse_bench::alloc_count::enabled() {
+            report::kv("allocs per epoch", sample.allocs);
+        }
+        best = best.min(sample.wall_ns);
+        if ratio <= MAX_RATIO {
+            report::line(format!("OK: {SMOKE_BENCH} within {MAX_RATIO}x of baseline"));
+            return;
+        }
+    }
+    let ratio = best as f64 / baseline as f64;
+    report::line(format!(
+        "FAIL: {SMOKE_BENCH} regressed {ratio:.2}x vs committed baseline \
+         (limit {MAX_RATIO}x, best of {ATTEMPTS} attempts)"
+    ));
+    std::process::exit(1);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     report::banner("MetaDSE hot-path benchmark report");
     report::kv(
         "hardware threads",

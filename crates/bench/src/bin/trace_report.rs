@@ -174,6 +174,24 @@ fn main() {
         metadse_parallel::DEFAULT_SERIAL_CUTOFF,
     ));
 
+    // --- Allocation-free hot path ----------------------------------------
+    report::section("buffer pool and fused kernels");
+    let pool_hits = obs::counter_value("nn/pool_hits");
+    let pool_misses = obs::counter_value("nn/pool_misses");
+    let fused_calls = obs::counter_value("nn/fused_calls");
+    report::kv("nn/pool_hits", pool_hits);
+    report::kv("nn/pool_misses", pool_misses);
+    report::kv("nn/fused_calls", fused_calls);
+    let total = pool_hits + pool_misses;
+    if total > 0 {
+        report::line(format!(
+            "attribution: {:.1}% of tensor buffers in the runs above came out \
+             of the thread-local pool instead of the allocator; {fused_calls} \
+             forward ops ran as fused single-node kernels.",
+            100.0 * pool_hits as f64 / total as f64,
+        ));
+    }
+
     // --- Trace artifacts --------------------------------------------------
     report::section("span tree and metrics");
     report::line(obs::summary());

@@ -19,6 +19,72 @@ use std::path::{Path, PathBuf};
 use metadse::experiment::Scale;
 pub use metadse_obs::report;
 
+/// Heap-allocation counting, active only with the `alloc-count` feature.
+///
+/// The feature installs a counting wrapper around [`std::alloc::System`]
+/// as the global allocator; [`alloc_count::allocations`] then reads a
+/// monotonic process-wide allocation counter. Without the feature the
+/// counter always reads zero and no allocator is installed, so default
+/// builds pay nothing.
+pub mod alloc_count {
+    #[cfg(feature = "alloc-count")]
+    mod counting {
+        use std::alloc::{GlobalAlloc, Layout, System};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub(super) static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+        /// [`System`] plus one relaxed counter increment per allocation
+        /// (`realloc` counts too: it may move the block).
+        struct CountingAlloc;
+
+        // SAFETY: delegates every operation to `System` unchanged; the
+        // only addition is a relaxed atomic increment.
+        unsafe impl GlobalAlloc for CountingAlloc {
+            unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                System.alloc(layout)
+            }
+
+            unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                System.alloc_zeroed(layout)
+            }
+
+            unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                System.realloc(ptr, layout, new_size)
+            }
+
+            unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+                System.dealloc(ptr, layout)
+            }
+        }
+
+        #[global_allocator]
+        static GLOBAL: CountingAlloc = CountingAlloc;
+    }
+
+    /// Whether allocation counting is compiled in.
+    pub fn enabled() -> bool {
+        cfg!(feature = "alloc-count")
+    }
+
+    /// Total heap allocations made by this process so far (0 without the
+    /// `alloc-count` feature). Monotonic; subtract two readings to count
+    /// the allocations of a region.
+    pub fn allocations() -> u64 {
+        #[cfg(feature = "alloc-count")]
+        {
+            counting::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "alloc-count"))]
+        {
+            0
+        }
+    }
+}
+
 /// Selects the experiment scale from CLI arguments (`--quick`, `--paper`)
 /// or the `METADSE_SCALE` environment variable (`quick`/`scaled`/`paper`).
 /// Defaults to [`Scale::scaled`].
@@ -117,6 +183,9 @@ pub mod timing {
         /// Worker threads the benchmarked code was configured with
         /// (1 for inherently serial code).
         pub threads: usize,
+        /// Mean heap allocations per iteration (0 unless the harness is
+        /// built with the `alloc-count` feature).
+        pub allocs: u64,
     }
 
     /// Collects [`Sample`]s, prints them as they finish, and renders a
@@ -167,17 +236,20 @@ pub mod timing {
             let once_ns = warmup.elapsed().as_nanos().max(1);
             let iters = (self.target_ns / once_ns).clamp(1, u128::from(self.max_iters)) as u32;
 
+            let allocs_before = crate::alloc_count::allocations();
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
             let wall_ns = start.elapsed().as_nanos() / u128::from(iters);
+            let allocs = (crate::alloc_count::allocations() - allocs_before) / u64::from(iters);
 
             let sample = Sample {
                 name: name.to_string(),
                 wall_ns,
                 iters,
                 threads,
+                allocs,
             };
             crate::report::line(format_sample(&sample));
             self.samples.push(sample);
@@ -190,17 +262,18 @@ pub mod timing {
         }
 
         /// The samples as a JSON array of
-        /// `{"name": …, "wall_ns": …, "iters": …, "threads": …}`.
+        /// `{"name": …, "wall_ns": …, "iters": …, "threads": …, "allocs": …}`.
         pub fn to_json(&self) -> String {
             let mut out = String::from("[\n");
             for (i, s) in self.samples.iter().enumerate() {
                 let _ = write!(
                     out,
-                    "  {{\"name\": \"{}\", \"wall_ns\": {}, \"iters\": {}, \"threads\": {}}}",
+                    "  {{\"name\": \"{}\", \"wall_ns\": {}, \"iters\": {}, \"threads\": {}, \"allocs\": {}}}",
                     s.name.replace('\\', "\\\\").replace('"', "\\\""),
                     s.wall_ns,
                     s.iters,
-                    s.threads
+                    s.threads,
+                    s.allocs
                 );
                 out.push_str(if i + 1 < self.samples.len() {
                     ",\n"
@@ -224,8 +297,13 @@ pub mod timing {
 
     /// Renders one sample as a fixed-width report line.
     fn format_sample(s: &Sample) -> String {
+        let allocs = if s.allocs > 0 {
+            format!(", {} allocs/iter", s.allocs)
+        } else {
+            String::new()
+        };
         format!(
-            "{:<44} {:>14}  ({} iters, {} thread{})",
+            "{:<44} {:>14}  ({} iters, {} thread{}{allocs})",
             s.name,
             human_ns(s.wall_ns),
             s.iters,
@@ -286,6 +364,7 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"name\": \"trivial\""));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"allocs\": "));
         assert!(json.contains("parallel\\\"ish"));
     }
 

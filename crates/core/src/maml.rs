@@ -334,6 +334,9 @@ pub fn pretrain(
                 obs::histogram("maml/grad_norm", sq.sqrt());
             });
             optimizer.step(&grads);
+            // One meta-iteration's tensors have all dropped by now; trim
+            // the buffer pool so retained memory tracks the working set.
+            metadse_nn::tensor::pool::reclaim();
         }
         let train_loss = epoch_loss / epoch_count.max(1) as Elem;
         obs::gauge("maml/train_loss", train_loss);

@@ -281,6 +281,7 @@ pub fn adapt_and_predict(
     if mask.is_some() {
         model.clear_masks();
     }
+    metadse_nn::tensor::pool::reclaim();
     predictions
 }
 

@@ -6,6 +6,8 @@
 use metadse::maml::{pretrain, MamlConfig};
 use metadse::predictor::{PredictorConfig, TransformerPredictor};
 use metadse_nn::layers::Module;
+use metadse_nn::tensor::fused::FusedModeGuard;
+use metadse_nn::tensor::pool::PoolModeGuard;
 use metadse_parallel::ParallelConfig;
 use metadse_workloads::{Dataset, Metric, Sample};
 use rand::rngs::StdRng;
@@ -83,6 +85,39 @@ fn pretrain_is_bit_identical_across_thread_counts() {
     );
 
     check_cross_build_digest(&serial_report, &serial_params);
+}
+
+/// The buffer pool and the fused kernels are performance features with a
+/// bit-identity contract: running the full tiny pretrain with both enabled
+/// must reproduce the plain-primitive run exactly. Both toggles are
+/// thread-local, so the run is pinned to one inline thread.
+#[test]
+fn pool_and_fusion_do_not_change_pretrain_numerics() {
+    let dim = 6;
+    let train: Vec<Dataset> = (0..2)
+        .map(|i| synthetic_dataset(60 + i, dim, 80, i as f64 * 0.4))
+        .collect();
+    let val = vec![synthetic_dataset(70, dim, 80, 0.2)];
+
+    let run = |enabled: bool| {
+        let _pool = PoolModeGuard::set(enabled);
+        let _fuse = FusedModeGuard::set(enabled);
+        let model = tiny_model(dim);
+        let config = MamlConfig {
+            parallel: ParallelConfig::with_threads(1),
+            ..MamlConfig::tiny()
+        };
+        let report = pretrain(&model, &train, &val, Metric::Ipc, &config);
+        let params: Vec<Vec<f64>> = model.params().iter().map(|p| p.get().to_vec()).collect();
+        (report, params)
+    };
+
+    let fast = run(true);
+    let plain = run(false);
+    assert_eq!(
+        fast, plain,
+        "pool + fused kernels must be bit-identical to the primitive path"
+    );
 }
 
 /// FNV-1a over the exact bit patterns of the run's outputs: any

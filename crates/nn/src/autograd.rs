@@ -6,9 +6,10 @@
 //! yields gradients that are themselves differentiable — the "double
 //! backward" needed by second-order MAML.
 
-use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::Entry;
 
+use crate::fasthash::{IdHashMap, IdHashSet};
 use crate::Tensor;
 
 thread_local! {
@@ -77,14 +78,21 @@ pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
 /// assert!((d2y[0].value() - 18.0).abs() < 1e-9); // 6x
 /// ```
 pub fn grad(output: &Tensor, inputs: &[Tensor], create_graph: bool) -> Vec<Tensor> {
-    let order = topological_order(output);
-    let mut grads: HashMap<u64, Tensor> = HashMap::new();
-    grads.insert(output.id(), Tensor::ones(output.shape()));
+    // Reuse the topo-order / visited-set / gradient-map storage across
+    // calls: the MAML inner loop calls `grad` thousands of times on graphs
+    // of similar size, so the hash tables and vectors stay warm. A
+    // reentrant call (none exists today) would simply start from fresh
+    // default scratch.
+    let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    topological_order_into(output, &mut scratch);
+    scratch
+        .grads
+        .insert(output.id(), Tensor::ones(output.shape()));
 
     {
         let _guard = GradModeGuard::set(create_graph);
-        for t in order.iter().rev() {
-            let Some(g) = grads.get(&t.id()).cloned() else {
+        for t in scratch.order.iter().rev() {
+            let Some(g) = scratch.grads.get(&t.id()).cloned() else {
                 continue;
             };
             let Some(node) = t.node() else {
@@ -104,61 +112,96 @@ pub fn grad(output: &Tensor, inputs: &[Tensor], create_graph: bool) -> Vec<Tenso
                     pg.shape(),
                     parent.shape()
                 );
-                match grads.remove(&parent.id()) {
-                    Some(existing) => {
-                        grads.insert(parent.id(), existing.add(&pg));
+                match scratch.grads.entry(parent.id()) {
+                    Entry::Occupied(mut slot) => {
+                        // First-order fast path: add into the existing
+                        // buffer instead of allocating a new tensor per
+                        // accumulation edge. Only safe when the slot is the
+                        // gradient's sole owner and it carries no graph
+                        // node — pass-through backwards (`add_scalar`,
+                        // same-shape `sum_to`) alias the child's gradient,
+                        // which keeps a second handle alive and routes
+                        // those through the functional path.
+                        let existing = slot.get();
+                        if !create_graph && existing.is_exclusive_constant() {
+                            existing.accumulate(&pg);
+                        } else {
+                            let sum = existing.add(&pg);
+                            slot.insert(sum);
+                        }
                     }
-                    None => {
-                        grads.insert(parent.id(), pg);
+                    Entry::Vacant(slot) => {
+                        slot.insert(pg);
                     }
                 }
             }
         }
     }
 
-    inputs
+    let result = inputs
         .iter()
         .map(|input| {
-            grads
+            scratch
+                .grads
                 .get(&input.id())
                 .cloned()
                 .unwrap_or_else(|| Tensor::zeros(input.shape()))
         })
-        .collect()
+        .collect();
+
+    // Clear before returning the scratch so held tensors (and their graph
+    // subtrees) drop now, not at the start of the next backward pass.
+    scratch.order.clear();
+    scratch.visited.clear();
+    scratch.grads.clear();
+    SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    result
 }
 
-/// Topological order (parents before children) of the differentiable
-/// subgraph reachable from `root`.
-fn topological_order(root: &Tensor) -> Vec<Tensor> {
-    let mut order = Vec::new();
-    let mut visited: HashSet<u64> = HashSet::new();
+enum Visit {
+    Enter(Tensor),
+    Exit(Tensor),
+}
+
+/// Reusable backward-pass storage; keyed by tensor id with the in-workspace
+/// multiply-mix hasher (ids are trusted sequential integers).
+#[derive(Default)]
+struct Scratch {
+    order: Vec<Tensor>,
+    visited: IdHashSet<u64>,
+    stack: Vec<Visit>,
+    grads: IdHashMap<u64, Tensor>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Appends the topological order (parents before children) of the
+/// differentiable subgraph reachable from `root` to `scratch.order`.
+fn topological_order_into(root: &Tensor, scratch: &mut Scratch) {
     // Iterative DFS with explicit post-order marking to avoid recursion
     // limits on long chains (e.g. many unrolled inner-loop steps).
-    enum Visit {
-        Enter(Tensor),
-        Exit(Tensor),
-    }
-    let mut stack = vec![Visit::Enter(root.clone())];
-    while let Some(visit) = stack.pop() {
+    scratch.stack.push(Visit::Enter(root.clone()));
+    while let Some(visit) = scratch.stack.pop() {
         match visit {
             Visit::Enter(t) => {
-                if visited.contains(&t.id()) || !t.requires_grad() {
+                if scratch.visited.contains(&t.id()) || !t.requires_grad() {
                     continue;
                 }
-                visited.insert(t.id());
-                stack.push(Visit::Exit(t.clone()));
+                scratch.visited.insert(t.id());
+                scratch.stack.push(Visit::Exit(t.clone()));
                 if let Some(node) = t.node() {
                     for parent in &node.parents {
-                        if !visited.contains(&parent.id()) && parent.requires_grad() {
-                            stack.push(Visit::Enter(parent.clone()));
+                        if !scratch.visited.contains(&parent.id()) && parent.requires_grad() {
+                            scratch.stack.push(Visit::Enter(parent.clone()));
                         }
                     }
                 }
             }
-            Visit::Exit(t) => order.push(t),
+            Visit::Exit(t) => scratch.order.push(t),
         }
     }
-    order
 }
 
 #[cfg(test)]

@@ -1,0 +1,93 @@
+//! Minimal fast hashing for tensor-id keyed maps.
+//!
+//! The autograd tape keys its gradient map and visited set by the tensor id,
+//! a monotonically increasing `u64`. The std `SipHasher` is DoS-resistant but
+//! costs ~1.5ns per lookup key; the tape does several lookups per node per
+//! backward pass, all with trusted in-process keys. `IdHasher` replaces it
+//! with a single multiply by a 64-bit odd constant (the golden-ratio mixing
+//! constant), which distributes sequential ids uniformly across buckets.
+//!
+//! In-workspace by design: the offline-build policy (see `metadse-rng`)
+//! forbids pulling an external `fxhash`/`ahash` style crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher for integer keys produced inside the process.
+///
+/// Not DoS-resistant — only use for maps keyed by trusted internal ids.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+/// 64-bit golden-ratio constant; odd, so multiplication is a bijection
+/// modulo 2^64 and sequential keys land in distinct buckets.
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys: FNV-1a folded through the mixer.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = (self.0 ^ h).wrapping_mul(MIX);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(MIX);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `HashMap` keyed by an internal integer id.
+pub type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
+/// `HashSet` of internal integer ids.
+pub type IdHashSet<K> = HashSet<K, BuildHasherDefault<IdHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ids_do_not_collide_in_small_maps() {
+        let mut map: IdHashMap<u64, u64> = IdHashMap::default();
+        for id in 0..10_000u64 {
+            map.insert(id, id * 2);
+        }
+        assert_eq!(map.len(), 10_000);
+        for id in 0..10_000u64 {
+            assert_eq!(map.get(&id), Some(&(id * 2)));
+        }
+    }
+
+    #[test]
+    fn set_membership_matches_std() {
+        let mut set: IdHashSet<u64> = IdHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert!(set.contains(&7));
+        assert!(!set.contains(&8));
+    }
+
+    #[test]
+    fn byte_fallback_distinguishes_strings() {
+        fn h(s: &str) -> u64 {
+            let mut hasher = IdHasher::default();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        }
+        assert_ne!(h("pool_hits"), h("pool_miss"));
+    }
+}

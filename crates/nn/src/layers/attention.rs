@@ -122,7 +122,7 @@ impl MultiHeadAttention {
         let v = split(self.wv.forward(x));
 
         let scale = 1.0 / (dk as Elem).sqrt();
-        let mut logits = q.matmul(&k.transpose_last2()).mul_scalar(scale);
+        let mut logits = q.matmul_nt(&k).mul_scalar(scale);
         if let Some(mask) = self.mask.borrow().as_ref() {
             let m = mask.get();
             assert_eq!(
@@ -133,7 +133,7 @@ impl MultiHeadAttention {
             // [s, s] broadcasts over [b, h, s, s].
             logits = logits.add(&m);
         }
-        let probs = logits.softmax(3);
+        let probs = logits.softmax_fused(3);
         if self.record_attention.get() {
             *self.last_attention.borrow_mut() = Some(probs.detach());
         }

@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use super::{Linear, Module, Param};
-use crate::Tensor;
+use crate::{Activation, Tensor};
 
 /// Two-layer MLP with GELU, applied position-wise (the transformer FFN).
 #[derive(Debug, Clone)]
@@ -28,7 +28,8 @@ impl FeedForward {
 
     /// Applies the block over the trailing feature axis.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        self.project.forward(&self.lift.forward(x).gelu())
+        self.project
+            .forward(&self.lift.forward_act(x, Activation::Gelu))
     }
 }
 

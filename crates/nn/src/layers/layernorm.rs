@@ -62,11 +62,7 @@ impl LayerNorm {
             self.dim,
             x.shape()
         );
-        let axis = x.ndim() - 1;
-        let mean = x.mean_axis(axis, true);
-        let var = x.var_axis(axis, true);
-        let normalized = x.sub(&mean).div(&var.add_scalar(self.eps).sqrt());
-        normalized.mul(&self.gamma.get()).add(&self.beta.get())
+        x.layernorm_affine(&self.gamma.get(), &self.beta.get(), self.eps)
     }
 }
 

@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use super::{Module, Param};
-use crate::{init, Tensor};
+use crate::{init, Activation, Tensor};
 
 /// Affine transformation `y = x W + b` applied over the last axis.
 ///
@@ -72,6 +72,18 @@ impl Linear {
     ///
     /// Panics if the last axis of `x` is not `in_dim`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_act(x, Activation::Identity)
+    }
+
+    /// Applies the layer followed by an elementwise activation, fusing the
+    /// bias add and the nonlinearity into a single graph node when the fused
+    /// kernels are enabled. Activating before the trailing reshape is
+    /// elementwise, so values match the `forward(...).act()` composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last axis of `x` is not `in_dim`.
+    pub fn forward_act(&self, x: &Tensor, act: Activation) -> Tensor {
         assert_eq!(
             x.shape().last().copied(),
             Some(self.in_dim),
@@ -82,10 +94,12 @@ impl Linear {
         // Collapse leading dims so a rank-N input works with a 2-D weight.
         let lead: Vec<usize> = x.shape()[..x.ndim() - 1].to_vec();
         let flat = x.reshape(&[lead.iter().product::<usize>(), self.in_dim]);
-        let mut y = flat.matmul(&self.weight.get());
-        if let Some(bias) = &self.bias {
-            y = y.add(&bias.get());
-        }
+        let y = match &self.bias {
+            Some(bias) => flat
+                .matmul(&self.weight.get())
+                .bias_add_activation(&bias.get(), act),
+            None => act.apply(&flat.matmul(&self.weight.get())),
+        };
         let mut out_shape = lead;
         out_shape.push(self.out_dim);
         y.reshape(&out_shape)

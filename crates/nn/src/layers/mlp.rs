@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use super::{Linear, Module, Param};
-use crate::Tensor;
+use crate::{Activation, Tensor};
 
 /// A stack of [`Linear`] layers with GELU between them (none after the
 /// last), used e.g. as the regression head of the MetaDSE predictor.
@@ -40,10 +40,11 @@ impl Mlp {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(&h);
-            if i + 1 < self.layers.len() {
-                h = h.gelu();
-            }
+            h = if i + 1 < self.layers.len() {
+                layer.forward_act(&h, Activation::Gelu)
+            } else {
+                layer.forward(&h)
+            };
         }
         h
     }

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod autograd;
+pub mod fasthash;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;
@@ -48,6 +49,7 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
+pub use tensor::fused::Activation;
 pub use tensor::Tensor;
 
 /// Scalar element type used throughout the crate.

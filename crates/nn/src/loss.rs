@@ -18,8 +18,7 @@ use crate::{Elem, Tensor};
 /// assert_eq!(loss::mse(&pred, &target).value(), 2.5);
 /// ```
 pub fn mse(pred: &Tensor, target: &Tensor) -> Tensor {
-    let diff = pred.sub(target);
-    diff.mul(&diff).mean_all()
+    pred.sq_err_mean(target)
 }
 
 /// Mean-absolute-error loss (scalar).

@@ -1,0 +1,614 @@
+//! Fused graph nodes for the transformer hot path.
+//!
+//! Each kernel here replaces a chain of primitive nodes (softmax is five,
+//! layernorm is ten, gelu is eight) with a *single* graph node whose forward
+//! is one or two tight loops over pooled buffers. The hand-written backward
+//! is expressed with ordinary tensor operations, so `create_graph = true`
+//! still yields differentiable gradients — double-backward (full
+//! second-order MAML) keeps working through every fused kernel.
+//!
+//! Bit-identity contract: with fusion enabled, forward values **and**
+//! gradient values are bit-for-bit identical to the unfused composite that
+//! runs when fusion is disabled (`METADSE_FUSED=0` or [`FusedModeGuard`]).
+//! That holds because
+//!
+//! 1. the fused forward loops replicate the composite's per-element
+//!    floating-point expression trees in the same order (Rust never
+//!    contracts `a * b + c` into an FMA, so `h * gamma + beta` in a loop is
+//!    the same two rounding steps as separate `mul`/`add` nodes), and
+//! 2. the fused backward emits exactly the tensor-op sequence the autograd
+//!    engine would have produced for the composite, including the left-
+//!    associated accumulation order of reused parents; when gradients are
+//!    *not* being recorded (`create_graph = false`, the first-order MAML
+//!    hot path), an equivalent raw loop computes the same per-element
+//!    expression trees without materialising the intermediate tensors.
+//!
+//! The cross-build determinism digest and the fused-vs-composite equality
+//! tests in `crates/nn/tests/fused.rs` enforce this contract.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use super::ops::{axis_blocks, is_suffix_shape, pow_elem};
+use super::pool;
+use crate::autograd;
+use crate::tensor::{BackwardFn, Tensor};
+use crate::Elem;
+use metadse_obs as obs;
+
+thread_local! {
+    static FUSED: Cell<bool> =
+        Cell::new(std::env::var("METADSE_FUSED").map_or(true, |v| v != "0"));
+}
+
+/// Whether fused kernels are active on this thread (default yes; set
+/// `METADSE_FUSED=0` to fall back to the primitive compositions).
+pub fn is_enabled() -> bool {
+    FUSED.with(|c| c.get())
+}
+
+/// RAII toggle for kernel fusion on the current thread; restores the
+/// previous mode on drop. Used by the equality tests that assert fused and
+/// composite paths agree bit-for-bit.
+pub struct FusedModeGuard {
+    prev: bool,
+}
+
+impl FusedModeGuard {
+    pub fn set(enabled: bool) -> Self {
+        let prev = FUSED.with(|c| c.replace(enabled));
+        FusedModeGuard { prev }
+    }
+}
+
+impl Drop for FusedModeGuard {
+    fn drop(&mut self) {
+        FUSED.with(|c| c.set(self.prev));
+    }
+}
+
+/// Activation applied by [`Tensor::bias_add_activation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Identity,
+    Relu,
+    Sigmoid,
+    Gelu,
+}
+
+impl Activation {
+    /// Applies the activation as (composed) primitive tensor ops.
+    pub fn apply(self, t: &Tensor) -> Tensor {
+        match self {
+            Activation::Identity => t.clone(),
+            Activation::Relu => t.relu(),
+            Activation::Sigmoid => t.sigmoid(),
+            Activation::Gelu => t.gelu(),
+        }
+    }
+
+    /// Scalar forward, replicating the corresponding tensor op's
+    /// per-element expression tree exactly.
+    #[inline]
+    fn eval(self, s: Elem) -> Elem {
+        match self {
+            Activation::Identity => s,
+            Activation::Relu => {
+                if s > 0.0 {
+                    s
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                // Same stable two-branch form as `Tensor::sigmoid`.
+                if s >= 0.0 {
+                    1.0 / (1.0 + (-s).exp())
+                } else {
+                    let e = s.exp();
+                    e / (1.0 + e)
+                }
+            }
+            Activation::Gelu => {
+                // Mirrors `Tensor::gelu` op by op (the cube through the
+                // same `pow_elem` form the `powf` op uses).
+                let c = (2.0 / std::f64::consts::PI).sqrt();
+                let p = pow_elem(s, 3.0);
+                let pm = p * 0.044715;
+                let i1 = s + pm;
+                let i2 = i1 * c;
+                let t = i2.tanh();
+                let t1 = t + 1.0;
+                let m = s * t1;
+                m * 0.5
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Numerically stable softmax along `axis` as a single graph node.
+    ///
+    /// Values and gradients are bit-identical to [`Tensor::softmax`], which
+    /// is used as the fallback when fusion is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn softmax_fused(&self, axis: usize) -> Tensor {
+        if !is_enabled() {
+            return self.softmax(axis);
+        }
+        obs::counter("nn/fused_calls", 1);
+        let shape = self.shape().to_vec();
+        let (outer, dim, inner) = axis_blocks(&shape, axis);
+        let lanes = outer * inner;
+        let n = self.numel();
+        let src = self.data();
+        let mut maxv = pool::take_filled(lanes, Elem::NEG_INFINITY);
+        for o in 0..outer {
+            for d in 0..dim {
+                for i in 0..inner {
+                    let v = src[(o * dim + d) * inner + i];
+                    let slot = &mut maxv[o * inner + i];
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        let mut out = pool::take_zeroed(n);
+        // The backward needs the raw exponentials and lane denominators;
+        // keeping the forward's values (instead of recomputing them from
+        // `x`) changes no bits and skips a libm `exp` per element.
+        let mut exp_cache: Vec<Elem> = Vec::with_capacity(n);
+        let mut denom: Vec<Elem> = vec![0.0; lanes];
+        for o in 0..outer {
+            for d in 0..dim {
+                for i in 0..inner {
+                    let idx = (o * dim + d) * inner + i;
+                    let lane = o * inner + i;
+                    let e = (src[idx] - maxv[lane]).exp();
+                    out[idx] = e;
+                    denom[lane] += e;
+                }
+            }
+        }
+        exp_cache.extend_from_slice(&out);
+        for o in 0..outer {
+            for d in 0..dim {
+                for i in 0..inner {
+                    out[(o * dim + d) * inner + i] /= denom[o * inner + i];
+                }
+            }
+        }
+        drop(src);
+        pool::recycle(maxv);
+
+        let keep = {
+            let mut k = shape.clone();
+            k[axis] = 1;
+            k
+        };
+        let backward: BackwardFn = Rc::new(move |g, ps, _out| {
+            let x = &ps[0];
+            if autograd::is_grad_enabled() {
+                // Differentiable path: re-emit the composite's backward op
+                // sequence (the shift constant is detached, exactly as in
+                // the composite, because softmax is shift-invariant).
+                let ev = x.sub(&x.max_axis_detached(axis)).exp();
+                let dv = ev.sum_to(&keep);
+                let ge1 = g.div(&dv);
+                let gd = g.mul(&ev).neg().div(&dv.mul(&dv)).sum_to(&keep);
+                let gx = ge1.add(&gd.broadcast_to(x.shape())).mul(&ev);
+                return vec![Some(gx)];
+            }
+            // First-order fast path: same per-element expression trees as
+            // the composite, reusing the forward's exponentials and lane
+            // denominators instead of recomputing them.
+            let (outer, dim, inner) = axis_blocks(x.shape(), axis);
+            let lanes = outer * inner;
+            let sg = g.data();
+            let n = exp_cache.len();
+            let (ev, dv) = (&exp_cache, &denom);
+            let mut gd = pool::take_zeroed(lanes);
+            for o in 0..outer {
+                for d in 0..dim {
+                    for i in 0..inner {
+                        let idx = (o * dim + d) * inner + i;
+                        let lane = o * inner + i;
+                        let t = sg[idx] * ev[idx];
+                        gd[lane] += -t / (dv[lane] * dv[lane]);
+                    }
+                }
+            }
+            let mut gx = pool::take_zeroed(n);
+            for o in 0..outer {
+                for d in 0..dim {
+                    for i in 0..inner {
+                        let idx = (o * dim + d) * inner + i;
+                        let lane = o * inner + i;
+                        gx[idx] = (sg[idx] / dv[lane] + gd[lane]) * ev[idx];
+                    }
+                }
+            }
+            drop(sg);
+            pool::recycle(gd);
+            vec![Some(Tensor::from_vec(gx, x.shape()))]
+        });
+        Tensor::from_op(out, shape, vec![self.clone()], backward)
+    }
+
+    /// Layer normalisation over the trailing axis with an affine transform,
+    /// `gamma * (x - mean) / sqrt(var + eps) + beta`, as one graph node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma`/`beta` do not have shape `[last_dim]`.
+    pub fn layernorm_affine(&self, gamma: &Tensor, beta: &Tensor, eps: Elem) -> Tensor {
+        let dim = *self
+            .shape()
+            .last()
+            .expect("layernorm_affine requires at least one axis");
+        assert_eq!(gamma.shape(), [dim], "gamma must have shape [{dim}]");
+        assert_eq!(beta.shape(), [dim], "beta must have shape [{dim}]");
+        let inv = 1.0 / dim as Elem;
+        if !is_enabled() {
+            return layernorm_affine_composite(self, gamma, beta, eps, inv);
+        }
+        obs::counter("nn/fused_calls", 1);
+        let n = self.numel();
+        let rows = n / dim;
+        let src = self.data();
+        let gm = gamma.data();
+        let bt = beta.data();
+        let mut out = pool::take_zeroed(n);
+        for r in 0..rows {
+            let base = r * dim;
+            let mut s = 0.0;
+            for j in 0..dim {
+                s += src[base + j];
+            }
+            let mean = s * inv;
+            let mut s2 = 0.0;
+            for j in 0..dim {
+                let c = src[base + j] - mean;
+                out[base + j] = c;
+                s2 += c * c;
+            }
+            let sd = (s2 * inv + eps).sqrt();
+            for j in 0..dim {
+                let h = out[base + j] / sd;
+                out[base + j] = h * gm[j] + bt[j];
+            }
+        }
+        drop(src);
+        drop(gm);
+        drop(bt);
+
+        let keep = {
+            let mut k = self.shape().to_vec();
+            *k.last_mut().unwrap() = 1;
+            k
+        };
+        let backward: BackwardFn = Rc::new(move |g, ps, _out| {
+            let (x, gamma, beta) = (&ps[0], &ps[1], &ps[2]);
+            if autograd::is_grad_enabled() {
+                // Re-emit the composite decomposition and its exact
+                // gradient sequence (including the two separately computed
+                // `gq * c` terms from the reused `c` parent of `c * c`).
+                let s1 = x.sum_to(&keep);
+                let mean = s1.mul_scalar(inv);
+                let c = x.sub(&mean);
+                let q = c.mul(&c);
+                let v = q.sum_to(&keep).mul_scalar(inv);
+                let sd = v.add_scalar(eps).sqrt();
+                let h = c.div(&sd);
+                let gbeta = g.sum_to(beta.shape());
+                let gh = g.mul(gamma);
+                let ggamma = g.mul(&h).sum_to(gamma.shape());
+                let gc1 = gh.div(&sd);
+                let gsd = gh.mul(&c).neg().div(&sd.mul(&sd)).sum_to(&keep);
+                let ga = gsd.mul_scalar(0.5).div(&sd);
+                let gs2 = ga.mul_scalar(inv);
+                let gq = gs2.broadcast_to(x.shape());
+                let gc = gc1.add(&gq.mul(&c)).add(&gq.mul(&c));
+                let gmean = gc.neg().sum_to(&keep);
+                let gs1 = gmean.mul_scalar(inv);
+                let gx = gc.add(&gs1.broadcast_to(x.shape()));
+                return vec![Some(gx), Some(ggamma), Some(gbeta)];
+            }
+            let dim = *x.shape().last().unwrap();
+            let sx = x.data();
+            let sgm = gamma.data();
+            let sg = g.data();
+            let n = sx.len();
+            let rows = n / dim;
+            let mut ggamma = pool::take_zeroed(dim);
+            let mut gbeta = pool::take_zeroed(dim);
+            let mut gx = pool::take_zeroed(n);
+            let mut cbuf = pool::take_zeroed(dim);
+            let mut ghbuf = pool::take_zeroed(dim);
+            for r in 0..rows {
+                let base = r * dim;
+                let mut s = 0.0;
+                for j in 0..dim {
+                    s += sx[base + j];
+                }
+                let mean = s * inv;
+                let mut s2 = 0.0;
+                for j in 0..dim {
+                    let c = sx[base + j] - mean;
+                    cbuf[j] = c;
+                    s2 += c * c;
+                }
+                let sd = (s2 * inv + eps).sqrt();
+                for j in 0..dim {
+                    let gj = sg[base + j];
+                    let h = cbuf[j] / sd;
+                    ggamma[j] += gj * h;
+                    gbeta[j] += gj;
+                    ghbuf[j] = gj * sgm[j];
+                }
+                let sd2 = sd * sd;
+                let mut gsd = 0.0;
+                for j in 0..dim {
+                    gsd += -(ghbuf[j] * cbuf[j]) / sd2;
+                }
+                let ga = gsd * 0.5 / sd;
+                let gs2 = ga * inv;
+                let mut gmean = 0.0;
+                for j in 0..dim {
+                    let t = gs2 * cbuf[j];
+                    let gc = ghbuf[j] / sd + t + t;
+                    gx[base + j] = gc;
+                    gmean += -gc;
+                }
+                let gs1 = gmean * inv;
+                for j in 0..dim {
+                    gx[base + j] += gs1;
+                }
+            }
+            drop(sx);
+            drop(sgm);
+            drop(sg);
+            pool::recycle(cbuf);
+            pool::recycle(ghbuf);
+            vec![
+                Some(Tensor::from_vec(gx, x.shape())),
+                Some(Tensor::from_vec(ggamma, &[dim])),
+                Some(Tensor::from_vec(gbeta, &[dim])),
+            ]
+        });
+        Tensor::from_op(
+            out,
+            self.shape().to_vec(),
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            backward,
+        )
+    }
+
+    /// `activation(self + bias)` as a single graph node, for the common
+    /// case where `bias` is a trailing-suffix shape of `self` (the linear
+    /// layer bias pattern). Falls back to the primitive composition when
+    /// fusion is off, the shapes don't fit the pattern, or the activation
+    /// is [`Activation::Identity`] (a plain `add` is already one node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible (from the
+    /// fallback `add`).
+    pub fn bias_add_activation(&self, bias: &Tensor, act: Activation) -> Tensor {
+        let fusable = is_enabled()
+            && !matches!(act, Activation::Identity)
+            && bias.numel() > 0
+            && is_suffix_shape(bias.shape(), self.shape());
+        if !fusable {
+            return act.apply(&self.add(bias));
+        }
+        obs::counter("nn/fused_calls", 1);
+        let sx = self.data();
+        let sb = bias.data();
+        let nb = sb.len();
+        let mut out = pool::take(sx.len());
+        // GELU keeps its per-element tanh for the backward (the composite's
+        // tanh node does the same through its stored output, so reusing it
+        // here changes no bits — it just skips the libm recompute).
+        let mut tanh_cache: Vec<Elem> = Vec::new();
+        if matches!(act, Activation::Gelu) {
+            tanh_cache.reserve_exact(sx.len());
+            let c = (2.0 / std::f64::consts::PI).sqrt();
+            out.extend(sx.iter().enumerate().map(|(i, &x)| {
+                let s = x + sb[i % nb];
+                let p = pow_elem(s, 3.0);
+                let pm = p * 0.044715;
+                let i1 = s + pm;
+                let i2 = i1 * c;
+                let t = i2.tanh();
+                tanh_cache.push(t);
+                let t1 = t + 1.0;
+                let m = s * t1;
+                m * 0.5
+            }));
+        } else {
+            out.extend(
+                sx.iter()
+                    .enumerate()
+                    .map(|(i, &x)| act.eval(x + sb[i % nb])),
+            );
+        }
+        drop(sx);
+        drop(sb);
+
+        let bshape = bias.shape().to_vec();
+        let backward: BackwardFn = Rc::new(move |g, ps, out| {
+            if autograd::is_grad_enabled() {
+                let gsum = match act {
+                    Activation::Identity => unreachable!("identity is never fused"),
+                    // `out > 0` iff the pre-activation is > 0, so the mask
+                    // matches `relu`'s backward on the composite sum.
+                    Activation::Relu => g.mul(&out.step_mask()),
+                    Activation::Sigmoid => {
+                        let d = out.mul(&out.neg().add_scalar(1.0));
+                        g.mul(&d)
+                    }
+                    Activation::Gelu => {
+                        let c = (2.0 / std::f64::consts::PI).sqrt();
+                        let sv = ps[0].add(&ps[1]);
+                        let tv = sv
+                            .add(&sv.powf(3.0).mul_scalar(0.044715))
+                            .mul_scalar(c)
+                            .tanh();
+                        let gm = g.mul_scalar(0.5);
+                        let gs1 = gm.mul(&tv.add_scalar(1.0));
+                        let gi2 = gm.mul(&sv).mul(&tv.mul(&tv).neg().add_scalar(1.0));
+                        let gi1 = gi2.mul_scalar(c);
+                        let gs3 = gi1.mul_scalar(0.044715).mul(&sv.powf(2.0).mul_scalar(3.0));
+                        gs1.add(&gi1).add(&gs3)
+                    }
+                };
+                let gb = gsum.sum_to(&bshape);
+                return vec![Some(gsum), Some(gb)];
+            }
+            let sg = g.data();
+            let so = out.data();
+            let n = sg.len();
+            let mut gsum = pool::take(n);
+            match act {
+                Activation::Identity => unreachable!("identity is never fused"),
+                Activation::Relu => {
+                    gsum.extend(sg.iter().zip(so.iter()).map(|(&gv, &ov)| {
+                        let mask = if ov > 0.0 { 1.0 } else { 0.0 };
+                        gv * mask
+                    }));
+                }
+                Activation::Sigmoid => {
+                    gsum.extend(sg.iter().zip(so.iter()).map(|(&gv, &ov)| {
+                        let d = ov * (-ov + 1.0);
+                        gv * d
+                    }));
+                }
+                Activation::Gelu => {
+                    let sx = ps[0].data();
+                    let sb = ps[1].data();
+                    let nb = sb.len();
+                    let c = (2.0 / std::f64::consts::PI).sqrt();
+                    gsum.extend(sg.iter().enumerate().map(|(i, &gv)| {
+                        let s = sx[i] + sb[i % nb];
+                        let t = tanh_cache[i];
+                        let gm = gv * 0.5;
+                        let gs1 = gm * (t + 1.0);
+                        let gi2 = (gm * s) * (-(t * t) + 1.0);
+                        let gi1 = gi2 * c;
+                        let gs3 = (gi1 * 0.044715) * (pow_elem(s, 2.0) * 3.0);
+                        gs1 + gi1 + gs3
+                    }));
+                }
+            }
+            drop(sg);
+            drop(so);
+            let nb = ps[1].numel();
+            let mut gb = pool::take_zeroed(nb);
+            for (i, &v) in gsum.iter().enumerate() {
+                gb[i % nb] += v;
+            }
+            vec![
+                Some(Tensor::from_vec(gsum, ps[0].shape())),
+                Some(Tensor::from_vec(gb, ps[1].shape())),
+            ]
+        });
+        Tensor::from_op(
+            out,
+            self.shape().to_vec(),
+            vec![self.clone(), bias.clone()],
+            backward,
+        )
+    }
+
+    /// Mean squared error `mean((self - target)^2)` as one graph node
+    /// (scalar output). Falls back to the primitive composition when fusion
+    /// is off or the shapes differ (broadcasting case).
+    pub fn sq_err_mean(&self, target: &Tensor) -> Tensor {
+        if !is_enabled() || self.shape() != target.shape() {
+            let diff = self.sub(target);
+            return diff.mul(&diff).mean_all();
+        }
+        obs::counter("nn/fused_calls", 1);
+        let inv = 1.0 / self.numel() as Elem;
+        let sp = self.data();
+        let st = target.data();
+        let mut acc = 0.0;
+        for (&p, &t) in sp.iter().zip(st.iter()) {
+            let d = p - t;
+            acc += d * d;
+        }
+        drop(sp);
+        drop(st);
+
+        let backward: BackwardFn = Rc::new(move |g, ps, _out| {
+            let (pred, target) = (&ps[0], &ps[1]);
+            if autograd::is_grad_enabled() {
+                let diffv = pred.sub(target);
+                let gsq = g.mul_scalar(inv).broadcast_to(pred.shape());
+                // Two separately computed equal terms: `sq = diff * diff`
+                // feeds `diff` twice, so the engine adds `gsq * diff` to
+                // itself rather than scaling by two.
+                let gdiff = gsq.mul(&diffv).add(&gsq.mul(&diffv));
+                let gt = gdiff.neg();
+                return vec![Some(gdiff), Some(gt)];
+            }
+            let sp = pred.data();
+            let st = target.data();
+            let gq = g.data()[0] * inv;
+            let n = sp.len();
+            let mut gpred = pool::take(n);
+            let mut gtarget = pool::take(n);
+            for (&p, &t) in sp.iter().zip(st.iter()) {
+                let d = p - t;
+                let term = gq * d;
+                let gd = term + term;
+                gpred.push(gd);
+                gtarget.push(-gd);
+            }
+            drop(sp);
+            drop(st);
+            vec![
+                Some(Tensor::from_vec(gpred, pred.shape())),
+                Some(Tensor::from_vec(gtarget, target.shape())),
+            ]
+        });
+        Tensor::from_op(
+            vec![acc * inv],
+            Vec::new(),
+            vec![self.clone(), target.clone()],
+            backward,
+        )
+    }
+}
+
+/// The unfused layernorm decomposition: shares one `mean`/`centered`
+/// subgraph between the variance and the normaliser, so the fused backward
+/// can mirror its gradient op sequence exactly. Forward values match the
+/// textbook `mean_axis`/`var_axis` formulation bit-for-bit.
+fn layernorm_affine_composite(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: Elem,
+    inv: Elem,
+) -> Tensor {
+    let mut keep = x.shape().to_vec();
+    *keep.last_mut().unwrap() = 1;
+    // Pass-through barrier: `x` is read by both the mean and the centering,
+    // which would hand its gradient slot two separate contributions. The
+    // fused node hands it exactly one (`gc + broadcast(gs1)`), and when `x`
+    // has other consumers (a residual connection) the accumulation
+    // association would differ by an ulp. Funnelling both reads through a
+    // same-shape reshape makes the composite contribute once too.
+    let x = &x.reshape(x.shape());
+    let mean = x.sum_to(&keep).mul_scalar(inv);
+    let centered = x.sub(&mean);
+    let var = centered.mul(&centered).sum_to(&keep).mul_scalar(inv);
+    let sd = var.add_scalar(eps).sqrt();
+    centered.div(&sd).mul(gamma).add(beta)
+}

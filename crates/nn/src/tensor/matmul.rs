@@ -15,12 +15,14 @@
 //! into the accumulation. Only double-backward (second-order MAML) falls
 //! back to the tensor-op composition.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use metadse_obs as obs;
 
 use crate::autograd;
+use crate::fasthash::IdHashMap;
+use crate::tensor::fused;
+use crate::tensor::pool;
 use crate::tensor::shape::{broadcast_shapes, broadcast_strides, numel, OffsetWalker};
 use crate::tensor::{BackwardFn, Tensor};
 use crate::Elem;
@@ -129,11 +131,11 @@ fn matmul_forward(
     n: usize,
 ) -> Vec<Elem> {
     let batch_count = offsets_a.len();
-    let mut out = vec![0.0 as Elem; batch_count * m * n];
+    let mut out = pool::take_zeroed(batch_count * m * n);
     // Distinct B blocks packed transposed, keyed by their buffer offset. A
     // broadcast weight has one distinct offset: packed once, reused.
-    let mut packed: Vec<Elem> = Vec::new();
-    let mut slots: HashMap<usize, usize> = HashMap::new();
+    let mut packed: Vec<Elem> = pool::take(k * n);
+    let mut slots: IdHashMap<usize, usize> = IdHashMap::default();
     // Path counts accumulate locally and flush as three counter bumps per
     // call, so instrumentation cost stays off the per-batch inner loop.
     let (mut sparse_batches, mut dense_batches, mut packs) = (0u64, 0u64, 0u64);
@@ -160,6 +162,7 @@ fn matmul_forward(
     obs::counter("nn/matmul_sparse_batches", sparse_batches);
     obs::counter("nn/matmul_dense_batches", dense_batches);
     obs::counter("nn/matmul_packs", packs);
+    pool::recycle(packed);
     out
 }
 
@@ -184,8 +187,8 @@ fn matmul_backward_raw(
     want_ga: bool,
     want_gb: bool,
 ) -> (Option<Vec<Elem>>, Option<Vec<Elem>>) {
-    let mut ga = want_ga.then(|| vec![0.0 as Elem; da.len()]);
-    let mut gb = want_gb.then(|| vec![0.0 as Elem; db.len()]);
+    let mut ga = want_ga.then(|| pool::take_zeroed(da.len()));
+    let mut gb = want_gb.then(|| pool::take_zeroed(db.len()));
     for bi in 0..offsets_a.len() {
         let a_base = offsets_a[bi];
         let b_base = offsets_b[bi];
@@ -214,6 +217,118 @@ fn matmul_backward_raw(
                     let gb_row = &mut gb[b_base + kk * n..b_base + (kk + 1) * n];
                     for (o, &gv) in gb_row.iter_mut().zip(g_row) {
                         *o += a_ik * gv;
+                    }
+                }
+            }
+        }
+    }
+    (ga, gb)
+}
+
+/// Forward kernel for `A · Bᵀ` over equal batch layouts: both operands
+/// store the contraction axis contiguously, so every output element is one
+/// dot product of two rows — no packing, no transpose.
+///
+/// Per-batch path choice mirrors [`matmul_forward`]: an A block at or above
+/// [`SPARSE_ZERO_FRACTION`] zeros takes the zero-skipping dot. Either way
+/// each output element sums its `a[i, kk] * b[j, kk]` terms in ascending
+/// `kk` order — the same per-element sequence the packed dense kernel and
+/// the sparse axpy kernel produce — so the bits match the composite
+/// `a.matmul(&b.transpose_last2())` exactly.
+fn matmul_nt_forward(
+    da: &[Elem],
+    db: &[Elem],
+    batch_count: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<Elem> {
+    let mut out = pool::take_zeroed(batch_count * m * n);
+    let (mut sparse_batches, mut dense_batches) = (0u64, 0u64);
+    for bi in 0..batch_count {
+        let a_block = &da[bi * m * k..(bi + 1) * m * k];
+        let b_block = &db[bi * n * k..(bi + 1) * n * k];
+        let out_block = &mut out[bi * m * n..(bi + 1) * m * n];
+        let zeros = a_block.iter().filter(|v| **v == 0.0).count();
+        let sparse = (zeros as f64) >= SPARSE_ZERO_FRACTION * (m * k) as f64;
+        if sparse {
+            sparse_batches += 1;
+        } else {
+            dense_batches += 1;
+        }
+        for i in 0..m {
+            let a_row = &a_block[i * k..(i + 1) * k];
+            let o_row = &mut out_block[i * n..(i + 1) * n];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &b_block[j * k..(j + 1) * k];
+                let mut s = 0.0;
+                if sparse {
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        s += av * bv;
+                    }
+                } else {
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        s += av * bv;
+                    }
+                }
+                *o = s;
+            }
+        }
+    }
+    obs::counter("nn/matmul_sparse_batches", sparse_batches);
+    obs::counter("nn/matmul_dense_batches", dense_batches);
+    out
+}
+
+/// Raw first-order gradients for `A · Bᵀ`. Mirrors the composite chain's
+/// bits: `dL/dA` is the plain dot accumulation of [`matmul_backward_raw`]
+/// (products `g[i, j] * b[j, kk]` in ascending `j`), `dL/dB` the axpy form
+/// with the same zero-skip on A, summed over `i` in ascending order — the
+/// order the transpose node would have forwarded unchanged.
+#[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
+fn matmul_nt_backward_raw(
+    dg: &[Elem],
+    da: &[Elem],
+    db: &[Elem],
+    batch_count: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    want_ga: bool,
+    want_gb: bool,
+) -> (Option<Vec<Elem>>, Option<Vec<Elem>>) {
+    let mut ga = want_ga.then(|| pool::take_zeroed(da.len()));
+    let mut gb = want_gb.then(|| pool::take_zeroed(db.len()));
+    for bi in 0..batch_count {
+        let a_base = bi * m * k;
+        let b_base = bi * n * k;
+        let g_base = bi * m * n;
+        if let Some(ga) = ga.as_mut() {
+            for i in 0..m {
+                let g_row = &dg[g_base + i * n..g_base + (i + 1) * n];
+                for kk in 0..k {
+                    let mut s = 0.0;
+                    for (j, &gv) in g_row.iter().enumerate() {
+                        s += gv * db[b_base + j * k + kk];
+                    }
+                    ga[a_base + i * k + kk] += s;
+                }
+            }
+        }
+        if let Some(gb) = gb.as_mut() {
+            for i in 0..m {
+                let g_row = &dg[g_base + i * n..g_base + (i + 1) * n];
+                let a_row = &da[a_base + i * k..a_base + (i + 1) * k];
+                for (j, &gv) in g_row.iter().enumerate() {
+                    let gb_row = &mut gb[b_base + j * k..b_base + (j + 1) * k];
+                    for (&av, o) in a_row.iter().zip(gb_row.iter_mut()) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        *o += av * gv;
                     }
                 }
             }
@@ -313,6 +428,78 @@ impl Tensor {
                 &b.data(),
                 &offsets_a,
                 &offsets_b,
+                m,
+                ka,
+                n,
+                a.requires_grad(),
+                b.requires_grad(),
+            );
+            vec![
+                ga.map(|v| Tensor::from_vec(v, a.shape())),
+                gb.map(|v| Tensor::from_vec(v, b.shape())),
+            ]
+        });
+        Tensor::from_op(out, out_shape, vec![self.clone(), other.clone()], backward)
+    }
+
+    /// `self · otherᵀ` over the last two axes: `[.., m, k] x [.., n, k]`
+    /// -> `[.., m, n]`, without materializing the transpose.
+    ///
+    /// For operands with identical batch dimensions (attention's
+    /// `Q · Kᵀ`), this runs as a single fused graph node whose kernel dots
+    /// contiguous rows of both operands — no transposed copy, no B-panel
+    /// packing — and whose first-order backward accumulates both parent
+    /// gradients directly. Results are bit-identical to the composite
+    /// `self.matmul(&other.transpose_last2())`, which is also the fallback
+    /// when fusion is disabled, the batch layouts differ, or the backward
+    /// itself needs a graph (double backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Tensor::matmul`] does on rank/shape mismatches.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        if !fused::is_enabled()
+            || self.ndim() != other.ndim()
+            || self.shape()[..self.ndim() - 2] != other.shape()[..other.ndim() - 2]
+        {
+            return self.matmul(&other.transpose_last2());
+        }
+        let nd = self.ndim();
+        let (m, ka) = (self.shape()[nd - 2], self.shape()[nd - 1]);
+        let (n, kb) = (other.shape()[nd - 2], other.shape()[nd - 1]);
+        assert_eq!(
+            ka,
+            kb,
+            "matmul_nt contraction dimensions disagree: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let batch = &self.shape()[..nd - 2];
+        let batch_count = numel(batch);
+
+        obs::counter("nn/matmul_calls", 1);
+        obs::counter("nn/matmul_flops", (2 * batch_count * m * ka * n) as u64);
+        obs::counter("nn/fused_calls", 1);
+
+        let out = matmul_nt_forward(&self.data(), &other.data(), batch_count, m, ka, n);
+        let mut out_shape = batch.to_vec();
+        out_shape.push(m);
+        out_shape.push(n);
+        let backward: BackwardFn = Rc::new(move |g, ps, _out| {
+            let a = &ps[0];
+            let b = &ps[1];
+            if autograd::is_grad_enabled() {
+                // Double-backward: stay on tensor ops. dL/dA = g · B,
+                // dL/dB = gᵀ · A (batch dims are equal, so no reduction).
+                let ga = g.matmul(b);
+                let gb = g.transpose_last2().matmul(a);
+                return vec![Some(ga), Some(gb)];
+            }
+            let (ga, gb) = matmul_nt_backward_raw(
+                &g.data(),
+                &a.data(),
+                &b.data(),
+                batch_count,
                 m,
                 ka,
                 n,

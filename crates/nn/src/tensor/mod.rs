@@ -5,6 +5,8 @@
 //! are themselves expressed with tensor operations, which is what enables
 //! gradients of gradients (see [`crate::autograd::grad`]).
 
+pub mod fused;
+pub mod pool;
 pub mod shape;
 
 mod composite;
@@ -37,6 +39,15 @@ pub(crate) struct Inner {
     data: RefCell<Vec<Elem>>,
     node: Option<Node>,
     requires_grad: bool,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Return the element buffer to the thread-local pool so the next
+        // op of a similar size skips the global allocator. `recycle`
+        // ignores buffers the pool can't reuse (odd capacities, oversize).
+        pool::recycle(std::mem::take(self.data.get_mut()));
+    }
 }
 
 /// A dense, row-major tensor of `f64` values participating in an autodiff
@@ -114,17 +125,17 @@ impl Tensor {
 
     /// Tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Tensor {
-        Tensor::from_vec(vec![0.0; shape::numel(shape)], shape)
+        Tensor::from_vec(pool::take_zeroed(shape::numel(shape)), shape)
     }
 
     /// Tensor of ones with the given shape.
     pub fn ones(shape: &[usize]) -> Tensor {
-        Tensor::from_vec(vec![1.0; shape::numel(shape)], shape)
+        Tensor::from_vec(pool::take_filled(shape::numel(shape), 1.0), shape)
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: &[usize], value: Elem) -> Tensor {
-        Tensor::from_vec(vec![value; shape::numel(shape)], shape)
+        Tensor::from_vec(pool::take_filled(shape::numel(shape), value), shape)
     }
 
     /// Standard-normal random tensor drawn from `rng`.
@@ -240,7 +251,30 @@ impl Tensor {
 
     /// A new leaf tensor with the same values, severed from the graph.
     pub fn detach(&self) -> Tensor {
-        Tensor::from_vec(self.to_vec(), self.shape())
+        let src = self.data();
+        let mut data = pool::take(src.len());
+        data.extend_from_slice(&src[..]);
+        drop(src);
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// True when this tensor's storage has exactly one live handle, carries
+    /// no graph node, and does not require gradients — the conditions under
+    /// which the autograd engine may mutate it in place.
+    pub(crate) fn is_exclusive_constant(&self) -> bool {
+        Rc::strong_count(&self.inner) == 1 && self.inner.node.is_none() && !self.inner.requires_grad
+    }
+
+    /// In-place `self += other` (same shape); bitwise identical to the
+    /// functional `add` for equal shapes. Autograd internals only — callers
+    /// must first establish exclusivity via [`Tensor::is_exclusive_constant`].
+    pub(crate) fn accumulate(&self, other: &Tensor) {
+        debug_assert_eq!(self.shape(), other.shape(), "accumulate shape mismatch");
+        let mut data = self.inner.data.borrow_mut();
+        let rhs = other.inner.data.borrow();
+        for (d, r) in data.iter_mut().zip(rhs.iter()) {
+            *d += *r;
+        }
     }
 
     /// Overwrites this tensor's buffer with `values` (in-place; used by

@@ -6,14 +6,43 @@
 
 use std::rc::Rc;
 
+use crate::tensor::pool;
 use crate::tensor::shape::{
     broadcast_shapes, broadcast_strides, broadcastable_to, contiguous_strides, numel, OffsetWalker,
 };
 use crate::tensor::{BackwardFn, Tensor};
 use crate::Elem;
 
+/// `f64::powf` behind an inlining barrier.
+///
+/// With a literal exponent visible to LLVM, `x.powf(2.0)` is folded to
+/// `x * x`, which rounds differently from the libm call (1 ulp on some
+/// inputs). Generic powers go through this barrier so every call site
+/// produces the same bits at every opt level.
+#[inline(never)]
+pub(crate) fn powf_libm(x: Elem, p: Elem) -> Elem {
+    x.powf(p)
+}
+
+/// Elementwise power used by the `powf` op and the fused kernels' scalar
+/// loops. Exponents 2 and 3 — the GELU hot path, where a libm `pow` call
+/// is ~30x the cost of a multiply — are computed by explicit
+/// multiplication; everything else stays a true libm call behind
+/// [`powf_libm`]. The checks are on the *runtime* exponent, so the fused
+/// and composite paths always agree bit-for-bit on which form they use.
+#[inline]
+pub(crate) fn pow_elem(x: Elem, p: Elem) -> Elem {
+    if p == 2.0 {
+        x * x
+    } else if p == 3.0 {
+        (x * x) * x
+    } else {
+        powf_libm(x, p)
+    }
+}
+
 /// Splits a shape at `axis` into `(outer, dim, inner)` block sizes.
-fn axis_blocks(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+pub(crate) fn axis_blocks(shape: &[usize], axis: usize) -> (usize, usize, usize) {
     assert!(axis < shape.len(), "axis {axis} out of range for {shape:?}");
     let outer: usize = shape[..axis].iter().product();
     let dim = shape[axis];
@@ -22,13 +51,16 @@ fn axis_blocks(shape: &[usize], axis: usize) -> (usize, usize, usize) {
 }
 
 fn unary(input: &Tensor, f: impl Fn(Elem) -> Elem, backward: BackwardFn) -> Tensor {
-    let data = input.data().iter().map(|&x| f(x)).collect();
+    let src = input.data();
+    let mut data = pool::take(src.len());
+    data.extend(src.iter().map(|&x| f(x)));
+    drop(src);
     Tensor::from_op(data, input.shape().to_vec(), vec![input.clone()], backward)
 }
 
 /// Whether `small` is a trailing-suffix shape of `big` (every axis matches
 /// the corresponding trailing axis of `big`), so broadcasting tiles it.
-fn is_suffix_shape(small: &[usize], big: &[usize]) -> bool {
+pub(crate) fn is_suffix_shape(small: &[usize], big: &[usize]) -> bool {
     small.len() <= big.len() && big[big.len() - small.len()..] == *small
 }
 
@@ -46,33 +78,26 @@ fn binary_values(
     });
     let da = a.data();
     let db = b.data();
+    let mut out = pool::take(numel(&out_shape));
     if a.shape() == b.shape() {
-        let out = da.iter().zip(db.iter()).map(|(&x, &y)| f(x, y)).collect();
+        out.extend(da.iter().zip(db.iter()).map(|(&x, &y)| f(x, y)));
         return (out, out_shape);
     }
     // Fast path: one operand is a trailing-suffix of the other (the common
     // bias-add / per-row-scale pattern) — tile it without index math.
     if out_shape == a.shape() && is_suffix_shape(b.shape(), a.shape()) && !db.is_empty() {
         let n = db.len();
-        let out = da
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| f(x, db[i % n]))
-            .collect();
+        out.extend(da.iter().enumerate().map(|(i, &x)| f(x, db[i % n])));
         return (out, out_shape);
     }
     if out_shape == b.shape() && is_suffix_shape(a.shape(), b.shape()) && !da.is_empty() {
         let n = da.len();
-        let out = db
-            .iter()
-            .enumerate()
-            .map(|(i, &y)| f(da[i % n], y))
-            .collect();
+        out.extend(db.iter().enumerate().map(|(i, &y)| f(da[i % n], y)));
         return (out, out_shape);
     }
     let wa = OffsetWalker::new(&out_shape, broadcast_strides(a.shape(), &out_shape));
     let wb = OffsetWalker::new(&out_shape, broadcast_strides(b.shape(), &out_shape));
-    let out = wa.zip(wb).map(|(ia, ib)| f(da[ia], db[ib])).collect();
+    out.extend(wa.zip(wb).map(|(ia, ib)| f(da[ia], db[ib])));
     (out, out_shape)
 }
 
@@ -251,7 +276,7 @@ impl Tensor {
     pub fn powf(&self, p: Elem) -> Tensor {
         let backward: BackwardFn =
             Rc::new(move |g, ps, _out| vec![Some(g.mul(&ps[0].powf(p - 1.0).mul_scalar(p)))]);
-        unary(self, |x| x.powf(p), backward)
+        unary(self, |x| pow_elem(x, p), backward)
     }
 
     // ------------------------------------------------------------------
@@ -273,9 +298,8 @@ impl Tensor {
         );
         let strides = broadcast_strides(self.shape(), target);
         let src = self.data();
-        let data: Vec<Elem> = OffsetWalker::new(target, strides)
-            .map(|off| src[off])
-            .collect();
+        let mut data = pool::take(numel(target));
+        data.extend(OffsetWalker::new(target, strides).map(|off| src[off]));
         drop(src);
         let backward: BackwardFn = Rc::new(|g, ps, _out| vec![Some(g.sum_to(ps[0].shape()))]);
         Tensor::from_op(data, target.to_vec(), vec![self.clone()], backward)
@@ -299,7 +323,7 @@ impl Tensor {
         );
         let strides = broadcast_strides(target, self.shape());
         let src = self.data();
-        let mut data = vec![0.0; numel(target)];
+        let mut data = pool::take_zeroed(numel(target));
         for (i, off) in OffsetWalker::new(self.shape(), strides).enumerate() {
             data[off] += src[i];
         }
@@ -360,7 +384,7 @@ impl Tensor {
     pub fn max_axis_detached(&self, axis: usize) -> Tensor {
         let (outer, dim, inner) = axis_blocks(self.shape(), axis);
         let src = self.data();
-        let mut out = vec![Elem::NEG_INFINITY; outer * inner];
+        let mut out = pool::take_filled(outer * inner, Elem::NEG_INFINITY);
         for o in 0..outer {
             for d in 0..dim {
                 for i in 0..inner {
@@ -399,12 +423,11 @@ impl Tensor {
         );
         let original: Vec<usize> = self.shape().to_vec();
         let backward: BackwardFn = Rc::new(move |g, _ps, _out| vec![Some(g.reshape(&original))]);
-        Tensor::from_op(
-            self.to_vec(),
-            new_shape.to_vec(),
-            vec![self.clone()],
-            backward,
-        )
+        let src = self.data();
+        let mut data = pool::take(src.len());
+        data.extend_from_slice(&src[..]);
+        drop(src);
+        Tensor::from_op(data, new_shape.to_vec(), vec![self.clone()], backward)
     }
 
     /// Swaps two axes (materializing the result).
@@ -424,7 +447,7 @@ impl Tensor {
         out_shape.swap(a, b);
         let out_strides = contiguous_strides(&out_shape);
         let src = self.data();
-        let mut data = vec![0.0; self.numel()];
+        let mut data = pool::take_zeroed(self.numel());
         let ndim = self.ndim();
         let mut coords = vec![0usize; ndim];
         for &v in src.iter() {
@@ -468,7 +491,7 @@ impl Tensor {
             start + len
         );
         let src = self.data();
-        let mut data = Vec::with_capacity(outer * len * inner);
+        let mut data = pool::take(outer * len * inner);
         for o in 0..outer {
             for d in start..start + len {
                 let base = (o * dim + d) * inner;
@@ -490,7 +513,7 @@ impl Tensor {
         let (outer, dim, inner) = axis_blocks(self.shape(), axis);
         let new_dim = before + dim + after;
         let src = self.data();
-        let mut data = vec![0.0; outer * new_dim * inner];
+        let mut data = pool::take_zeroed(outer * new_dim * inner);
         for o in 0..outer {
             for d in 0..dim {
                 let src_base = (o * dim + d) * inner;
@@ -533,7 +556,7 @@ impl Tensor {
         let mut out_shape: Vec<usize> = first.shape().to_vec();
         out_shape[axis] = total;
         let (outer, _dim, inner) = axis_blocks(&out_shape, axis);
-        let mut data = vec![0.0; numel(&out_shape)];
+        let mut data = pool::take_zeroed(numel(&out_shape));
         let mut offset = 0;
         for t in tensors {
             let td = t.shape()[axis];
@@ -592,7 +615,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "index_select_rows requires a 2-D tensor");
         let (rows, cols) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
-        let mut data = Vec::with_capacity(indices.len() * cols);
+        let mut data = pool::take(indices.len() * cols);
         for &i in indices {
             assert!(i < rows, "row index {i} out of bounds ({rows} rows)");
             data.extend_from_slice(&src[i * cols..(i + 1) * cols]);
@@ -621,7 +644,7 @@ impl Tensor {
         assert_eq!(indices.len(), self.shape()[0], "one index per row required");
         let cols = self.shape()[1];
         let src = self.data();
-        let mut data = vec![0.0; rows * cols];
+        let mut data = pool::take_zeroed(rows * cols);
         for (r, &i) in indices.iter().enumerate() {
             assert!(i < rows, "row index {i} out of bounds ({rows} rows)");
             for c in 0..cols {
@@ -641,29 +664,27 @@ impl Tensor {
 
     /// Constant 0/1 mask of strictly positive elements (detached).
     pub fn step_mask(&self) -> Tensor {
-        let data = self
-            .data()
-            .iter()
-            .map(|&x| if x > 0.0 { 1.0 } else { 0.0 })
-            .collect();
+        let src = self.data();
+        let mut data = pool::take(src.len());
+        data.extend(src.iter().map(|&x| if x > 0.0 { 1.0 } else { 0.0 }));
+        drop(src);
         Tensor::from_vec(data, self.shape())
     }
 
     /// Constant sign tensor (-1, 0, +1; detached).
     pub fn sign_detached(&self) -> Tensor {
-        let data = self
-            .data()
-            .iter()
-            .map(|&x| {
-                if x > 0.0 {
-                    1.0
-                } else if x < 0.0 {
-                    -1.0
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        let src = self.data();
+        let mut data = pool::take(src.len());
+        data.extend(src.iter().map(|&x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }));
+        drop(src);
         Tensor::from_vec(data, self.shape())
     }
 }

@@ -1,0 +1,236 @@
+//! Thread-local recycled storage for tensor element buffers.
+//!
+//! Every tensor op allocates a fresh `Vec<Elem>` for its output; in the MAML
+//! inner loop those buffers are dropped within microseconds, so the global
+//! allocator sees a high-frequency churn of identically sized blocks. The
+//! pool intercepts that churn: buffers are handed out by [`take`] /
+//! [`take_filled`], and [`Tensor`](super::Tensor) returns its storage here
+//! when the last handle drops.
+//!
+//! Buffers are keyed by bucketed length (next power of two), so a request
+//! for 45·21 elements reuses any previous 1024-capacity buffer. The pool is
+//! transparent to values: [`take`] returns an *empty* vec (length 0) that the
+//! caller fully writes, and [`take_filled`] overwrites every element, so no
+//! stale data can leak into results — enabling or disabling the pool is
+//! bit-identical (asserted by the cross-build determinism digest).
+//!
+//! Lifetime policy: between meta-iterations the training loop calls
+//! [`reclaim`], which trims each bucket to a small retained set and flushes
+//! the hit/miss counters to `metadse-obs` (`nn/pool_hits` / `nn/pool_misses`).
+//! Set `METADSE_POOL=0` to disable recycling entirely, or use
+//! [`PoolModeGuard`] to toggle it from tests.
+
+use std::cell::RefCell;
+
+use crate::Elem;
+use metadse_obs as obs;
+
+/// Largest pooled buffer: 2^20 elements (8 MiB of `f64`).
+const MAX_LOG2: usize = 20;
+/// Buffers retained per bucket while the pool is live.
+const BUCKET_DEPTH: usize = 64;
+/// Buffers retained per bucket after a [`reclaim`] trim.
+const RETAIN_AFTER_RECLAIM: usize = 8;
+
+struct Pool {
+    /// `buckets[b]` holds free buffers of capacity exactly `1 << b`.
+    buckets: Vec<Vec<Vec<Elem>>>,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl Pool {
+    fn new() -> Self {
+        let enabled = std::env::var("METADSE_POOL").map_or(true, |v| v != "0");
+        Pool {
+            buckets: (0..=MAX_LOG2).map(|_| Vec::new()).collect(),
+            enabled,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::new());
+}
+
+#[inline]
+fn bucket_of(len: usize) -> Option<usize> {
+    let b = len.next_power_of_two().trailing_zeros() as usize;
+    (b <= MAX_LOG2).then_some(b)
+}
+
+/// Hands out an empty buffer with capacity for at least `len` elements.
+///
+/// The returned vec has length 0; the caller is responsible for writing
+/// every element (via `extend`/`resize`/`push`) before wrapping it in a
+/// tensor. Capacity is rounded up to a power of two so the buffer can be
+/// recycled on drop.
+pub fn take(len: usize) -> Vec<Elem> {
+    if len == 0 {
+        return Vec::new();
+    }
+    POOL.try_with(|cell| {
+        let mut pool = cell.borrow_mut();
+        if !pool.enabled {
+            return Vec::with_capacity(len);
+        }
+        match bucket_of(len) {
+            Some(b) => {
+                if let Some(mut buf) = pool.buckets[b].pop() {
+                    pool.hits += 1;
+                    buf.clear();
+                    buf
+                } else {
+                    pool.misses += 1;
+                    Vec::with_capacity(1 << b)
+                }
+            }
+            None => Vec::with_capacity(len),
+        }
+    })
+    .unwrap_or_else(|_| Vec::with_capacity(len))
+}
+
+/// Hands out a buffer of length `len` with every element set to `value`.
+pub fn take_filled(len: usize, value: Elem) -> Vec<Elem> {
+    let mut buf = take(len);
+    buf.resize(len, value);
+    buf
+}
+
+/// Hands out a zero-initialised buffer of length `len`.
+pub fn take_zeroed(len: usize) -> Vec<Elem> {
+    take_filled(len, 0.0)
+}
+
+/// Returns a buffer to the pool. Called from the `Tensor` storage drop and
+/// from ops with transient scratch buffers.
+///
+/// Only power-of-two capacities are accepted (everything [`take`] hands out
+/// qualifies); externally built vecs with odd capacities are simply freed.
+pub fn recycle(buf: Vec<Elem>) {
+    let cap = buf.capacity();
+    if cap == 0 || !cap.is_power_of_two() {
+        return;
+    }
+    let b = cap.trailing_zeros() as usize;
+    if b > MAX_LOG2 {
+        return;
+    }
+    let _ = POOL.try_with(|cell| {
+        let mut pool = cell.borrow_mut();
+        if pool.enabled && pool.buckets[b].len() < BUCKET_DEPTH {
+            pool.buckets[b].push(buf);
+        }
+    });
+}
+
+/// Epoch reclaim point: trims each bucket to a small retained set and
+/// flushes the hit/miss counters to `metadse-obs`.
+///
+/// The training loop calls this between meta-iterations (and the WAM sweep
+/// after each task adaptation), so peak retained memory is bounded by one
+/// iteration's working set rather than the whole run's high-water mark.
+pub fn reclaim() {
+    let _ = POOL.try_with(|cell| {
+        let mut pool = cell.borrow_mut();
+        for bucket in &mut pool.buckets {
+            bucket.truncate(RETAIN_AFTER_RECLAIM);
+            bucket.shrink_to(RETAIN_AFTER_RECLAIM);
+        }
+        if pool.hits > 0 {
+            obs::counter("nn/pool_hits", pool.hits);
+            pool.hits = 0;
+        }
+        if pool.misses > 0 {
+            obs::counter("nn/pool_misses", pool.misses);
+            pool.misses = 0;
+        }
+    });
+}
+
+/// RAII toggle for the pool on the current thread; restores the previous
+/// mode on drop. Disabling drains already-pooled buffers lazily (they are
+/// never handed out while disabled) — values are unaffected either way.
+pub struct PoolModeGuard {
+    prev: bool,
+}
+
+impl PoolModeGuard {
+    pub fn set(enabled: bool) -> Self {
+        let prev = POOL.with(|cell| {
+            let mut pool = cell.borrow_mut();
+            let prev = pool.enabled;
+            pool.enabled = enabled;
+            prev
+        });
+        PoolModeGuard { prev }
+    }
+}
+
+impl Drop for PoolModeGuard {
+    fn drop(&mut self) {
+        let _ = POOL.try_with(|cell| cell.borrow_mut().enabled = self.prev);
+    }
+}
+
+/// True when recycling is active on this thread (used by tests).
+pub fn is_enabled() -> bool {
+    POOL.try_with(|cell| cell.borrow().enabled).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_roundtrip_hits_the_pool() {
+        let _guard = PoolModeGuard::set(true);
+        reclaim(); // flush counters so the assertions below are local
+        let buf = take(100);
+        assert!(buf.capacity() >= 100);
+        assert!(buf.capacity().is_power_of_two());
+        let cap = buf.capacity();
+        recycle(buf);
+        let again = take(100);
+        assert_eq!(again.capacity(), cap);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn disabled_pool_does_not_retain() {
+        let _guard = PoolModeGuard::set(false);
+        let buf = take(64);
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        let again = take(64);
+        // With recycling off a fresh allocation is made; contents are empty
+        // either way, which is all callers rely on.
+        assert!(again.is_empty());
+        let _ = ptr;
+    }
+
+    #[test]
+    fn filled_buffers_are_fully_initialised() {
+        let _guard = PoolModeGuard::set(true);
+        let mut buf = take_filled(10, 3.5);
+        assert_eq!(buf.len(), 10);
+        assert!(buf.iter().all(|&x| x == 3.5));
+        // Dirty the buffer, recycle, and confirm the next take sees no residue.
+        buf.iter_mut().for_each(|x| *x = f64::NAN);
+        recycle(buf);
+        let clean = take_zeroed(10);
+        assert!(clean.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn oversized_buffers_bypass_the_pool() {
+        let _guard = PoolModeGuard::set(true);
+        let buf = take((1 << MAX_LOG2) + 1);
+        assert!(buf.capacity() > (1 << MAX_LOG2));
+        recycle(buf); // silently freed, must not panic
+    }
+}
