@@ -107,4 +107,8 @@ fn main() {
         ]);
         report::table(&rows);
     }
+    match metadse_bench::write_csv("tune", &rows) {
+        Ok(path) => report::line(format!("wrote {}", path.display())),
+        Err(e) => report::warn(format!("could not write tune.csv: {e}")),
+    }
 }

@@ -139,7 +139,9 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Writes rows as CSV under `results/<name>.csv`.
+/// Writes rows as CSV under `results/<name>.csv`, atomically: a harness
+/// binary killed mid-write never leaves a truncated CSV for downstream
+/// tooling to trip over.
 ///
 /// # Errors
 ///
@@ -151,7 +153,7 @@ pub fn write_csv(name: &str, rows: &[Vec<String>]) -> io::Result<PathBuf> {
         .map(|r| r.join(","))
         .collect::<Vec<_>>()
         .join("\n");
-    fs::write(&path, body + "\n")?;
+    metadse_nn::format::atomic_write(&path, (body + "\n").as_bytes())?;
     Ok(path)
 }
 
@@ -285,13 +287,14 @@ pub mod timing {
             out
         }
 
-        /// Writes [`Harness::to_json`] to `path`.
+        /// Writes [`Harness::to_json`] to `path` atomically (temp file →
+        /// fsync → rename), so a killed run never leaves partial JSON.
         ///
         /// # Errors
         ///
         /// Returns any underlying I/O error.
         pub fn write_json(&self, path: &Path) -> io::Result<()> {
-            std::fs::write(path, self.to_json())
+            metadse_nn::format::atomic_write(path, self.to_json().as_bytes())
         }
     }
 

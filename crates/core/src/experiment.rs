@@ -251,9 +251,12 @@ pub fn pretrain_metadse(
         // changes in a way that invalidates previously trained parameters.
         const CACHE_VERSION: u32 = 1;
         // The thread count never changes the trained parameters
-        // (parallelism is bit-identical), so it must not change the key.
+        // (parallelism is bit-identical), and checkpoint/resume is
+        // bit-identical to an uninterrupted run, so neither may change
+        // the key.
         let key_maml = MamlConfig {
             parallel: ParallelConfig::default(),
+            checkpoint: None,
             ..maml.clone()
         };
         let key = format!(
@@ -274,6 +277,22 @@ pub fn pretrain_metadse(
         p.exists() && metadse_nn::serialize::load_params(&model.params(), p).is_ok()
     });
     if !loaded {
+        // `METADSE_CKPT=<dir>` turns on crash-safe training checkpoints
+        // for harness runs whose config does not already request them.
+        let env_maml;
+        let maml = match (
+            &maml.checkpoint,
+            crate::checkpoint::CheckpointConfig::from_env(),
+        ) {
+            (None, Some(ckpt)) => {
+                env_maml = MamlConfig {
+                    checkpoint: Some(ckpt),
+                    ..maml.clone()
+                };
+                &env_maml
+            }
+            _ => maml,
+        };
         maml::pretrain(
             &model,
             &env.train_datasets(),

@@ -16,8 +16,10 @@
 //!    few shots from the unseen target workload (Algorithm 2).
 //!
 //! Baselines ([`trendse`]), per-task evaluation ([`evaluation`]),
-//! experiment harnesses for every paper table/figure ([`experiment`]), and
-//! a surrogate-driven explorer ([`explorer`]) complete the system.
+//! experiment harnesses for every paper table/figure ([`experiment`]), a
+//! surrogate-driven explorer ([`explorer`]), and crash-safe training
+//! checkpoints with fault-injectable IO ([`checkpoint`]) complete the
+//! system.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod evaluation;
 pub mod experiment;
 pub mod explorer;
@@ -42,6 +45,7 @@ pub mod predictor;
 pub mod trendse;
 pub mod wam;
 
+pub use checkpoint::{CheckpointConfig, Checkpointer, FaultMode, FaultSpec, TrainState};
 pub use evaluation::{EvalSummary, TaskScores};
 pub use maml::{MamlConfig, PretrainReport};
 pub use predictor::{PredictorConfig, TransformerPredictor};

@@ -25,16 +25,18 @@
 //! snapshot entirely and runs the exact serial path.
 
 use metadse_obs as obs;
+use metadse_obs::report;
 use metadse_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use metadse_nn::autograd::grad;
-use metadse_nn::layers::{self, Module};
+use metadse_nn::layers::{self, Module, Param};
 use metadse_nn::optim::{Adam, Optimizer};
 use metadse_nn::{Elem, Tensor};
 use metadse_workloads::{Dataset, Metric, Task, TaskSampler};
 
+use crate::checkpoint::{CheckpointConfig, Checkpointer, TrainState};
 use crate::predictor::TransformerPredictor;
 
 /// Hyperparameters of the MAML pre-training stage.
@@ -63,6 +65,10 @@ pub struct MamlConfig {
     /// Worker threads for per-task fan-out (`Some(1)` = exact serial
     /// path; `None` = `METADSE_THREADS`, then the machine).
     pub parallel: ParallelConfig,
+    /// Crash-safe checkpointing of the training state (`None` = off).
+    /// Resuming from a checkpoint written by a killed run reproduces the
+    /// uninterrupted run bit-for-bit; see [`crate::checkpoint`].
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl MamlConfig {
@@ -84,6 +90,7 @@ impl MamlConfig {
             second_order: false,
             seed: 17,
             parallel: ParallelConfig::default(),
+            checkpoint: None,
         }
     }
 
@@ -249,8 +256,89 @@ pub fn adapted_query_loss(
     loss.value()
 }
 
+/// Hash of everything a checkpoint must agree on to be resumable: the
+/// training configuration (with the execution-only `parallel` and
+/// `checkpoint` fields canonicalized away, so a resume may change thread
+/// counts or checkpoint cadence), the model's parameter geometry, and
+/// the training task itself — source/validation workloads and the
+/// target metric. The task matters because one binary can run several
+/// pretrains with the same config into the same checkpoint directory
+/// (fig5's leave-one-out splits, table2's IPC-then-power pass): without
+/// it, a later pretrain would adopt an earlier one's final checkpoint.
+fn config_fingerprint(
+    config: &MamlConfig,
+    train: &[Dataset],
+    validation: &[Dataset],
+    metric: Metric,
+    params: &[Param],
+) -> u64 {
+    let canonical = MamlConfig {
+        parallel: ParallelConfig::default(),
+        checkpoint: None,
+        ..config.clone()
+    };
+    let mut repr = format!("{canonical:?}|{metric:?}");
+    for ds in train.iter().chain(validation) {
+        repr.push_str(&format!("|{}:{}", ds.workload_name(), ds.len()));
+    }
+    for p in params {
+        repr.push_str(&format!("|{}:{:?}", p.name(), p.shape()));
+    }
+    metadse_nn::format::fnv1a(repr.as_bytes())
+}
+
+/// Captures the complete training state and hands it to the
+/// checkpointer. A failed write degrades gracefully: it is warned about
+/// and counted (`ckpt/write_failures`), and training continues on the
+/// exact same trajectory — checkpointing never touches the numerics.
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint(
+    cp: &mut Checkpointer,
+    fingerprint: u64,
+    epoch: u64,
+    iter: u64,
+    global_iter: u64,
+    rng: &StdRng,
+    epoch_loss: Elem,
+    epoch_count: usize,
+    report: &PretrainReport,
+    params: &[Param],
+    best_params: &[Tensor],
+    optimizer: &Adam,
+) {
+    let state = TrainState {
+        fingerprint,
+        epoch,
+        iter,
+        global_iter,
+        rng: rng.state(),
+        epoch_loss,
+        epoch_count: epoch_count as u64,
+        train_losses: report.train_losses.clone(),
+        val_losses: report.val_losses.clone(),
+        best_epoch: report.best_epoch as u64,
+        best_val_loss: report.best_val_loss,
+        lr: optimizer.learning_rate(),
+        params: params.iter().map(|p| p.get().to_vec()).collect(),
+        best_params: best_params.iter().map(Tensor::to_vec).collect(),
+        adam: optimizer.export_state(),
+    };
+    if let Err(e) = cp.save(&state) {
+        obs::counter("ckpt/write_failures", 1);
+        report::warn(format!(
+            "checkpoint: write failed ({e}); training continues without it"
+        ));
+    }
+}
+
 /// Meta-trains `model` on the training datasets, selecting the best epoch
 /// by meta-validation (Algorithm 1 plus the paper's validation step).
+///
+/// With [`MamlConfig::checkpoint`] set, the complete training state is
+/// persisted every `interval` meta-iterations and at every epoch
+/// boundary, and a run that finds a compatible checkpoint resumes from
+/// it — continuing the interrupted run's floating-point trajectory
+/// bit-for-bit (same final parameters, same [`PretrainReport`]).
 ///
 /// # Panics
 ///
@@ -279,11 +367,67 @@ pub fn pretrain(
     };
     let mut best_params: Vec<Tensor> = layers::clone_values(&params);
 
-    for epoch in 0..config.epochs {
+    let fingerprint = config_fingerprint(config, train, validation, metric, &params);
+    let mut checkpointer = config
+        .checkpoint
+        .as_ref()
+        .map(|c| Checkpointer::new(c.clone()));
+    let mut start_epoch = 0usize;
+    let mut resume_iter = 0usize;
+    let mut global_iter = 0u64;
+    let mut epoch_loss = 0.0;
+    let mut epoch_count = 0usize;
+
+    if let Some(cp) = checkpointer.as_mut() {
+        match cp.load_latest() {
+            Ok(Some((state, generation))) if state.fingerprint == fingerprint => {
+                model.load_values(&state.params);
+                best_params = state
+                    .best_params
+                    .iter()
+                    .zip(&params)
+                    .map(|(v, p)| Tensor::param_from_vec(v.clone(), &p.shape()))
+                    .collect();
+                optimizer
+                    .import_state(&state.adam)
+                    .expect("fingerprint-matched checkpoint has matching optimizer geometry");
+                optimizer.set_learning_rate(state.lr);
+                rng = StdRng::from_state(state.rng);
+                report.train_losses = state.train_losses;
+                report.val_losses = state.val_losses;
+                report.best_epoch = state.best_epoch as usize;
+                report.best_val_loss = state.best_val_loss;
+                start_epoch = state.epoch as usize;
+                resume_iter = state.iter as usize;
+                global_iter = state.global_iter;
+                epoch_loss = state.epoch_loss;
+                epoch_count = state.epoch_count as usize;
+                obs::counter("ckpt/resumes", 1);
+                report::line(format!(
+                    "checkpoint: resumed from generation {generation} \
+                     (epoch {start_epoch}, iteration {resume_iter})"
+                ));
+            }
+            Ok(Some(_)) => report::warn(
+                "checkpoint: configuration fingerprint mismatch; ignoring checkpoints \
+                 and starting fresh",
+            ),
+            Ok(None) => {}
+            Err(e) => report::warn(format!("checkpoint: load failed ({e}); starting fresh")),
+        }
+    }
+
+    for epoch in start_epoch..config.epochs {
         let _epoch_span = obs::span("maml/epoch");
-        let mut epoch_loss = 0.0;
-        let mut epoch_count = 0usize;
-        for _ in 0..config.iterations_per_epoch {
+        // `resume_iter` applies only to the epoch the checkpoint was
+        // taken in; every other epoch starts from iteration 0 with
+        // fresh loss accumulators.
+        let first_iter = std::mem::take(&mut resume_iter);
+        if first_iter == 0 {
+            epoch_loss = 0.0;
+            epoch_count = 0;
+        }
+        for it in first_iter..config.iterations_per_epoch {
             // One task from each source workload forms the meta-batch
             // (line 3 of Algorithm 1 samples tasks across workloads).
             // Sampling stays serial so the RNG stream is the same at any
@@ -337,6 +481,35 @@ pub fn pretrain(
             // One meta-iteration's tensors have all dropped by now; trim
             // the buffer pool so retained memory tracks the working set.
             metadse_nn::tensor::pool::reclaim();
+            global_iter += 1;
+            if let Some(cp) = checkpointer.as_mut() {
+                let interval = cp.config().interval as u64;
+                if interval > 0 && global_iter.is_multiple_of(interval) {
+                    save_checkpoint(
+                        cp,
+                        fingerprint,
+                        epoch as u64,
+                        (it + 1) as u64,
+                        global_iter,
+                        &rng,
+                        epoch_loss,
+                        epoch_count,
+                        &report,
+                        &params,
+                        &best_params,
+                        &optimizer,
+                    );
+                }
+                // Fault-harness kill switch: stop dead, like a SIGKILL —
+                // no final checkpoint, no best-epoch restore.
+                if cp.config().halt_after.is_some_and(|h| global_iter >= h) {
+                    report::warn(format!(
+                        "checkpoint: halting after meta-iteration {global_iter} \
+                         (injected kill)"
+                    ));
+                    return report;
+                }
+            }
         }
         let train_loss = epoch_loss / epoch_count.max(1) as Elem;
         obs::gauge("maml/train_loss", train_loss);
@@ -351,6 +524,25 @@ pub fn pretrain(
             report.best_val_loss = val_loss;
             report.best_epoch = epoch;
             best_params = layers::clone_values(&params);
+        }
+
+        // Epoch-boundary checkpoint: captures the validation result and
+        // the best-epoch selection the interval saves cannot see.
+        if let Some(cp) = checkpointer.as_mut() {
+            save_checkpoint(
+                cp,
+                fingerprint,
+                (epoch + 1) as u64,
+                0,
+                global_iter,
+                &rng,
+                0.0,
+                0,
+                &report,
+                &params,
+                &best_params,
+                &optimizer,
+            );
         }
     }
 
@@ -478,6 +670,7 @@ mod tests {
             second_order: false,
             seed: 3,
             parallel: ParallelConfig::default(),
+            checkpoint: None,
         };
 
         // Baseline: random-init model adapted on test tasks.
@@ -524,6 +717,7 @@ mod tests {
             second_order: false,
             seed: 5,
             parallel: ParallelConfig::default(),
+            checkpoint: None,
         };
         let cfg_so = MamlConfig {
             second_order: true,
@@ -566,6 +760,7 @@ mod tests {
                 second_order: false,
                 seed: 6,
                 parallel: ParallelConfig::default(),
+                checkpoint: None,
             },
         );
         assert!(report.best_epoch < 3);

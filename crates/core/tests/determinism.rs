@@ -145,19 +145,23 @@ fn run_digest(report: &impl std::fmt::Debug, params: &[Vec<f64>]) -> String {
 /// to run writes its run digest there and every later build (e.g. the
 /// same test re-run with `--features obs`, or with a different thread
 /// default) must reproduce it bit-for-bit.
+///
+/// The record path is atomic (temp + rename): several test binaries
+/// share the file within one `cargo test` run, and a concurrent reader
+/// must never observe a half-written digest.
 fn check_cross_build_digest(report: &impl std::fmt::Debug, params: &[Vec<f64>]) {
     let Ok(path) = std::env::var("METADSE_DIGEST_FILE") else {
         return;
     };
     let digest = run_digest(report, params);
     match std::fs::read_to_string(&path) {
-        Ok(previous) => assert_eq!(
+        Ok(previous) if !previous.trim().is_empty() => assert_eq!(
             previous.trim(),
             digest,
             "pretrain digest diverged from the one recorded in {path} — \
              a differently-featured build changed the numerics"
         ),
-        Err(_) => std::fs::write(&path, &digest)
+        _ => metadse_nn::format::atomic_write(&path, digest.as_bytes())
             .unwrap_or_else(|e| panic!("could not record digest in {path}: {e}")),
     }
 }

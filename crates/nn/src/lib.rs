@@ -16,8 +16,10 @@
 //!   capture, [`layers::TransformerEncoder`]),
 //! * optimizers ([`optim::Sgd`], [`optim::Adam`]) and a cosine-annealing
 //!   learning-rate schedule ([`optim::CosineAnnealing`]),
-//! * losses, initializers, parameter (de)serialization, and a numerical
-//!   gradient checker used extensively by the test-suite.
+//! * losses, initializers, parameter and optimizer-state (de)serialization
+//!   over a versioned, checksummed container with atomic writes
+//!   ([`format`]), and a numerical gradient checker used extensively by
+//!   the test-suite.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 
 pub mod autograd;
 pub mod fasthash;
+pub mod format;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;

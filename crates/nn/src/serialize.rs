@@ -1,4 +1,4 @@
-//! Parameter checkpointing.
+//! Parameter and optimizer-state checkpointing.
 //!
 //! A deliberately simple, dependency-free binary format:
 //!
@@ -7,16 +7,27 @@
 //!   per param: u32 name len | name bytes | u32 ndim | u64 dims… | f64 data…
 //! ```
 //!
-//! All integers are little-endian. Checkpoints are loaded back into an
-//! existing model's [`Param`] list by name, so parameter ordering may
-//! differ between save and load as long as names and shapes match.
+//! All integers are little-endian; `f64` values are stored as exact bit
+//! patterns, so NaN payloads, signed zeros, and subnormals round-trip
+//! unchanged. Checkpoints are loaded back into an existing model's
+//! [`Param`] list by name, so parameter ordering may differ between save
+//! and load as long as names and shapes match.
+//!
+//! [`save_params`] writes through [`crate::format::atomic_write`]: an
+//! interrupted save can never leave a half-written file at the target
+//! path. The same encoding is exposed at the buffer level
+//! ([`params_to_bytes`] / [`load_params_from_bytes`], and
+//! [`adam_state_to_bytes`] / [`adam_state_from_bytes`] for optimizer
+//! moments) so higher-level containers — the training checkpoints in
+//! `metadse` — can embed parameter and optimizer payloads verbatim.
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io;
 use std::path::Path;
 
+use crate::format::{self, ByteReader, ByteWriter, FormatError};
 use crate::layers::Param;
+use crate::optim::AdamState;
 use crate::{Elem, Tensor};
 
 const MAGIC: &[u8; 4] = b"MDSE";
@@ -58,30 +69,39 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Saves the current values of `params` to `path`.
+impl From<FormatError> for CheckpointError {
+    fn from(e: FormatError) -> Self {
+        CheckpointError::Format(e.0)
+    }
+}
+
+/// Encodes the current values of `params` in the checkpoint wire format.
+pub fn params_to_bytes(params: &[Param]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    w.u32(params.len() as u32);
+    for p in params {
+        w.str(p.name());
+        let t = p.get();
+        w.u32(t.ndim() as u32);
+        for &d in t.shape() {
+            w.u64(d as u64);
+        }
+        for v in t.to_vec() {
+            w.f64(v);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Saves the current values of `params` to `path` atomically.
 ///
 /// # Errors
 ///
 /// Returns an error if the file cannot be created or written.
 pub fn save_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
-    for p in params {
-        let name = p.name().as_bytes();
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name)?;
-        let t = p.get();
-        w.write_all(&(t.ndim() as u32).to_le_bytes())?;
-        for &d in t.shape() {
-            w.write_all(&(d as u64).to_le_bytes())?;
-        }
-        for v in t.to_vec() {
-            w.write_all(&v.to_le_bytes())?;
-        }
-    }
-    w.flush()?;
+    format::atomic_write(path, &params_to_bytes(params))?;
     Ok(())
 }
 
@@ -92,10 +112,21 @@ pub fn save_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), Check
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Format`] for malformed files and
-/// [`CheckpointError::Mismatch`] when names or shapes disagree.
+/// Returns [`CheckpointError::Format`] for malformed (including
+/// truncated) files and [`CheckpointError::Mismatch`] when names or
+/// shapes disagree.
 pub fn load_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let entries = read_entries(path)?;
+    let bytes = std::fs::read(path)?;
+    load_params_from_bytes(params, &bytes)
+}
+
+/// Buffer-level variant of [`load_params`].
+///
+/// # Errors
+///
+/// Same contract as [`load_params`].
+pub fn load_params_from_bytes(params: &[Param], bytes: &[u8]) -> Result<(), CheckpointError> {
+    let entries = read_entries(bytes)?;
     for p in params {
         let (shape, data) = entries.get(p.name()).ok_or_else(|| {
             CheckpointError::Mismatch(format!("parameter {:?} not found in checkpoint", p.name()))
@@ -113,56 +144,81 @@ pub fn load_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), Check
     Ok(())
 }
 
+/// Encodes an [`AdamState`] (step counter plus both moment buffers).
+pub fn adam_state_to_bytes(state: &AdamState) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(state.t);
+    w.f64_slices(&state.m);
+    w.f64_slices(&state.v);
+    w.into_bytes()
+}
+
+/// Decodes an [`AdamState`] written by [`adam_state_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] on truncated or malformed input
+/// (including trailing garbage and first/second moment buffer lists of
+/// different shapes).
+pub fn adam_state_from_bytes(bytes: &[u8]) -> Result<AdamState, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let t = r.u64()?;
+    let m = r.f64_vecs()?;
+    let v = r.f64_vecs()?;
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Format(format!(
+            "{} trailing bytes after optimizer state",
+            r.remaining()
+        )));
+    }
+    if m.len() != v.len() || m.iter().zip(&v).any(|(a, b)| a.len() != b.len()) {
+        return Err(CheckpointError::Format(
+            "first/second moment buffers disagree in shape".into(),
+        ));
+    }
+    Ok(AdamState { t, m, v })
+}
+
 type Entries = HashMap<String, (Vec<usize>, Vec<Elem>)>;
 
-fn read_entries(path: impl AsRef<Path>) -> Result<Entries, CheckpointError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+fn read_entries(bytes: &[u8]) -> Result<Entries, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
-    let version = read_u32(&mut r)?;
+    let version = r.u32()?;
     if version != VERSION {
         return Err(CheckpointError::Format(format!(
             "unsupported version {version}"
         )));
     }
-    let count = read_u32(&mut r)? as usize;
-    let mut entries = HashMap::with_capacity(count);
+    let count = r.u32()? as usize;
+    let mut entries = HashMap::with_capacity(count.min(1024));
     for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
-        let mut name_bytes = vec![0u8; name_len];
-        r.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes)
-            .map_err(|_| CheckpointError::Format("non-UTF8 parameter name".into()))?;
-        let ndim = read_u32(&mut r)? as usize;
+        let name = r.str()?;
+        let ndim = r.u32()? as usize;
+        if ndim.saturating_mul(8) > r.remaining() {
+            return Err(CheckpointError::Format(format!(
+                "parameter {name:?} claims {ndim} dimensions beyond the input"
+            )));
+        }
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {
-            shape.push(read_u64(&mut r)? as usize);
+            shape.push(r.u64()? as usize);
         }
         let n: usize = shape.iter().product();
+        if n.saturating_mul(8) > r.remaining() {
+            return Err(CheckpointError::Format(format!(
+                "parameter {name:?} claims {n} elements beyond the input"
+            )));
+        }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            let mut buf = [0u8; 8];
-            r.read_exact(&mut buf)?;
-            data.push(Elem::from_le_bytes(buf));
+            data.push(r.f64()?);
         }
         entries.insert(name, (shape, data));
     }
     Ok(entries)
-}
-
-fn read_u32(r: &mut impl Read) -> Result<u32, io::Error> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
-}
-
-fn read_u64(r: &mut impl Read) -> Result<u64, io::Error> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
 }
 
 #[cfg(test)]
@@ -223,10 +279,7 @@ mod tests {
 
     #[test]
     fn garbage_file_is_a_format_error() {
-        let path = temp_path("garbage");
-        std::fs::write(&path, b"not a checkpoint").unwrap();
-        let err = read_entries(&path).unwrap_err();
+        let err = read_entries(b"not a checkpoint").unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
-        std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,207 @@
+//! Property-style serialization tests: every layer type and the
+//! optimizer state must round-trip through the checkpoint wire format
+//! bit-exactly — including hostile payloads (NaN with payload bits,
+//! signed zeros, infinities, subnormals) — and every truncated input
+//! must be rejected with an error, never a panic or a silent partial
+//! load. Random cases come from a seeded [`StdRng`] (the hermetic build
+//! has no proptest), so failures are reproducible from the fixed seed.
+
+use metadse_nn::layers::{
+    Embedding, FeedForward, LayerNorm, Linear, Mlp, Module, MultiHeadAttention, TransformerEncoder,
+};
+use metadse_nn::optim::AdamState;
+use metadse_nn::serialize::{
+    adam_state_from_bytes, adam_state_to_bytes, load_params, load_params_from_bytes,
+    params_to_bytes, save_params, CheckpointError,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 16;
+
+/// Values chosen to break sloppy float serialization: NaNs with payload
+/// bits, both zeros, both infinities, subnormals, and large magnitudes.
+fn adversarial(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..9u32) {
+        0 => f64::NAN,
+        1 => f64::from_bits(0x7ff8_0000_dead_beef), // NaN, distinctive payload
+        2 => f64::from_bits(0xfff0_0000_0000_0001), // signalling-style NaN
+        3 => -0.0,
+        4 => 0.0,
+        5 => f64::MIN_POSITIVE / 4.0, // subnormal
+        6 => f64::INFINITY,
+        7 => f64::NEG_INFINITY,
+        _ => rng.gen_range(-1e12..1e12),
+    }
+}
+
+/// Overwrites every parameter of `module` with adversarial payloads and
+/// returns the exact bit patterns written.
+fn poison(module: &dyn Module, rng: &mut StdRng) -> Vec<Vec<u64>> {
+    module
+        .params()
+        .iter()
+        .map(|p| {
+            let values: Vec<f64> = (0..p.numel()).map(|_| adversarial(rng)).collect();
+            p.get().assign_vec(&values);
+            values.iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+fn assert_bits(module: &dyn Module, expected: &[Vec<u64>], what: &str) {
+    for (p, bits) in module.params().iter().zip(expected) {
+        let loaded: Vec<u64> = p.get().to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            &loaded,
+            bits,
+            "{what}: parameter {:?} not bit-exact",
+            p.name()
+        );
+    }
+}
+
+/// One constructor per layer family the predictor is built from.
+fn layer_zoo(rng: &mut StdRng) -> Vec<(&'static str, Box<dyn Module>)> {
+    vec![
+        ("linear", Box::new(Linear::new("lin", 5, 3, true, rng))),
+        (
+            "linear-nobias",
+            Box::new(Linear::new("lnb", 4, 4, false, rng)),
+        ),
+        ("layernorm", Box::new(LayerNorm::new("ln", 6))),
+        ("embedding", Box::new(Embedding::new("emb", 7, 4, rng))),
+        (
+            "attention",
+            Box::new(MultiHeadAttention::new("mha", 8, 2, rng)),
+        ),
+        ("feedforward", Box::new(FeedForward::new("ffn", 6, 12, rng))),
+        ("mlp", Box::new(Mlp::new("mlp", &[4, 8, 1], rng))),
+        (
+            "transformer",
+            Box::new(TransformerEncoder::new("enc", 2, 8, 2, 16, rng)),
+        ),
+    ]
+}
+
+#[test]
+fn every_layer_type_roundtrips_bit_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x5e01);
+    for case in 0..CASES {
+        for (kind, module) in layer_zoo(&mut rng) {
+            let expected = poison(module.as_ref(), &mut rng);
+            let bytes = params_to_bytes(&module.params());
+            // Wreck every value, then restore from the buffer.
+            for p in &module.params() {
+                p.get().assign_vec(&vec![7.0; p.numel()]);
+            }
+            load_params_from_bytes(&module.params(), &bytes).unwrap();
+            assert_bits(module.as_ref(), &expected, kind);
+            let _ = case;
+        }
+    }
+}
+
+#[test]
+fn file_roundtrip_matches_buffer_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5e02);
+    let layer = Linear::new("file", 6, 4, true, &mut rng);
+    let expected = poison(&layer, &mut rng);
+    let path = std::env::temp_dir().join(format!(
+        "metadse-serialize-roundtrip-{}.ckpt",
+        std::process::id()
+    ));
+    save_params(&layer.params(), &path).unwrap();
+    for p in &layer.params() {
+        p.get().assign_vec(&vec![0.0; p.numel()]);
+    }
+    load_params(&layer.params(), &path).unwrap();
+    assert_bits(&layer, &expected, "file");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn optimizer_state_roundtrips_bit_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x5e03);
+    for _ in 0..CASES {
+        let shapes = [
+            rng.gen_range(1..20usize),
+            rng.gen_range(1..20usize),
+            rng.gen_range(1..20usize),
+        ];
+        let buffers = |rng: &mut StdRng| -> Vec<Vec<f64>> {
+            shapes
+                .iter()
+                .map(|&n| (0..n).map(|_| adversarial(rng)).collect())
+                .collect()
+        };
+        let state = AdamState {
+            t: rng.gen_range(0.0..1e18) as u64,
+            m: buffers(&mut rng),
+            v: buffers(&mut rng),
+        };
+        let decoded = adam_state_from_bytes(&adam_state_to_bytes(&state)).unwrap();
+        assert_eq!(decoded.t, state.t);
+        for (field, (a, b)) in [("m", (&decoded.m, &state.m)), ("v", (&decoded.v, &state.v))] {
+            for (da, sa) in a.iter().zip(b.iter()) {
+                let da: Vec<u64> = da.iter().map(|v| v.to_bits()).collect();
+                let sa: Vec<u64> = sa.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(da, sa, "optimizer {field} buffer not bit-exact");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_params_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(0x5e04);
+    let layer = Linear::new("trunc", 3, 2, true, &mut rng);
+    let probe = Linear::new("trunc", 3, 2, true, &mut rng);
+    let bytes = params_to_bytes(&layer.params());
+    for len in 0..bytes.len() {
+        let err = load_params_from_bytes(&probe.params(), &bytes[..len])
+            .expect_err("every strict prefix must be rejected");
+        assert!(
+            matches!(err, CheckpointError::Format(_)),
+            "prefix of {len} bytes: wrong error kind {err}"
+        );
+    }
+    load_params_from_bytes(&probe.params(), &bytes).unwrap();
+}
+
+#[test]
+fn every_truncation_of_optimizer_state_is_rejected() {
+    let state = AdamState {
+        t: 42,
+        m: vec![vec![1.5, -0.0, f64::NAN], vec![2.0]],
+        v: vec![vec![0.1, 0.2, 0.3], vec![0.4]],
+    };
+    let bytes = adam_state_to_bytes(&state);
+    for len in 0..bytes.len() {
+        let err =
+            adam_state_from_bytes(&bytes[..len]).expect_err("every strict prefix must be rejected");
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+    adam_state_from_bytes(&bytes).unwrap();
+    // Trailing garbage is rejected too — no silent over-read.
+    let mut padded = bytes;
+    padded.push(0);
+    assert!(matches!(
+        adam_state_from_bytes(&padded),
+        Err(CheckpointError::Format(_))
+    ));
+}
+
+#[test]
+fn absurd_length_prefixes_fail_without_allocating() {
+    let mut rng = StdRng::seed_from_u64(0x5e05);
+    let layer = Linear::new("bomb", 2, 2, false, &mut rng);
+    let mut bytes = params_to_bytes(&layer.params());
+    // Param count lives at offset 8 (magic 4 + version 4). Claiming
+    // u32::MAX parameters must fail on truncation, not allocate.
+    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        load_params_from_bytes(&layer.params(), &bytes),
+        Err(CheckpointError::Format(_))
+    ));
+}

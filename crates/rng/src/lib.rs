@@ -163,6 +163,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpointing. The
+        /// four words, fed back through [`StdRng::from_state`], continue
+        /// the stream exactly where this generator left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not a valid
+        /// xoshiro256++ state and cannot have come from `state()`.
+        pub fn from_state(state: [u64; 4]) -> StdRng {
+            assert!(
+                state != [0; 4],
+                "the all-zero state is not a valid xoshiro256++ state"
+            );
+            StdRng { s: state }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -280,6 +303,24 @@ mod tests {
         let a = draw(&mut rng);
         let b = draw(&mut &mut rng);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]

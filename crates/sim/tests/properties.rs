@@ -175,3 +175,91 @@ fn area_monotone_in_cache_size() {
         assert!(big > small);
     }
 }
+
+/// IPC can never exceed the issue width, whatever the width: the
+/// pipeline bound must hold at every candidate width of the Table-I
+/// space, not just the sampled one.
+#[test]
+fn ipc_never_exceeds_issue_width_at_any_width() {
+    let mut rng = StdRng::seed_from_u64(0x5109);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
+        let ds = space();
+        let sim = Simulator::with_noise(0.0);
+        let mut config = ds.config(&point);
+        for width in [1u32, 2, 3, 4, 6, 8, 12] {
+            config.pipeline_width = width;
+            let out = sim.simulate(&config, &profile);
+            assert!(
+                out.ipc > 0.0 && out.ipc <= f64::from(width) + 1e-9,
+                "width {width}: ipc {} out of (0, width]",
+                out.ipc
+            );
+        }
+    }
+}
+
+/// Growing either cache strictly grows both area (more SRAM) and total
+/// power (more leakage plus higher achieved IPC): larger caches are
+/// never free in this model.
+#[test]
+fn power_and_area_monotone_in_cache_size() {
+    let mut rng = StdRng::seed_from_u64(0x510a);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
+        let ds = space();
+        let sim = Simulator::with_noise(0.0);
+        let mut config = ds.config(&point);
+        config.l1_cache_kb = 16;
+        let small_l1 = sim.simulate(&config, &profile);
+        config.l1_cache_kb = 64;
+        let big_l1 = sim.simulate(&config, &profile);
+        assert!(small_l1.power_w > 0.0 && small_l1.area_mm2 > 0.0);
+        assert!(big_l1.power_w > small_l1.power_w);
+        assert!(big_l1.area_mm2 > small_l1.area_mm2);
+
+        let mut config = ds.config(&point);
+        config.l2_cache_kb = 128;
+        let small_l2 = sim.simulate(&config, &profile);
+        config.l2_cache_kb = 2048;
+        let big_l2 = sim.simulate(&config, &profile);
+        assert!(big_l2.power_w > small_l2.power_w);
+        assert!(big_l2.area_mm2 > small_l2.area_mm2);
+    }
+}
+
+/// The Table-I space is single-core, so its "more core" axis is compute
+/// resources: pipeline width and functional-unit count. Both must
+/// strictly grow area (wider fabric, more FUs) and total power (clock
+/// tree, leakage, higher activity).
+#[test]
+fn power_and_area_monotone_in_core_resources() {
+    let mut rng = StdRng::seed_from_u64(0x510b);
+    for _ in 0..CASES {
+        let point = random_point(&mut rng);
+        let profile = random_profile(&mut rng);
+        let ds = space();
+        let sim = Simulator::with_noise(0.0);
+
+        let mut config = ds.config(&point);
+        config.pipeline_width = 1;
+        let narrow = sim.simulate(&config, &profile);
+        config.pipeline_width = 8;
+        let wide = sim.simulate(&config, &profile);
+        assert!(narrow.power_w > 0.0 && narrow.area_mm2 > 0.0);
+        assert!(wide.power_w > narrow.power_w);
+        assert!(wide.area_mm2 > narrow.area_mm2);
+
+        let mut config = ds.config(&point);
+        config.int_alu = 1;
+        config.fp_alu = 1;
+        let few = sim.simulate(&config, &profile);
+        config.int_alu = 6;
+        config.fp_alu = 4;
+        let many = sim.simulate(&config, &profile);
+        assert!(many.power_w > few.power_w);
+        assert!(many.area_mm2 > few.area_mm2);
+    }
+}
