@@ -282,6 +282,8 @@ fn main() {
     }
 
     let path = std::path::Path::new("BENCH_results.json");
-    h.write_json(path).expect("write BENCH_results.json");
+    // Merge-write: `serve_bench` owns the `serve/` rows in the same file.
+    h.write_json_merged(path, &["matmul/", "sim/", "dataset/", "maml/", "wam/"])
+        .expect("write BENCH_results.json");
     report::kv("wrote", path.display());
 }

@@ -258,6 +258,15 @@ pub mod timing {
             self.samples.last().expect("just pushed")
         }
 
+        /// Records a sample measured outside [`Harness::bench_threads`]
+        /// (e.g. a latency percentile or a throughput computed from a
+        /// multi-threaded run), printing it like a timed benchmark.
+        pub fn record(&mut self, sample: Sample) -> &Sample {
+            crate::report::line(format_sample(&sample));
+            self.samples.push(sample);
+            self.samples.last().expect("just pushed")
+        }
+
         /// All recorded samples, in run order.
         pub fn samples(&self) -> &[Sample] {
             &self.samples
@@ -296,6 +305,66 @@ pub mod timing {
         pub fn write_json(&self, path: &Path) -> io::Result<()> {
             metadse_nn::format::atomic_write(path, self.to_json().as_bytes())
         }
+
+        /// Merge-writes this harness's samples into `path`: existing rows
+        /// whose name starts with one of `owned_prefixes` (or collides
+        /// with a new sample) are replaced, every other row is preserved
+        /// in place. Lets independent benchmark binaries (`bench_report`,
+        /// `serve_bench`) share one `BENCH_results.json` without
+        /// clobbering each other's families.
+        ///
+        /// # Errors
+        ///
+        /// Returns any underlying I/O error (a missing file is not an
+        /// error: the merge starts from empty).
+        pub fn write_json_merged(&self, path: &Path, owned_prefixes: &[&str]) -> io::Result<()> {
+            let existing = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(e),
+            };
+            let mut rows: Vec<String> = Vec::new();
+            for line in existing.lines() {
+                let Some(name) = sample_line_name(line) else {
+                    continue;
+                };
+                let owned = owned_prefixes.iter().any(|p| name.starts_with(p))
+                    || self.samples.iter().any(|s| s.name == name);
+                if !owned {
+                    rows.push(line.trim().trim_end_matches(',').to_string());
+                }
+            }
+            for line in self.to_json().lines() {
+                if sample_line_name(line).is_some() {
+                    rows.push(line.trim().trim_end_matches(',').to_string());
+                }
+            }
+            let mut out = String::from("[\n");
+            for (i, row) in rows.iter().enumerate() {
+                out.push_str("  ");
+                out.push_str(row);
+                out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("]\n");
+            metadse_nn::format::atomic_write(path, out.as_bytes())
+        }
+    }
+
+    /// Extracts the benchmark name from one serialized sample line of a
+    /// `BENCH_results.json` (`{"name": "…", "wall_ns": …}`), handling
+    /// backslash escapes. `None` for array brackets or malformed lines.
+    fn sample_line_name(line: &str) -> Option<String> {
+        let rest = line.trim().strip_prefix("{\"name\": \"")?;
+        let mut name = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => name.push(chars.next()?),
+                '"' => return Some(name),
+                _ => name.push(c),
+            }
+        }
+        None
     }
 
     /// Renders one sample as a fixed-width report line.
@@ -369,6 +438,49 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"allocs\": "));
         assert!(json.contains("parallel\\\"ish"));
+    }
+
+    #[test]
+    fn merged_write_preserves_foreign_rows_and_replaces_owned() {
+        let dir = std::env::temp_dir().join("metadse_bench_merge_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("merged.json");
+        let _ = fs::remove_file(&path);
+
+        let mut first = timing::Harness::new().with_target_ms(1);
+        first.bench("maml/thing", || 1);
+        first.record(timing::Sample {
+            name: "serve/old".to_string(),
+            wall_ns: 42,
+            iters: 1,
+            threads: 1,
+            allocs: 0,
+        });
+        first
+            .write_json_merged(&path, &["maml/", "serve/"])
+            .unwrap();
+
+        let mut second = timing::Harness::new().with_target_ms(1);
+        second.record(timing::Sample {
+            name: "serve/new".to_string(),
+            wall_ns: 7,
+            iters: 1,
+            threads: 1,
+            allocs: 0,
+        });
+        second.write_json_merged(&path, &["serve/"]).unwrap();
+
+        let merged = fs::read_to_string(&path).unwrap();
+        assert!(merged.contains("\"name\": \"maml/thing\""), "{merged}");
+        assert!(merged.contains("\"name\": \"serve/new\""), "{merged}");
+        assert!(!merged.contains("\"name\": \"serve/old\""), "{merged}");
+        assert!(merged.trim_start().starts_with('['));
+        assert!(merged.trim_end().ends_with(']'));
+        // Still one object per line, parseable by the smoke-gate reader.
+        assert_eq!(
+            merged.lines().filter(|l| l.contains("\"wall_ns\"")).count(),
+            2
+        );
     }
 
     #[test]

@@ -314,6 +314,23 @@ pub fn pretrain_metadse(
     (model, mask)
 }
 
+/// Pre-trains a MetaDSE predictor and packages it — together with its WAM
+/// mask — as a sealed [`crate::ServablePredictor`] artifact ready for
+/// publication into a serving model registry.
+pub fn pretrain_servable(
+    env: &Environment,
+    scale: &Scale,
+    metric: Metric,
+    maml: &MamlConfig,
+) -> crate::ServablePredictor {
+    let (model, mask) = pretrain_metadse(env, scale, metric, maml);
+    let label = match metric {
+        Metric::Ipc => "ipc",
+        Metric::Power => "power",
+    };
+    crate::ServablePredictor::capture(&model, Some(&mask), label)
+}
+
 // ---------------------------------------------------------------------
 // Fig. 2 — Wasserstein distances among workloads
 // ---------------------------------------------------------------------

@@ -42,6 +42,7 @@ pub mod experiment;
 pub mod explorer;
 pub mod maml;
 pub mod predictor;
+pub mod servable;
 pub mod trendse;
 pub mod wam;
 
@@ -49,5 +50,6 @@ pub use checkpoint::{CheckpointConfig, Checkpointer, FaultMode, FaultSpec, Train
 pub use evaluation::{EvalSummary, TaskScores};
 pub use maml::{MamlConfig, PretrainReport};
 pub use predictor::{PredictorConfig, TransformerPredictor};
+pub use servable::ServablePredictor;
 pub use trendse::{TrEnDse, TrEnDseConfig, TrEnDseTransformer};
 pub use wam::{AdaptConfig, AttentionStats, WamConfig};

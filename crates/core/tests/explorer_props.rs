@@ -1,0 +1,144 @@
+//! Property-style tests of the explorer's Pareto machinery.
+//!
+//! Each test draws many random fronts from a seeded [`StdRng`] (the
+//! hermetic build has no proptest), so failures are reproducible from
+//! the fixed seed. Objective values are drawn from a coarse grid so
+//! exact ties — the edge the dominance definition has to get right —
+//! occur constantly rather than never.
+
+use metadse::explorer::{hypervolume, pareto_front, ParetoEntry};
+use metadse_sim::ConfigPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 64;
+
+/// Mirror of the explorer's (private) dominance predicate: no worse on
+/// both objectives, strictly better on at least one.
+fn dominates(a: &ParetoEntry, b: &ParetoEntry) -> bool {
+    (a.ipc >= b.ipc && a.power <= b.power) && (a.ipc > b.ipc || a.power < b.power)
+}
+
+/// A random entry set with unique points and grid-valued objectives
+/// (ties are common by construction).
+fn random_entries(rng: &mut StdRng) -> Vec<ParetoEntry> {
+    let n = rng.gen_range(1..40usize);
+    (0..n)
+        .map(|tag| ParetoEntry {
+            point: ConfigPoint::new(vec![tag; 21]),
+            ipc: rng.gen_range(0..8u32) as f64 * 0.5,
+            power: rng.gen_range(0..10u32) as f64,
+        })
+        .collect()
+}
+
+#[test]
+fn pareto_front_is_mutually_non_dominated() {
+    let mut rng = StdRng::seed_from_u64(0xe0_01);
+    for _ in 0..CASES {
+        let entries = random_entries(&mut rng);
+        let front = pareto_front(&entries);
+        for a in &front {
+            for b in &front {
+                assert!(
+                    !dominates(a, b),
+                    "front entry ({}, {}) dominates front entry ({}, {})",
+                    a.ipc,
+                    a.power,
+                    b.ipc,
+                    b.power
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pareto_front_contains_every_non_dominated_input_and_nothing_else() {
+    let mut rng = StdRng::seed_from_u64(0xe0_02);
+    for _ in 0..CASES {
+        let entries = random_entries(&mut rng);
+        let front = pareto_front(&entries);
+        for e in &entries {
+            let undominated = !entries.iter().any(|other| dominates(other, e));
+            let in_front = front.iter().any(|f| f.point == e.point);
+            assert_eq!(
+                undominated, in_front,
+                "entry ({}, {}) undominated={undominated} but in_front={in_front}",
+                e.ipc, e.power
+            );
+        }
+        // And the front never invents entries.
+        for f in &front {
+            assert!(entries.contains(f), "front entry not drawn from the input");
+        }
+    }
+}
+
+#[test]
+fn pareto_front_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xe0_03);
+    for _ in 0..CASES {
+        let front = pareto_front(&random_entries(&mut rng));
+        assert_eq!(pareto_front(&front), front);
+    }
+}
+
+#[test]
+fn hypervolume_is_monotone_under_adding_any_point() {
+    let mut rng = StdRng::seed_from_u64(0xe0_04);
+    for _ in 0..CASES {
+        let mut entries = random_entries(&mut rng);
+        let (ipc_ref, power_ref) = (0.0, 10.0);
+        let before = hypervolume(&entries, ipc_ref, power_ref);
+        entries.push(ParetoEntry {
+            point: ConfigPoint::new(vec![999; 21]),
+            ipc: rng.gen_range(-1.0..5.0),
+            power: rng.gen_range(-1.0..12.0),
+        });
+        let after = hypervolume(&entries, ipc_ref, power_ref);
+        assert!(
+            after >= before,
+            "adding a point shrank the hypervolume: {before} -> {after}"
+        );
+    }
+}
+
+#[test]
+fn hypervolume_strictly_grows_when_a_point_dominates_the_whole_front() {
+    let mut rng = StdRng::seed_from_u64(0xe0_05);
+    for _ in 0..CASES {
+        let mut entries = random_entries(&mut rng);
+        let (ipc_ref, power_ref) = (0.0, 10.0);
+        let before = hypervolume(&entries, ipc_ref, power_ref);
+        // Strictly better than every entry on both objectives, and
+        // strictly inside the reference box.
+        let best_ipc = entries.iter().map(|e| e.ipc).fold(0.0, f64::max);
+        let best_power = entries.iter().map(|e| e.power).fold(power_ref, f64::min);
+        entries.push(ParetoEntry {
+            point: ConfigPoint::new(vec![999; 21]),
+            ipc: best_ipc + 0.25,
+            power: (best_power - 0.25).min(power_ref - 0.25),
+        });
+        let after = hypervolume(&entries, ipc_ref, power_ref);
+        assert!(
+            after > before,
+            "a point dominating the whole front must add volume: {before} -> {after}"
+        );
+    }
+}
+
+#[test]
+fn hypervolume_of_front_equals_hypervolume_of_full_set() {
+    // Dominated entries contribute nothing, so reducing to the front
+    // first must not change the metric.
+    let mut rng = StdRng::seed_from_u64(0xe0_06);
+    for _ in 0..CASES {
+        let entries = random_entries(&mut rng);
+        let front = pareto_front(&entries);
+        assert_eq!(
+            hypervolume(&entries, 0.0, 10.0),
+            hypervolume(&front, 0.0, 10.0)
+        );
+    }
+}

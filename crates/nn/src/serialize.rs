@@ -126,7 +126,10 @@ pub fn load_params(params: &[Param], path: impl AsRef<Path>) -> Result<(), Check
 ///
 /// Same contract as [`load_params`].
 pub fn load_params_from_bytes(params: &[Param], bytes: &[u8]) -> Result<(), CheckpointError> {
-    let entries = read_entries(bytes)?;
+    let entries: Entries = entries_from_bytes(bytes)?
+        .into_iter()
+        .map(|e| (e.name, (e.shape, e.data)))
+        .collect();
     for p in params {
         let (shape, data) = entries.get(p.name()).ok_or_else(|| {
             CheckpointError::Mismatch(format!("parameter {:?} not found in checkpoint", p.name()))
@@ -181,7 +184,27 @@ pub fn adam_state_from_bytes(bytes: &[u8]) -> Result<AdamState, CheckpointError>
 
 type Entries = HashMap<String, (Vec<usize>, Vec<Elem>)>;
 
-fn read_entries(bytes: &[u8]) -> Result<Entries, CheckpointError> {
+/// One named tensor decoded from a parameter payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamEntry {
+    /// Parameter name (the [`Param::name`] it was saved under).
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Tensor values, row-major, exact bit patterns.
+    pub data: Vec<Elem>,
+}
+
+/// Decodes a [`params_to_bytes`] payload into its entries, **in file
+/// order**, without needing a model instance — the loading path for
+/// artifact containers (serving models, inspection tooling) that carry a
+/// parameter payload verbatim.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] for malformed (including
+/// truncated) input.
+pub fn entries_from_bytes(bytes: &[u8]) -> Result<Vec<ParamEntry>, CheckpointError> {
     let mut r = ByteReader::new(bytes);
     if r.take(4)? != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
@@ -193,7 +216,7 @@ fn read_entries(bytes: &[u8]) -> Result<Entries, CheckpointError> {
         )));
     }
     let count = r.u32()? as usize;
-    let mut entries = HashMap::with_capacity(count.min(1024));
+    let mut entries = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
         let name = r.str()?;
         let ndim = r.u32()? as usize;
@@ -216,7 +239,7 @@ fn read_entries(bytes: &[u8]) -> Result<Entries, CheckpointError> {
         for _ in 0..n {
             data.push(r.f64()?);
         }
-        entries.insert(name, (shape, data));
+        entries.push(ParamEntry { name, shape, data });
     }
     Ok(entries)
 }
@@ -279,7 +302,25 @@ mod tests {
 
     #[test]
     fn garbage_file_is_a_format_error() {
-        let err = read_entries(b"not a checkpoint").unwrap_err();
+        let err = entries_from_bytes(b"not a checkpoint").unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn entries_from_bytes_preserves_save_order_and_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new("l", 3, 2, true, &mut rng);
+        let params = layer.params();
+        let entries = entries_from_bytes(&params_to_bytes(&params)).unwrap();
+        assert_eq!(entries.len(), params.len());
+        for (e, p) in entries.iter().zip(&params) {
+            assert_eq!(e.name, p.name());
+            assert_eq!(e.shape, p.shape());
+            let want = p.get().to_vec();
+            assert_eq!(e.data.len(), want.len());
+            for (a, b) in e.data.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

@@ -19,6 +19,11 @@
 //! `METADSE_THREADS` environment variable, otherwise
 //! [`std::thread::available_parallelism`].
 //!
+//! For always-on services (the serving layer's batch workers) that consume
+//! from a queue rather than fanning out over a known task count, the crate
+//! also provides [`WorkerPool`]: long-lived named threads with the same
+//! observability worker tagging as fan-out workers.
+//!
 //! # Work-size threshold and oversubscription
 //!
 //! Spawning scoped workers costs tens of microseconds; a fan-out of a
@@ -223,6 +228,74 @@ pub fn available_parallelism() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A set of long-lived named worker threads.
+///
+/// [`ParallelConfig::run_indexed`] is a fork-join primitive: it spawns
+/// scoped workers per call, which is right for bounded fan-outs but wrong
+/// for always-on services that consume work from a queue for the life of
+/// the process. `WorkerPool` covers that shape: `count` threads are
+/// spawned once, each running `body(worker_index)` to completion, and
+/// [`WorkerPool::join`] waits for all of them (the body is responsible
+/// for observing its own shutdown signal — typically a closed queue).
+///
+/// Workers are tagged for observability exactly like fan-out workers
+/// ([`metadse_obs::set_worker`]), so spans opened inside pool threads
+/// carry worker attribution in traces.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `count` threads named `<name>-<index>`, each running
+    /// `body(index)`. The body is shared: it must be `Send + Sync` and is
+    /// called once per worker with that worker's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread cannot be spawned.
+    pub fn spawn<F>(name: &str, count: usize, body: F) -> WorkerPool
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let body = std::sync::Arc::new(body);
+        let handles = (0..count.max(1))
+            .map(|i| {
+                let body = std::sync::Arc::clone(&body);
+                thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        obs::set_worker(Some(i));
+                        body(i);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no workers (never true: spawn clamps to 1).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to finish.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic.
+    pub fn join(self) {
+        for h in self.handles {
+            h.join().expect("pool worker panicked");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +366,32 @@ mod tests {
         let clamped = ParallelConfig::with_threads(machine + 7).with_serial_cutoff(1);
         assert_eq!(clamped.workers_for(1000), machine);
         assert_eq!(clamped.oversubscribed().workers_for(1000), machine + 7);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_body_and_joins() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let seen = Arc::clone(&seen);
+            WorkerPool::spawn("test-pool", 4, move |i| {
+                // Accumulate 2^i so the final value proves each index ran
+                // exactly once.
+                seen.fetch_add(1 << i, Ordering::SeqCst);
+            })
+        };
+        assert_eq!(pool.len(), 4);
+        pool.join();
+        assert_eq!(seen.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn worker_pool_clamps_to_at_least_one_worker() {
+        let pool = WorkerPool::spawn("lonely", 0, |_| {});
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        pool.join();
     }
 
     #[test]

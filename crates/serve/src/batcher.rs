@@ -1,0 +1,345 @@
+//! Micro-batching queue core: a pure state machine over a virtual clock.
+//!
+//! All batching policy lives here, with **no** threads, locks, or real
+//! time: callers pass `now_us` (microseconds on any monotone clock) into
+//! every transition, so unit tests can drive the exact interleavings —
+//! a deadline expiring one tick before a flush, a batch filling exactly
+//! to `max_batch`, a close racing a pending wait — that wall-clock tests
+//! can only hope to hit. The runtime in [`crate::server`] wraps a
+//! [`QueueCore`] in a mutex/condvar pair and feeds it `Instant`-derived
+//! time; the loom-style tests in `tests/concurrency.rs` feed it a
+//! hand-advanced integer.
+//!
+//! ## Policy
+//!
+//! * **Admission**: the queue is bounded by
+//!   [`BatchConfig::queue_capacity`]; a push beyond it is *shed*
+//!   immediately ([`Admission::Shed`]) rather than blocking the caller —
+//!   under overload the server degrades by rejecting, never by building
+//!   an unbounded backlog.
+//! * **Coalescing**: a batch is released as soon as
+//!   [`BatchConfig::max_batch`] requests are queued, or when the oldest
+//!   request has waited [`BatchConfig::max_wait_us`], whichever comes
+//!   first.
+//! * **Deadlines**: a request may carry an absolute deadline; once
+//!   `now_us` passes it the request is surrendered by
+//!   [`QueueCore::take_expired`] instead of occupying batch slots.
+//! * **Drain**: after [`QueueCore::close`], pushes are refused but
+//!   queued requests keep flowing out in batches until empty — graceful
+//!   shutdown loses nothing that was admitted.
+
+use std::collections::VecDeque;
+
+/// Tuning for the micro-batching queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Release a batch once this many requests are queued (min 1).
+    pub max_batch: usize,
+    /// Release a partial batch once the oldest request has waited this
+    /// long, in microseconds. `0` disables coalescing: every pop releases
+    /// whatever is queued immediately.
+    pub max_wait_us: u64,
+    /// Admission bound: pushes beyond this many queued requests are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_batch: 32,
+            max_wait_us: 200,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// A queued request: caller payload plus the timing the policy needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pending<T> {
+    /// The caller's request.
+    pub payload: T,
+    /// Virtual-clock time the request was admitted.
+    pub enqueued_at_us: u64,
+    /// Absolute virtual-clock deadline, if the caller set one.
+    pub deadline_us: Option<u64>,
+}
+
+/// Outcome of [`QueueCore::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission<T> {
+    /// The request is queued.
+    Accepted,
+    /// The queue is full; the payload is handed back untouched.
+    Shed(T),
+    /// The queue is closed; the payload is handed back untouched.
+    Closed(T),
+}
+
+/// Outcome of [`QueueCore::pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopOutcome<T> {
+    /// A batch is ready — run it.
+    Batch(Vec<Pending<T>>),
+    /// Nothing is ready yet; nothing can happen before this virtual time
+    /// (the earlier of the oldest request's flush point and the soonest
+    /// queued deadline), so sleep until then or until a push arrives.
+    WaitUntil(u64),
+    /// The queue is empty and open — wait for a push.
+    Idle,
+    /// The queue is empty and closed — the worker can exit.
+    Closed,
+}
+
+/// The pure micro-batching state machine. See the module docs for the
+/// policy; see [`crate::server::Server`] for the threaded runtime.
+#[derive(Debug)]
+pub struct QueueCore<T> {
+    config: BatchConfig,
+    queue: VecDeque<Pending<T>>,
+    closed: bool,
+}
+
+impl<T> QueueCore<T> {
+    /// An empty, open queue under `config` (capacities clamped to ≥ 1).
+    pub fn new(config: BatchConfig) -> QueueCore<T> {
+        QueueCore {
+            config: BatchConfig {
+                max_batch: config.max_batch.max(1),
+                queue_capacity: config.queue_capacity.max(1),
+                ..config
+            },
+            queue: VecDeque::new(),
+            closed: false,
+        }
+    }
+
+    /// The effective (clamped) configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether [`close`](QueueCore::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Admits `payload` at virtual time `now_us`, or refuses it.
+    pub fn push(&mut self, payload: T, now_us: u64, deadline_us: Option<u64>) -> Admission<T> {
+        if self.closed {
+            return Admission::Closed(payload);
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            return Admission::Shed(payload);
+        }
+        self.queue.push_back(Pending {
+            payload,
+            enqueued_at_us: now_us,
+            deadline_us,
+        });
+        Admission::Accepted
+    }
+
+    /// Refuses further pushes; queued requests still drain via
+    /// [`pop`](QueueCore::pop).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Removes and returns every queued request whose deadline is at or
+    /// before `now_us`, preserving queue order. The runtime fails these
+    /// with a deadline error; the policy here only evicts them so they
+    /// never occupy batch slots.
+    pub fn take_expired(&mut self, now_us: u64) -> Vec<Pending<T>> {
+        if self
+            .queue
+            .iter()
+            .all(|p| p.deadline_us.is_none_or(|d| d > now_us))
+        {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        for p in self.queue.drain(..) {
+            if p.deadline_us.is_some_and(|d| d <= now_us) {
+                expired.push(p);
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.queue = kept;
+        expired
+    }
+
+    /// Advances the policy at virtual time `now_us`. Call
+    /// [`take_expired`](QueueCore::take_expired) first so dead requests
+    /// are failed rather than served late.
+    pub fn pop(&mut self, now_us: u64) -> PopOutcome<T> {
+        let Some(oldest) = self.queue.front() else {
+            return if self.closed {
+                PopOutcome::Closed
+            } else {
+                PopOutcome::Idle
+            };
+        };
+        let full = self.queue.len() >= self.config.max_batch;
+        let flush_at = oldest
+            .enqueued_at_us
+            .saturating_add(self.config.max_wait_us);
+        if full || self.closed || now_us >= flush_at {
+            let take = self.queue.len().min(self.config.max_batch);
+            return PopOutcome::Batch(self.queue.drain(..take).collect());
+        }
+        // Wake for whichever comes first: the oldest request's flush
+        // point or the soonest deadline (so expiry is noticed on time).
+        let mut wake = flush_at;
+        for p in &self.queue {
+            if let Some(d) = p.deadline_us {
+                wake = wake.min(d);
+            }
+        }
+        PopOutcome::WaitUntil(wake)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(max_batch: usize, max_wait_us: u64, capacity: usize) -> QueueCore<u32> {
+        QueueCore::new(BatchConfig {
+            max_batch,
+            max_wait_us,
+            queue_capacity: capacity,
+        })
+    }
+
+    fn payloads(batch: &[Pending<u32>]) -> Vec<u32> {
+        batch.iter().map(|p| p.payload).collect()
+    }
+
+    #[test]
+    fn empty_queue_is_idle_then_closed() {
+        let mut q = core(4, 100, 8);
+        assert_eq!(q.pop(0), PopOutcome::Idle);
+        q.close();
+        assert_eq!(q.pop(0), PopOutcome::Closed);
+        // Empty flush: closing an empty queue never yields a batch.
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn exactly_full_batch_releases_without_waiting() {
+        let mut q = core(4, 1_000_000, 8);
+        for i in 0..4 {
+            assert_eq!(q.push(i, 0, None), Admission::Accepted);
+        }
+        // Time has not advanced at all — fullness alone releases.
+        match q.pop(0) {
+            PopOutcome::Batch(b) => assert_eq!(payloads(&b), vec![0, 1, 2, 3]),
+            other => panic!("expected a full batch, got {other:?}"),
+        }
+        assert_eq!(q.pop(0), PopOutcome::Idle);
+    }
+
+    #[test]
+    fn partial_batch_waits_exactly_max_wait() {
+        let mut q = core(4, 100, 8);
+        q.push(7, 10, None);
+        // One tick early: still waiting, and the wake time is exact.
+        assert_eq!(q.pop(109), PopOutcome::WaitUntil(110));
+        match q.pop(110) {
+            PopOutcome::Batch(b) => {
+                assert_eq!(payloads(&b), vec![7]);
+                assert_eq!(b[0].enqueued_at_us, 10);
+            }
+            other => panic!("expected flush at max_wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_backlog_drains_in_max_batch_chunks() {
+        let mut q = core(2, 0, 16);
+        for i in 0..5 {
+            q.push(i, 0, None);
+        }
+        let mut seen = Vec::new();
+        while let PopOutcome::Batch(b) = q.pop(0) {
+            assert!(b.len() <= 2);
+            seen.extend(payloads(&b));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "order preserved across chunks");
+    }
+
+    #[test]
+    fn deadline_expiring_while_queued_bounds_the_wait() {
+        let mut q = core(8, 10_000, 16);
+        q.push(1, 0, None);
+        q.push(2, 0, Some(50)); // dies long before the 10 ms flush
+        assert_eq!(q.pop(0), PopOutcome::WaitUntil(50), "wake for the deadline");
+        assert!(q.take_expired(49).is_empty(), "not dead one tick early");
+        let dead = q.take_expired(50);
+        assert_eq!(payloads(&dead), vec![2]);
+        // The survivor still flushes at its own max_wait point.
+        assert_eq!(q.pop(50), PopOutcome::WaitUntil(10_000));
+        match q.pop(10_000) {
+            PopOutcome::Batch(b) => assert_eq!(payloads(&b), vec![1]),
+            other => panic!("expected survivor flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_on_full_hands_the_payload_back() {
+        let mut q = core(4, 100, 2);
+        assert_eq!(q.push(1, 0, None), Admission::Accepted);
+        assert_eq!(q.push(2, 0, None), Admission::Accepted);
+        assert_eq!(q.push(3, 0, None), Admission::Shed(3));
+        assert_eq!(q.len(), 2, "shed pushes leave the queue untouched");
+    }
+
+    #[test]
+    fn close_drains_admitted_requests_then_reports_closed() {
+        let mut q = core(2, 1_000_000, 8);
+        for i in 0..3 {
+            q.push(i, 0, None);
+        }
+        q.close();
+        assert_eq!(q.push(9, 0, None), Admission::Closed(9));
+        // Drain ignores max_wait — shutdown should not dawdle.
+        match q.pop(0) {
+            PopOutcome::Batch(b) => assert_eq!(payloads(&b), vec![0, 1]),
+            other => panic!("expected drain batch, got {other:?}"),
+        }
+        match q.pop(0) {
+            PopOutcome::Batch(b) => assert_eq!(payloads(&b), vec![2]),
+            other => panic!("expected final drain batch, got {other:?}"),
+        }
+        assert_eq!(q.pop(0), PopOutcome::Closed);
+    }
+
+    #[test]
+    fn zero_max_wait_disables_coalescing() {
+        let mut q = core(32, 0, 8);
+        q.push(5, 123, None);
+        match q.pop(123) {
+            PopOutcome::Batch(b) => assert_eq!(payloads(&b), vec![5]),
+            other => panic!("expected immediate release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_clamps_degenerate_sizes() {
+        let q: QueueCore<u32> = core(0, 0, 0);
+        assert_eq!(q.config().max_batch, 1);
+        assert_eq!(q.config().queue_capacity, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # metadse-serve
+//!
+//! Batched inference serving for trained MetaDSE predictors: the
+//! missing layer between "a model finished meta-training" and "a DSE
+//! tool is querying it at scale".
+//!
+//! Three pieces compose the crate:
+//!
+//! * [`registry`] — a directory of generation-rotated, sealed
+//!   [`ServablePredictor`](metadse::ServablePredictor) artifacts per
+//!   workload, loaded fingerprint-checked with newest-first fallback
+//!   past corrupt generations, hot-swappable while serving.
+//! * [`batcher`] — the micro-batching policy as a pure state machine
+//!   over a virtual clock: bounded admission with shed-on-full,
+//!   `max_batch`/`max_wait_us` coalescing, per-request deadlines, and
+//!   graceful drain — all unit-testable with no threads or timers.
+//! * [`server`] — the runtime: a worker pool (on
+//!   [`metadse_parallel::WorkerPool`]) pops batches, groups them by
+//!   model fingerprint, and runs one inference-mode forward per group;
+//!   callers block on per-request [`Ticket`]s.
+//!
+//! Because every op in the `metadse-nn` forward path computes each
+//! output element independently of batch row count, a batched forward
+//! is **bit-identical** to running each request alone — coalescing is
+//! purely a throughput optimization, never an accuracy trade. The soak
+//! test in `tests/concurrency.rs` asserts this across thread counts.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use metadse_serve::{ModelRegistry, ServeConfig, Server};
+//!
+//! let registry = Arc::new(ModelRegistry::open("results/models", 4));
+//! let server = Server::start(registry, ServeConfig::default());
+//! let ticket = server.submit("mcf", &[0.1, 0.5, 0.9, 0.2, 0.7, 0.3], None);
+//! let prediction = ticket.wait().unwrap();
+//! println!("ipc = {}", prediction.value);
+//! server.shutdown();
+//! ```
+
+pub mod batcher;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{Prediction, ServeConfig, ServeError, Server, Ticket};

@@ -1,0 +1,363 @@
+//! Generation-rotated model registry with hot swap and corrupt fallback.
+//!
+//! On disk the registry is one directory per workload, each holding
+//! generation-numbered sealed [`ServablePredictor`] artifacts:
+//!
+//! ```text
+//! <root>/<workload>/gen-00000001.model
+//! <root>/<workload>/gen-00000002.model   ← newest wins
+//! ```
+//!
+//! [`ModelRegistry::publish`] writes the next generation atomically
+//! (temp file → fsync → rename, via [`ServablePredictor::save`]) and
+//! prunes old generations beyond the keep window — the same discipline
+//! as the training checkpointer in `metadse::checkpoint`, so a crash
+//! mid-publish can never leave a half-written artifact where loads look.
+//!
+//! Loading mirrors the checkpointer's *corrupt-generation fallback*:
+//! [`ModelRegistry::refresh`] walks generations newest-first and serves
+//! the first one that decodes; every unreadable generation is warned
+//! about and counted on `serve/corrupt_fallbacks`. A torn latest file
+//! therefore degrades to the previous generation instead of taking the
+//! workload down.
+//!
+//! In memory the registry is a read-mostly table of
+//! `Arc<`[`ModelEntry`]`>` behind an `RwLock`. Lookups clone the `Arc`,
+//! so an in-flight batch keeps using the model it started with while
+//! `refresh`/`publish` swap the table entry underneath — hot swap
+//! without a stop-the-world. Swaps are fingerprint-checked: a refresh
+//! that finds bytes describing the content already being served keeps
+//! the existing entry, so worker-side instance caches keyed by
+//! fingerprint stay warm across no-op refreshes.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use metadse::ServablePredictor;
+use metadse_nn::serialize::CheckpointError;
+use metadse_obs::{self as obs, report};
+
+/// One servable model at one generation, shared immutably with workers.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// Workload the model serves.
+    pub workload: String,
+    /// On-disk generation number this entry was loaded from.
+    pub generation: u64,
+    /// The decoded artifact (fingerprint-verified).
+    pub servable: ServablePredictor,
+}
+
+/// Directory-backed registry of hot-swappable serving models.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    root: PathBuf,
+    /// Generations retained per workload after a publish (min 2).
+    keep: usize,
+    table: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// A registry rooted at `root` (created lazily), retaining `keep`
+    /// generations per workload.
+    pub fn new(root: impl Into<PathBuf>, keep: usize) -> ModelRegistry {
+        ModelRegistry {
+            root: root.into(),
+            keep: keep.max(2),
+            table: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Opens `root` and loads the newest readable generation of every
+    /// workload directory found there.
+    pub fn open(root: impl Into<PathBuf>, keep: usize) -> ModelRegistry {
+        let registry = ModelRegistry::new(root, keep);
+        for workload in registry.scan_workloads() {
+            let _ = registry.refresh(&workload);
+        }
+        registry
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Workload names currently loaded, sorted.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.table.read().unwrap().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The currently served entry for `workload`, if any.
+    pub fn get(&self, workload: &str) -> Option<Arc<ModelEntry>> {
+        self.table.read().unwrap().get(workload).cloned()
+    }
+
+    /// Publishes `servable` as the next generation for `workload`:
+    /// atomic write, prune beyond the keep window, hot-swap the table.
+    /// Returns the generation number written.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating the workload directory or writing the
+    /// artifact; on error the previously served entry stays in place.
+    pub fn publish(
+        &self,
+        workload: &str,
+        servable: &ServablePredictor,
+    ) -> Result<u64, CheckpointError> {
+        let dir = self.workload_dir(workload);
+        fs::create_dir_all(&dir)?;
+        let generations = scan_generations(&dir);
+        let generation = generations.last().map_or(1, |(g, _)| g + 1);
+        servable.save(dir.join(generation_file_name(generation)))?;
+        for (old, path) in &generations {
+            if old + self.keep as u64 <= generation {
+                // Pruning is advisory; never fail a successful publish.
+                let _ = fs::remove_file(path);
+            }
+        }
+        self.install(Arc::new(ModelEntry {
+            workload: workload.to_string(),
+            generation,
+            servable: servable.clone(),
+        }));
+        obs::gauge("serve/generation", generation as f64);
+        Ok(generation)
+    }
+
+    /// Re-reads `workload` from disk, newest generation first, falling
+    /// back past corrupt files (each fallback is warned about and
+    /// counted on `serve/corrupt_fallbacks`). Returns the entry now
+    /// being served, or `None` when nothing on disk is readable — in
+    /// which case a previously loaded entry is *kept*, not dropped.
+    pub fn refresh(&self, workload: &str) -> Option<Arc<ModelEntry>> {
+        let dir = self.workload_dir(workload);
+        for (generation, path) in scan_generations(&dir).iter().rev() {
+            match ServablePredictor::load(path) {
+                Ok(servable) => {
+                    if let Some(current) = self.get(workload) {
+                        // Fingerprint-checked swap: identical content at
+                        // the same generation keeps worker caches warm.
+                        if current.generation == *generation
+                            && current.servable.fingerprint() == servable.fingerprint()
+                        {
+                            return Some(current);
+                        }
+                    }
+                    let entry = Arc::new(ModelEntry {
+                        workload: workload.to_string(),
+                        generation: *generation,
+                        servable,
+                    });
+                    self.install(entry.clone());
+                    return Some(entry);
+                }
+                Err(e) => {
+                    obs::counter("serve/corrupt_fallbacks", 1);
+                    report::warn(format!(
+                        "model {} unreadable ({e}); falling back to the previous generation",
+                        path.display()
+                    ));
+                }
+            }
+        }
+        self.get(workload)
+    }
+
+    /// Refreshes every workload directory under the root; returns the
+    /// sorted names that ended up served.
+    pub fn refresh_all(&self) -> Vec<String> {
+        for workload in self.scan_workloads() {
+            let _ = self.refresh(&workload);
+        }
+        self.workloads()
+    }
+
+    fn install(&self, entry: Arc<ModelEntry>) {
+        self.table
+            .write()
+            .unwrap()
+            .insert(entry.workload.clone(), entry);
+    }
+
+    fn workload_dir(&self, workload: &str) -> PathBuf {
+        self.root.join(workload)
+    }
+
+    fn scan_workloads(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| {
+                let e = e.ok()?;
+                if !e.file_type().ok()?.is_dir() {
+                    return None;
+                }
+                Some(e.file_name().to_str()?.to_string())
+            })
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+fn generation_file_name(generation: u64) -> String {
+    format!("gen-{generation:08}.model")
+}
+
+/// Parses `gen-XXXXXXXX.model`, rejecting temp files and strangers.
+fn parse_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?
+        .strip_suffix(".model")?
+        .parse()
+        .ok()
+}
+
+/// Generation files under `dir`, sorted oldest → newest. A missing
+/// directory is an empty list, not an error.
+fn scan_generations(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut generations: Vec<(u64, PathBuf)> = entries
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let generation = parse_generation(e.file_name().to_str()?)?;
+            Some((generation, e.path()))
+        })
+        .collect();
+    generations.sort_unstable_by_key(|(g, _)| *g);
+    generations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadse::predictor::{PredictorConfig, TransformerPredictor};
+
+    fn small_servable(seed: u64) -> ServablePredictor {
+        let model = TransformerPredictor::new(
+            PredictorConfig {
+                num_params: 4,
+                d_model: 8,
+                heads: 2,
+                depth: 1,
+                d_hidden: 12,
+                head_hidden: 8,
+            },
+            seed,
+        );
+        ServablePredictor::capture(&model, None, "ipc")
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "metadse-serve-registry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn publish_rotates_generations_and_prunes() {
+        let root = temp_root("rotate");
+        let registry = ModelRegistry::new(&root, 2);
+        for seed in 0..4 {
+            let generation = registry.publish("mcf", &small_servable(seed)).unwrap();
+            assert_eq!(generation, seed + 1);
+        }
+        let on_disk: Vec<u64> = scan_generations(&root.join("mcf"))
+            .iter()
+            .map(|(g, _)| *g)
+            .collect();
+        assert_eq!(on_disk, vec![3, 4], "keep=2 retains the last two");
+        assert_eq!(registry.get("mcf").unwrap().generation, 4);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_loads_newest_generation_of_every_workload() {
+        let root = temp_root("open");
+        {
+            let writer = ModelRegistry::new(&root, 4);
+            writer.publish("mcf", &small_servable(1)).unwrap();
+            writer.publish("mcf", &small_servable(2)).unwrap();
+            writer.publish("gcc", &small_servable(3)).unwrap();
+        }
+        let registry = ModelRegistry::open(&root, 4);
+        assert_eq!(registry.workloads(), vec!["gcc", "mcf"]);
+        assert_eq!(registry.get("mcf").unwrap().generation, 2);
+        assert_eq!(
+            registry.get("mcf").unwrap().servable.fingerprint(),
+            small_servable(2).fingerprint()
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_latest_generation_falls_back_to_previous() {
+        let root = temp_root("torn");
+        let registry = ModelRegistry::new(&root, 4);
+        registry.publish("mcf", &small_servable(1)).unwrap();
+        registry.publish("mcf", &small_servable(2)).unwrap();
+
+        // Tear the newest file mid-byte, as a crashed publish that
+        // bypassed the atomic rename would.
+        let newest = root.join("mcf").join(generation_file_name(2));
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let fresh = ModelRegistry::open(&root, 4);
+        let entry = fresh.get("mcf").expect("fallback generation served");
+        assert_eq!(entry.generation, 1, "corrupt latest must fall back");
+        assert_eq!(
+            entry.servable.fingerprint(),
+            small_servable(1).fingerprint()
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn refresh_keeps_served_entry_when_disk_is_unreadable() {
+        let root = temp_root("keep");
+        let registry = ModelRegistry::new(&root, 4);
+        registry.publish("mcf", &small_servable(1)).unwrap();
+        // Wreck everything on disk; the in-memory entry must survive.
+        for (_, path) in scan_generations(&root.join("mcf")) {
+            fs::write(&path, b"garbage").unwrap();
+        }
+        let entry = registry.refresh("mcf").expect("stale entry retained");
+        assert_eq!(entry.generation, 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn noop_refresh_returns_the_same_arc() {
+        let root = temp_root("noop");
+        let registry = ModelRegistry::new(&root, 4);
+        registry.publish("mcf", &small_servable(1)).unwrap();
+        let before = registry.get("mcf").unwrap();
+        let after = registry.refresh("mcf").unwrap();
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "identical content must not churn the entry"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_workload_is_none() {
+        let root = temp_root("missing");
+        let registry = ModelRegistry::new(&root, 4);
+        assert!(registry.get("nope").is_none());
+        assert!(registry.refresh("nope").is_none());
+        fs::remove_dir_all(&root).ok();
+    }
+}

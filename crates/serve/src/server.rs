@@ -1,0 +1,358 @@
+//! The threaded serving runtime: workers, tickets, batch execution.
+//!
+//! [`Server::start`] wraps a [`QueueCore`] in a mutex/condvar pair and
+//! spins up a [`metadse_parallel::WorkerPool`]. Callers submit single
+//! `(workload, configuration)` queries with [`Server::submit`] and block
+//! on the returned [`Ticket`]; workers coalesce queued requests into
+//! batches (per the [`BatchConfig`] policy), group each batch by model
+//! fingerprint, and run **one** inference-mode `predict` per group.
+//!
+//! The autodiff graph in `metadse-nn` is `Rc`-backed and thread-bound,
+//! so models never cross threads: each worker rebuilds its own
+//! [`TransformerPredictor`] from the registry's plain-data
+//! [`ServablePredictor`](metadse::ServablePredictor) artifact and caches
+//! it per workload, keyed by content fingerprint — a hot-swapped
+//! generation is picked up on the first batch that carries it, and
+//! batched execution stays bit-identical to a serial `predict` on the
+//! same artifact (asserted by the soak test in `tests/concurrency.rs`).
+//!
+//! Observability (feature `obs`): `serve/queue_depth` gauge,
+//! `serve/batch_size` and `serve/e2e_latency_us` histograms,
+//! `serve/shed` and `serve/deadline_miss` counters.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use metadse::predictor::TransformerPredictor;
+use metadse_obs as obs;
+use metadse_parallel::WorkerPool;
+
+use crate::batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
+use crate::registry::{ModelEntry, ModelRegistry};
+
+/// Serving runtime tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Micro-batching policy.
+    pub batch: BatchConfig,
+    /// Worker threads executing batches (min 1).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch: BatchConfig::default(),
+            workers: 2,
+        }
+    }
+}
+
+/// Why a request was refused or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full; retry with backoff.
+    Shed,
+    /// The server is shutting down (or the worker side vanished).
+    Closed,
+    /// The request's deadline passed while it was still queued.
+    DeadlineMiss,
+    /// No model is registered for this workload.
+    UnknownWorkload(String),
+    /// The configuration vector has the wrong number of parameters.
+    BadArity {
+        /// Parameters the model expects.
+        expected: usize,
+        /// Parameters the request carried.
+        got: usize,
+    },
+    /// The model artifact could not be instantiated on a worker.
+    Artifact(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shed => write!(f, "request shed: admission queue full"),
+            ServeError::Closed => write!(f, "server closed"),
+            ServeError::DeadlineMiss => write!(f, "deadline passed while queued"),
+            ServeError::UnknownWorkload(w) => write!(f, "no model registered for workload {w:?}"),
+            ServeError::BadArity { expected, got } => {
+                write!(
+                    f,
+                    "configuration has {got} parameters, model expects {expected}"
+                )
+            }
+            ServeError::Artifact(m) => write!(f, "model artifact failed to instantiate: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The model's predicted metric value.
+    pub value: f64,
+    /// Registry generation of the model that served the request.
+    pub generation: u64,
+    /// Size of the forward batch this request was coalesced into.
+    pub batch_size: usize,
+}
+
+/// One queued query, resolved to its model at admission time so a
+/// concurrent hot swap never splits a batch's view of a workload.
+struct Request {
+    entry: Arc<ModelEntry>,
+    config: Vec<f64>,
+    tx: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+/// Handle for one submitted request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes or fails.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    core: Mutex<QueueCore<Request>>,
+    cv: Condvar,
+    /// Epoch for the virtual microsecond clock fed to the queue core.
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A running batched-inference server over a [`ModelRegistry`].
+pub struct Server {
+    shared: Arc<Shared>,
+    pool: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Starts `config.workers` serving threads over `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            registry,
+            core: Mutex::new(QueueCore::new(config.batch)),
+            cv: Condvar::new(),
+            epoch: Instant::now(),
+        });
+        let worker_shared = shared.clone();
+        let pool = WorkerPool::spawn("serve", config.workers.max(1), move |_| {
+            worker_loop(&worker_shared);
+        });
+        Server {
+            shared,
+            pool: Some(pool),
+        }
+    }
+
+    /// The registry this server reads models from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Requests currently queued (excluding in-flight batches).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.core.lock().unwrap().len()
+    }
+
+    /// Submits one query. Unknown workloads and arity mismatches fail
+    /// the ticket immediately; otherwise the request is admitted (or
+    /// shed) and resolved by a worker batch. `timeout` bounds the time
+    /// the request may sit in the queue, not the batch execution.
+    pub fn submit(&self, workload: &str, config: &[f64], timeout: Option<Duration>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        let Some(entry) = self.shared.registry.get(workload) else {
+            let _ = tx.send(Err(ServeError::UnknownWorkload(workload.to_string())));
+            return ticket;
+        };
+        let expected = entry.servable.config.num_params;
+        if config.len() != expected {
+            let _ = tx.send(Err(ServeError::BadArity {
+                expected,
+                got: config.len(),
+            }));
+            return ticket;
+        }
+        let now = self.shared.now_us();
+        let deadline = timeout.map(|t| now.saturating_add(t.as_micros() as u64));
+        let request = Request {
+            entry,
+            config: config.to_vec(),
+            tx,
+        };
+        let admission = {
+            let mut core = self.shared.core.lock().unwrap();
+            let admission = core.push(request, now, deadline);
+            obs::gauge("serve/queue_depth", core.len() as f64);
+            admission
+        };
+        match admission {
+            Admission::Accepted => self.shared.cv.notify_one(),
+            Admission::Shed(request) => {
+                obs::counter("serve/shed", 1);
+                let _ = request.tx.send(Err(ServeError::Shed));
+            }
+            Admission::Closed(request) => {
+                let _ = request.tx.send(Err(ServeError::Closed));
+            }
+        }
+        ticket
+    }
+
+    /// Stops admitting, drains every queued request through the normal
+    /// batch path, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.core.lock().unwrap().close();
+        self.shared.cv.notify_all();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Thread-local instance cache: workload → (fingerprint, predictor).
+    // Keyed by fingerprint so a hot-swapped generation rebuilds exactly
+    // once per worker, while no-op refreshes keep the instance warm.
+    let mut cache: HashMap<String, (u64, TransformerPredictor)> = HashMap::new();
+    let mut guard = shared.core.lock().unwrap();
+    loop {
+        let now = shared.now_us();
+        let expired = guard.take_expired(now);
+        if !expired.is_empty() {
+            obs::counter("serve/deadline_miss", expired.len() as u64);
+            for dead in expired {
+                let _ = dead.payload.tx.send(Err(ServeError::DeadlineMiss));
+            }
+        }
+        match guard.pop(now) {
+            PopOutcome::Batch(batch) => {
+                obs::gauge("serve/queue_depth", guard.len() as f64);
+                drop(guard);
+                run_batch(shared, &mut cache, batch);
+                guard = shared.core.lock().unwrap();
+            }
+            PopOutcome::WaitUntil(wake_us) => {
+                let wait = Duration::from_micros(wake_us.saturating_sub(shared.now_us()));
+                guard = shared.cv.wait_timeout(guard, wait).unwrap().0;
+            }
+            PopOutcome::Idle => guard = shared.cv.wait(guard).unwrap(),
+            PopOutcome::Closed => break,
+        }
+    }
+}
+
+fn run_batch(
+    shared: &Shared,
+    cache: &mut HashMap<String, (u64, TransformerPredictor)>,
+    batch: Vec<Pending<Request>>,
+) {
+    obs::histogram("serve/batch_size", batch.len() as f64);
+    // Group by model identity; requests for distinct workloads (or two
+    // generations caught mid-swap) coalesce into separate forwards.
+    let mut groups: HashMap<u64, Vec<Pending<Request>>> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for pending in batch {
+        let key = pending.payload.entry.servable.fingerprint();
+        let group = groups.entry(key).or_default();
+        if group.is_empty() {
+            order.push(key);
+        }
+        group.push(pending);
+    }
+    for key in order {
+        let mut group = groups.remove(&key).unwrap();
+        let entry = group[0].payload.entry.clone();
+        let model = match cached_instance(cache, &entry) {
+            Ok(model) => model,
+            Err(e) => {
+                let message = e.to_string();
+                for pending in group {
+                    let _ = pending
+                        .payload
+                        .tx
+                        .send(Err(ServeError::Artifact(message.clone())));
+                }
+                continue;
+            }
+        };
+        let inputs: Vec<Vec<f64>> = group
+            .iter_mut()
+            .map(|p| std::mem::take(&mut p.payload.config))
+            .collect();
+        let values = model.predict(&inputs);
+        let done_us = shared.now_us();
+        let batch_size = group.len();
+        for (pending, value) in group.into_iter().zip(values) {
+            obs::histogram(
+                "serve/e2e_latency_us",
+                done_us.saturating_sub(pending.enqueued_at_us) as f64,
+            );
+            let _ = pending.payload.tx.send(Ok(Prediction {
+                value,
+                generation: pending.payload.entry.generation,
+                batch_size,
+            }));
+        }
+    }
+}
+
+/// The worker's live predictor for `entry`, instantiating on first use
+/// or when the served fingerprint changed.
+fn cached_instance<'a>(
+    cache: &'a mut HashMap<String, (u64, TransformerPredictor)>,
+    entry: &ModelEntry,
+) -> Result<&'a TransformerPredictor, metadse_nn::serialize::CheckpointError> {
+    let fingerprint = entry.servable.fingerprint();
+    let slot = cache.entry(entry.workload.clone());
+    let slot = match slot {
+        std::collections::hash_map::Entry::Occupied(o) if o.get().0 == fingerprint => {
+            return Ok(&o.into_mut().1)
+        }
+        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let model = entry.servable.instantiate()?;
+            return Ok(&v.insert((fingerprint, model)).1);
+        }
+    };
+    *slot = (fingerprint, entry.servable.instantiate()?);
+    Ok(&slot.1)
+}
