@@ -16,10 +16,10 @@
 use metadse::maml::{pretrain, MamlConfig};
 use metadse::predictor::{PredictorConfig, TransformerPredictor};
 use metadse::wam::{self, AdaptConfig};
-use metadse_bench::report;
 use metadse_bench::timing::{black_box, Harness};
+use metadse_bench::{report, serving};
 use metadse_nn::autograd::no_grad;
-use metadse_nn::Tensor;
+use metadse_nn::{backend, BackendKind, Tensor};
 use metadse_parallel::ParallelConfig;
 use metadse_sim::{DesignSpace, Simulator};
 use metadse_workloads::{Dataset, Metric, SpecWorkload, Task, TaskSampler};
@@ -58,15 +58,21 @@ fn naive_matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> 
     out
 }
 
+/// Deterministic operand pair for one matmul shape.
+fn matmul_operands(m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0xbe);
+    let a = metadse_nn::init::normal(&[m, k], 1.0, &mut rng);
+    let b = metadse_nn::init::normal(&[k, n], 1.0, &mut rng);
+    (a, b)
+}
+
 fn matmul_benches(h: &mut Harness) {
     // Transformer-predictor shapes: a 45-row query batch hitting the
     // d_model=32 projections and the 64-wide FFN.
     for (m, k, n) in [(45, 21, 32), (45, 32, 32), (45, 32, 64), (64, 64, 64)] {
-        let mut rng = StdRng::seed_from_u64(0xbe);
-        let a_data: Vec<f64> = metadse_nn::init::normal(&[m, k], 1.0, &mut rng).to_vec();
-        let b_data: Vec<f64> = metadse_nn::init::normal(&[k, n], 1.0, &mut rng).to_vec();
-        let a = Tensor::from_vec(a_data.clone(), &[m, k]);
-        let b = Tensor::from_vec(b_data.clone(), &[k, n]);
+        let (a, b) = matmul_operands(m, k, n);
+        let a_data = a.to_vec();
+        let b_data = b.to_vec();
         h.bench(&format!("matmul/naive/{m}x{k}x{n}"), || {
             black_box(naive_matmul(&a_data, &b_data, m, k, n))
         });
@@ -128,30 +134,69 @@ fn tiny_predictor() -> TransformerPredictor {
     )
 }
 
-fn maml_benches(h: &mut Harness) {
+/// The training datasets behind the `maml/pretrain_epoch` rows.
+fn maml_train_data() -> Vec<Dataset> {
     let space = DesignSpace::new();
     let simulator = Simulator::new();
     let mut rng = StdRng::seed_from_u64(3);
-    let train: Vec<Dataset> = [SpecWorkload::Gcc602, SpecWorkload::Lbm619]
+    [SpecWorkload::Gcc602, SpecWorkload::Lbm619]
         .iter()
         .map(|&w| Dataset::generate(&space, &simulator, w, 60, &mut rng))
-        .collect();
+        .collect()
+}
+
+/// The reduced pretrain config behind the `maml/pretrain_epoch` rows.
+fn maml_bench_config(threads: usize, forced: bool) -> MamlConfig {
+    MamlConfig {
+        epochs: 1,
+        iterations_per_epoch: 2,
+        inner_steps: 2,
+        support_size: 5,
+        query_size: 20,
+        val_tasks: 0,
+        parallel: variant_config(threads, forced),
+        ..MamlConfig::paper()
+    }
+}
+
+fn maml_benches(h: &mut Harness) {
+    let train = maml_train_data();
     for (label, threads, forced) in THREAD_VARIANTS {
-        let config = MamlConfig {
-            epochs: 1,
-            iterations_per_epoch: 2,
-            inner_steps: 2,
-            support_size: 5,
-            query_size: 20,
-            val_tasks: 0,
-            parallel: variant_config(threads, forced),
-            ..MamlConfig::paper()
-        };
+        let config = maml_bench_config(threads, forced);
         h.bench_threads(&format!("maml/pretrain_epoch/{label}"), threads, || {
             let model = tiny_predictor();
             black_box(pretrain(&model, &train, &[], Metric::Ipc, &config))
         });
     }
+}
+
+/// Re-times the headline kernels with the scalar backend forced
+/// process-wide, so `BENCH_results.json` carries `…@scalar` rows next
+/// to the canonical (default-backend) ones and the SIMD speedup is a
+/// same-machine, same-run comparison. Skipped when the scalar backend
+/// is already the active one (the canonical rows then *are* scalar).
+fn backend_comparison_benches(h: &mut Harness) {
+    let active = backend::kind();
+    report::kv("tensor backend (canonical rows)", active.name());
+    if active == BackendKind::Scalar {
+        report::line("scalar backend already active; skipping @scalar rows");
+        return;
+    }
+    backend::set_process_kind(BackendKind::Scalar);
+
+    let (a, b) = matmul_operands(64, 64, 64);
+    h.bench("matmul/packed/64x64x64@scalar", || {
+        no_grad(|| black_box(a.matmul(&b)))
+    });
+
+    let train = maml_train_data();
+    let config = maml_bench_config(1, false);
+    h.bench_threads("maml/pretrain_epoch/t1@scalar", 1, || {
+        let model = tiny_predictor();
+        black_box(pretrain(&model, &train, &[], Metric::Ipc, &config))
+    });
+
+    backend::set_process_kind(active);
 }
 
 fn adapt_sweep_benches(h: &mut Harness) {
@@ -191,56 +236,100 @@ fn committed_wall_ns(json: &str, name: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
-/// CI regression gate: re-times `maml/pretrain_epoch/t1` at a reduced
-/// measurement budget and fails (exit 1) if it regressed more than 25%
-/// against the committed `BENCH_results.json` baseline. The check is
-/// best-of-three: a genuine regression slows every attempt, while a
-/// scheduler hiccup or noisy neighbour only spoils one, so the gate
-/// passes as soon as any attempt lands inside the limit. Never rewrites
-/// the baseline file.
-fn smoke() {
-    const SMOKE_BENCH: &str = "maml/pretrain_epoch/t1";
-    const MAX_RATIO: f64 = 1.25;
+/// Best-of-three regression gate on one committed row: re-measures
+/// `measure()` and passes as soon as any attempt lands within
+/// `max_ratio` of the committed baseline — a genuine regression slows
+/// every attempt, while a scheduler hiccup or noisy neighbour only
+/// spoils one. Returns `false` on a sustained regression; a missing
+/// baseline row passes with a warning so the gate stays usable while a
+/// new row family lands. Never rewrites the baseline file.
+fn gate_row(
+    committed: &str,
+    name: &str,
+    max_ratio: f64,
+    mut measure: impl FnMut() -> u128,
+) -> bool {
     const ATTEMPTS: usize = 3;
-
-    report::banner("MetaDSE benchmark smoke check");
-    let committed = std::fs::read_to_string("BENCH_results.json")
-        .expect("smoke mode needs the committed BENCH_results.json baseline");
-    let baseline =
-        committed_wall_ns(&committed, SMOKE_BENCH).expect("baseline entry for smoke benchmark");
-    report::kv("baseline wall_ns", baseline);
-
+    let Some(baseline) = committed_wall_ns(committed, name) else {
+        report::warn(format!(
+            "no committed baseline row for {name}; gate skipped"
+        ));
+        return true;
+    };
+    report::kv(&format!("{name} baseline wall_ns"), baseline);
     let mut best = u128::MAX;
     for attempt in 1..=ATTEMPTS {
-        let mut h = Harness::new().with_target_ms(150);
-        maml_benches(&mut h);
-        let sample = h
-            .samples()
-            .iter()
-            .find(|s| s.name == SMOKE_BENCH)
-            .expect("smoke benchmark ran");
-
-        let ratio = sample.wall_ns as f64 / baseline as f64;
+        let wall_ns = measure();
+        let ratio = wall_ns as f64 / baseline as f64;
         report::kv(
-            &format!("attempt {attempt}/{ATTEMPTS} wall_ns"),
-            sample.wall_ns,
+            &format!("{name} attempt {attempt}/{ATTEMPTS}"),
+            format!("{wall_ns} ns ({ratio:.3}x)"),
         );
-        report::kv("ratio", format!("{ratio:.3}"));
-        if metadse_bench::alloc_count::enabled() {
-            report::kv("allocs per epoch", sample.allocs);
-        }
-        best = best.min(sample.wall_ns);
-        if ratio <= MAX_RATIO {
-            report::line(format!("OK: {SMOKE_BENCH} within {MAX_RATIO}x of baseline"));
-            return;
+        best = best.min(wall_ns);
+        if ratio <= max_ratio {
+            report::line(format!("OK: {name} within {max_ratio}x of baseline"));
+            return true;
         }
     }
-    let ratio = best as f64 / baseline as f64;
     report::line(format!(
-        "FAIL: {SMOKE_BENCH} regressed {ratio:.2}x vs committed baseline \
-         (limit {MAX_RATIO}x, best of {ATTEMPTS} attempts)"
+        "FAIL: {name} regressed {:.2}x vs committed baseline \
+         (limit {max_ratio}x, best of {ATTEMPTS} attempts)",
+        best as f64 / baseline as f64
     ));
-    std::process::exit(1);
+    false
+}
+
+/// CI regression gate: re-times the three headline hot-path rows —
+/// `maml/pretrain_epoch/t1` (end-to-end training epoch),
+/// `matmul/packed/64x64x64` (dense kernel) and `serve/raw_predict_b32`
+/// (batched inference forward) — at a reduced measurement budget and
+/// fails (exit 1) if any regressed against the committed
+/// `BENCH_results.json` baseline. The micro-kernel rows get a looser
+/// ratio than the epoch row: their absolute times are small enough that
+/// CI-runner timing noise is proportionally larger.
+fn smoke() {
+    report::banner("MetaDSE benchmark smoke check");
+    report::kv("tensor backend", backend::kind().name());
+    let committed = std::fs::read_to_string("BENCH_results.json")
+        .expect("smoke mode needs the committed BENCH_results.json baseline");
+
+    let train = maml_train_data();
+    let maml_config = maml_bench_config(1, false);
+    let (a, b) = matmul_operands(64, 64, 64);
+    let (serve_model, serve_batch) = serving::raw_predict_fixture();
+
+    // Evaluate every gate (no short-circuit) so one failure still
+    // reports the state of the others.
+    let results = [
+        gate_row(&committed, "maml/pretrain_epoch/t1", 1.25, || {
+            let mut h = Harness::new().with_target_ms(150);
+            let sample = h.bench_threads("maml/pretrain_epoch/t1", 1, || {
+                let model = tiny_predictor();
+                black_box(pretrain(&model, &train, &[], Metric::Ipc, &maml_config))
+            });
+            if metadse_bench::alloc_count::enabled() {
+                report::kv("allocs per epoch", sample.allocs);
+            }
+            sample.wall_ns
+        }),
+        gate_row(&committed, "matmul/packed/64x64x64", 1.6, || {
+            let mut h = Harness::new().with_target_ms(60);
+            h.bench("matmul/packed/64x64x64", || {
+                no_grad(|| black_box(a.matmul(&b)))
+            })
+            .wall_ns
+        }),
+        gate_row(&committed, "serve/raw_predict_b32", 1.6, || {
+            let mut h = Harness::new().with_target_ms(60);
+            h.bench("serve/raw_predict_b32", || {
+                black_box(serve_model.predict(&serve_batch))
+            })
+            .wall_ns
+        }),
+    ];
+    if results.iter().any(|ok| !ok) {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -264,6 +353,7 @@ fn main() {
     dataset_benches(&mut h);
     maml_benches(&mut h);
     adapt_sweep_benches(&mut h);
+    backend_comparison_benches(&mut h);
 
     let packed_vs_naive: Vec<String> = h
         .samples()

@@ -301,6 +301,12 @@ fn main() {
     let digest = run_digest(&baseline);
     report::line(format!("baseline digest {digest} [{:?}]", t0.elapsed()));
     if let Ok(path) = std::env::var("METADSE_DIGEST_FILE") {
+        // Per-backend digest pin, mirroring the core test suites: scalar
+        // keeps the unsuffixed file, other backends use `<path>.<backend>`.
+        let path = match metadse_nn::backend::kind() {
+            metadse_nn::BackendKind::Scalar => path,
+            kind => format!("{path}.{}", kind.name()),
+        };
         match std::fs::read_to_string(&path) {
             Ok(previous) if !previous.trim().is_empty() => {
                 if previous.trim() != digest {

@@ -37,23 +37,11 @@ use std::time::{Duration, Instant};
 
 use metadse::predictor::{PredictorConfig, TransformerPredictor};
 use metadse::ServablePredictor;
-use metadse_bench::report;
+use metadse_bench::serving::{request_row, BATCH, DISPATCH_GEOM};
 use metadse_bench::timing::{black_box, human_ns, Harness, Sample};
+use metadse_bench::{report, serving};
+use metadse_nn::{backend, BackendKind};
 use metadse_serve::{BatchConfig, ModelRegistry, ServeConfig, Server};
-
-/// Dispatch-bound serving geometry: tiny rows, deep stack. Per-call op
-/// dispatch dominates per-row math, so batching has real headroom.
-const DISPATCH_GEOM: PredictorConfig = PredictorConfig {
-    num_params: 2,
-    d_model: 2,
-    heads: 1,
-    depth: 16,
-    d_hidden: 2,
-    head_hidden: 2,
-};
-
-/// The batch size the headline rows are measured at.
-const BATCH: usize = 32;
 
 /// Name of the row the `--smoke` gate checks.
 const SMOKE_ROW: &str = "serve/batch32_p99";
@@ -80,13 +68,6 @@ fn bench_server(workload: &str, geom: PredictorConfig, max_batch: usize) -> Serv
             workers: 1,
         },
     )
-}
-
-/// A deterministic feature row for request `i`.
-fn request_row(i: usize, arity: usize) -> Vec<f64> {
-    (0..arity)
-        .map(|j| ((i * 7 + j * 3) % 17) as f64 / 17.0)
-        .collect()
 }
 
 /// `p`-th percentile (0–100) of unsorted latencies, in nanoseconds.
@@ -214,13 +195,12 @@ fn record_family(h: &mut Harness, family: &str, threads: usize, mut latencies: V
 
 /// Raw predictor cost outside the serving stack: batch-1 call and
 /// per-row share of a batch-32 call — the model-level amortization
-/// ceiling no serving layer can beat.
+/// ceiling no serving layer can beat. Also records the batch-32 row
+/// under the scalar tensor backend (`…@scalar`) so the SIMD inference
+/// win is a same-machine comparison in `BENCH_results.json`.
 fn raw_rows(h: &mut Harness) {
-    let model = TransformerPredictor::new(DISPATCH_GEOM, 9);
+    let (model, many) = serving::raw_predict_fixture();
     let one = vec![request_row(0, DISPATCH_GEOM.num_params)];
-    let many: Vec<Vec<f64>> = (0..BATCH)
-        .map(|i| request_row(i, DISPATCH_GEOM.num_params))
-        .collect();
     h.bench("serve/raw_predict_b1", || black_box(model.predict(&one)));
     let batch_ns = h
         .bench(&format!("serve/raw_predict_b{BATCH}"), || {
@@ -234,6 +214,14 @@ fn raw_rows(h: &mut Harness) {
         threads: 1,
         allocs: 0,
     });
+    let active = backend::kind();
+    if active != BackendKind::Scalar {
+        backend::set_process_kind(BackendKind::Scalar);
+        h.bench(&format!("serve/raw_predict_b{BATCH}@scalar"), || {
+            black_box(model.predict(&many))
+        });
+        backend::set_process_kind(active);
+    }
 }
 
 fn full_report() {

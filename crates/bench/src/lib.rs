@@ -85,6 +85,49 @@ pub mod alloc_count {
     }
 }
 
+/// Shared fixtures for the serving benchmarks, used by both
+/// `serve_bench` (which owns the full `serve/` row family in
+/// `BENCH_results.json`) and `bench_report --smoke` (which re-times the
+/// raw batched forward as a regression gate). Keeping the geometry and
+/// the request generator in one place guarantees the gate measures
+/// exactly what the committed row measured.
+pub mod serving {
+    use metadse::predictor::{PredictorConfig, TransformerPredictor};
+
+    /// Dispatch-bound serving geometry: tiny rows, deep stack. Per-call
+    /// op dispatch dominates per-row math, so batching has real
+    /// headroom.
+    pub const DISPATCH_GEOM: PredictorConfig = PredictorConfig {
+        num_params: 2,
+        d_model: 2,
+        heads: 1,
+        depth: 16,
+        d_hidden: 2,
+        head_hidden: 2,
+    };
+
+    /// The batch size the headline serving rows are measured at.
+    pub const BATCH: usize = 32;
+
+    /// A deterministic feature row for request `i`.
+    pub fn request_row(i: usize, arity: usize) -> Vec<f64> {
+        (0..arity)
+            .map(|j| ((i * 7 + j * 3) % 17) as f64 / 17.0)
+            .collect()
+    }
+
+    /// The model and input batch behind the `serve/raw_predict_b32`
+    /// row: a fresh dispatch-geometry predictor and [`BATCH`]
+    /// deterministic rows.
+    pub fn raw_predict_fixture() -> (TransformerPredictor, Vec<Vec<f64>>) {
+        let model = TransformerPredictor::new(DISPATCH_GEOM, 9);
+        let batch = (0..BATCH)
+            .map(|i| request_row(i, DISPATCH_GEOM.num_params))
+            .collect();
+        (model, batch)
+    }
+}
+
 /// Selects the experiment scale from CLI arguments (`--quick`, `--paper`)
 /// or the `METADSE_SCALE` environment variable (`quick`/`scaled`/`paper`).
 /// Defaults to [`Scale::scaled`].
@@ -308,10 +351,13 @@ pub mod timing {
 
         /// Merge-writes this harness's samples into `path`: existing rows
         /// whose name starts with one of `owned_prefixes` (or collides
-        /// with a new sample) are replaced, every other row is preserved
-        /// in place. Lets independent benchmark binaries (`bench_report`,
-        /// `serve_bench`) share one `BENCH_results.json` without
-        /// clobbering each other's families.
+        /// with a new sample) are replaced, every other row is
+        /// preserved. Lets independent benchmark binaries
+        /// (`bench_report`, `serve_bench`) share one
+        /// `BENCH_results.json` without clobbering each other's
+        /// families. Rows are written sorted by name, so the merged
+        /// file is deterministic regardless of which binary ran last
+        /// and diffs stay reviewable.
         ///
         /// # Errors
         ///
@@ -339,6 +385,7 @@ pub mod timing {
                     rows.push(line.trim().trim_end_matches(',').to_string());
                 }
             }
+            rows.sort_by_cached_key(|row| sample_line_name(row).unwrap_or_default());
             let mut out = String::from("[\n");
             for (i, row) in rows.iter().enumerate() {
                 out.push_str("  ");
@@ -468,7 +515,18 @@ mod tests {
             threads: 1,
             allocs: 0,
         });
-        second.write_json_merged(&path, &["serve/"]).unwrap();
+        // `aaa/first` sorts before the preserved foreign row: the merge
+        // must reorder, not append.
+        second.record(timing::Sample {
+            name: "aaa/first".to_string(),
+            wall_ns: 9,
+            iters: 1,
+            threads: 1,
+            allocs: 0,
+        });
+        second
+            .write_json_merged(&path, &["serve/", "aaa/"])
+            .unwrap();
 
         let merged = fs::read_to_string(&path).unwrap();
         assert!(merged.contains("\"name\": \"maml/thing\""), "{merged}");
@@ -479,8 +537,18 @@ mod tests {
         // Still one object per line, parseable by the smoke-gate reader.
         assert_eq!(
             merged.lines().filter(|l| l.contains("\"wall_ns\"")).count(),
-            2
+            3
         );
+        // Rows come out sorted by name whatever the write order was.
+        let names: Vec<&str> = merged
+            .lines()
+            .filter_map(|l| {
+                l.trim()
+                    .strip_prefix("{\"name\": \"")
+                    .and_then(|r| r.split('"').next())
+            })
+            .collect();
+        assert_eq!(names, ["aaa/first", "maml/thing", "serve/new"], "{merged}");
     }
 
     #[test]

@@ -153,6 +153,12 @@ fn check_cross_build_digest(report: &impl std::fmt::Debug, params: &[Vec<f64>]) 
     let Ok(path) = std::env::var("METADSE_DIGEST_FILE") else {
         return;
     };
+    // Each backend pins its own digest: the scalar backend keeps the
+    // historical unsuffixed file, other backends get `<path>.<backend>`.
+    let path = match metadse_nn::backend::kind() {
+        metadse_nn::BackendKind::Scalar => path,
+        kind => format!("{path}.{}", kind.name()),
+    };
     let digest = run_digest(report, params);
     match std::fs::read_to_string(&path) {
         Ok(previous) if !previous.trim().is_empty() => assert_eq!(

@@ -52,6 +52,7 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
+pub use tensor::backend::{self, BackendKind, BackendModeGuard};
 pub use tensor::fused::Activation;
 pub use tensor::Tensor;
 

@@ -29,6 +29,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use super::backend;
 use super::ops::{axis_blocks, is_suffix_shape, pow_elem};
 use super::pool;
 use crate::autograd;
@@ -163,14 +164,32 @@ impl Tensor {
         // `x`) changes no bits and skips a libm `exp` per element.
         let mut exp_cache: Vec<Elem> = Vec::with_capacity(n);
         let mut denom: Vec<Elem> = vec![0.0; lanes];
-        for o in 0..outer {
-            for d in 0..dim {
-                for i in 0..inner {
-                    let idx = (o * dim + d) * inner + i;
-                    let lane = o * inner + i;
-                    let e = (src[idx] - maxv[lane]).exp();
-                    out[idx] = e;
-                    denom[lane] += e;
+        if inner == 1 && dim > backend::SEQ_EQUIV_MAX {
+            // Trailing-axis softmax (the attention pattern): each lane's
+            // exponentials are a contiguous row, so the denominator is one
+            // backend `sum` — the same reduction the composite's `sum_to`
+            // fast path performs on the materialized exponentials. Rows of
+            // at most `SEQ_EQUIV_MAX` elements skip this: there the chunked
+            // sum degenerates to the sequential accumulation the plain loop
+            // below already performs, with identical bits on every backend.
+            let be = backend::active();
+            for o in 0..outer {
+                let row = &mut out[o * dim..(o + 1) * dim];
+                for (d, slot) in row.iter_mut().enumerate() {
+                    *slot = (src[o * dim + d] - maxv[o]).exp();
+                }
+                denom[o] = be.sum(row);
+            }
+        } else {
+            for o in 0..outer {
+                for d in 0..dim {
+                    for i in 0..inner {
+                        let idx = (o * dim + d) * inner + i;
+                        let lane = o * inner + i;
+                        let e = (src[idx] - maxv[lane]).exp();
+                        out[idx] = e;
+                        denom[lane] += e;
+                    }
                 }
             }
         }
@@ -212,13 +231,28 @@ impl Tensor {
             let n = exp_cache.len();
             let (ev, dv) = (&exp_cache, &denom);
             let mut gd = pool::take_zeroed(lanes);
-            for o in 0..outer {
-                for d in 0..dim {
-                    for i in 0..inner {
-                        let idx = (o * dim + d) * inner + i;
-                        let lane = o * inner + i;
+            if inner == 1 && dim > backend::SEQ_EQUIV_MAX {
+                let be = backend::active();
+                let mut terms = pool::take_zeroed(dim);
+                for (o, gd) in gd.iter_mut().enumerate() {
+                    let dvsq = dv[o] * dv[o];
+                    for (d, slot) in terms.iter_mut().enumerate() {
+                        let idx = o * dim + d;
                         let t = sg[idx] * ev[idx];
-                        gd[lane] += -t / (dv[lane] * dv[lane]);
+                        *slot = -t / dvsq;
+                    }
+                    *gd = be.sum(&terms);
+                }
+                pool::recycle(terms);
+            } else {
+                for o in 0..outer {
+                    for d in 0..dim {
+                        for i in 0..inner {
+                            let idx = (o * dim + d) * inner + i;
+                            let lane = o * inner + i;
+                            let t = sg[idx] * ev[idx];
+                            gd[lane] += -t / (dv[lane] * dv[lane]);
+                        }
                     }
                 }
             }
@@ -234,7 +268,7 @@ impl Tensor {
             }
             drop(sg);
             pool::recycle(gd);
-            vec![Some(Tensor::from_vec(gx, x.shape()))]
+            vec![Some(Tensor::from_buf(gx, x.shape()))]
         });
         Tensor::from_op(out, shape, vec![self.clone()], backward)
     }
@@ -257,6 +291,7 @@ impl Tensor {
             return layernorm_affine_composite(self, gamma, beta, eps, inv);
         }
         obs::counter("nn/fused_calls", 1);
+        let be = backend::active();
         let n = self.numel();
         let rows = n / dim;
         let src = self.data();
@@ -265,17 +300,27 @@ impl Tensor {
         let mut out = pool::take_zeroed(n);
         for r in 0..rows {
             let base = r * dim;
-            let mut s = 0.0;
-            for j in 0..dim {
-                s += src[base + j];
-            }
-            let mean = s * inv;
-            let mut s2 = 0.0;
-            for j in 0..dim {
-                let c = src[base + j] - mean;
-                out[base + j] = c;
-                s2 += c * c;
-            }
+            let mean = be.sum(&src[base..base + dim]) * inv;
+            // One rounded square per element, then the backend's sum order:
+            // the same bits as the composite's materialized `c * c` row fed
+            // through `sum_to`. For rows of at most `SEQ_EQUIV_MAX` elements
+            // the chunked sum degenerates to sequential accumulation on
+            // every backend, so the square-accumulate fuses into the
+            // centering pass with identical bits and one fewer row pass.
+            let s2 = if dim <= backend::SEQ_EQUIV_MAX {
+                let mut s2 = 0.0;
+                for j in 0..dim {
+                    let c = src[base + j] - mean;
+                    out[base + j] = c;
+                    s2 += c * c;
+                }
+                s2
+            } else {
+                for j in 0..dim {
+                    out[base + j] = src[base + j] - mean;
+                }
+                be.sum_sq(&out[base..base + dim])
+            };
             let sd = (s2 * inv + eps).sqrt();
             for j in 0..dim {
                 let h = out[base + j] / sd;
@@ -318,6 +363,7 @@ impl Tensor {
                 let gx = gc.add(&gs1.broadcast_to(x.shape()));
                 return vec![Some(gx), Some(ggamma), Some(gbeta)];
             }
+            let be = backend::active();
             let dim = *x.shape().last().unwrap();
             let sx = x.data();
             let sgm = gamma.data();
@@ -329,19 +375,29 @@ impl Tensor {
             let mut gx = pool::take_zeroed(n);
             let mut cbuf = pool::take_zeroed(dim);
             let mut ghbuf = pool::take_zeroed(dim);
+            let mut terms = pool::take_zeroed(dim);
+            // Rows of at most `SEQ_EQUIV_MAX` elements: same bit-preserving
+            // fusion as the forward — chunked reductions degenerate to the
+            // sequential accumulation the inline loops perform, on every
+            // backend.
+            let small = dim <= backend::SEQ_EQUIV_MAX;
             for r in 0..rows {
                 let base = r * dim;
-                let mut s = 0.0;
-                for j in 0..dim {
-                    s += sx[base + j];
-                }
-                let mean = s * inv;
-                let mut s2 = 0.0;
-                for j in 0..dim {
-                    let c = sx[base + j] - mean;
-                    cbuf[j] = c;
-                    s2 += c * c;
-                }
+                let mean = be.sum(&sx[base..base + dim]) * inv;
+                let s2 = if small {
+                    let mut s2 = 0.0;
+                    for j in 0..dim {
+                        let c = sx[base + j] - mean;
+                        cbuf[j] = c;
+                        s2 += c * c;
+                    }
+                    s2
+                } else {
+                    for j in 0..dim {
+                        cbuf[j] = sx[base + j] - mean;
+                    }
+                    be.sum_sq(&cbuf)
+                };
                 let sd = (s2 * inv + eps).sqrt();
                 for j in 0..dim {
                     let gj = sg[base + j];
@@ -351,19 +407,38 @@ impl Tensor {
                     ghbuf[j] = gj * sgm[j];
                 }
                 let sd2 = sd * sd;
-                let mut gsd = 0.0;
-                for j in 0..dim {
-                    gsd += -(ghbuf[j] * cbuf[j]) / sd2;
-                }
+                let gsd = if small {
+                    let mut gsd = 0.0;
+                    for j in 0..dim {
+                        gsd += -(ghbuf[j] * cbuf[j]) / sd2;
+                    }
+                    gsd
+                } else {
+                    for j in 0..dim {
+                        terms[j] = -(ghbuf[j] * cbuf[j]) / sd2;
+                    }
+                    be.sum(&terms)
+                };
                 let ga = gsd * 0.5 / sd;
                 let gs2 = ga * inv;
-                let mut gmean = 0.0;
-                for j in 0..dim {
-                    let t = gs2 * cbuf[j];
-                    let gc = ghbuf[j] / sd + t + t;
-                    gx[base + j] = gc;
-                    gmean += -gc;
-                }
+                let gmean = if small {
+                    let mut gmean = 0.0;
+                    for j in 0..dim {
+                        let t = gs2 * cbuf[j];
+                        let gc = ghbuf[j] / sd + t + t;
+                        gx[base + j] = gc;
+                        gmean += -gc;
+                    }
+                    gmean
+                } else {
+                    for j in 0..dim {
+                        let t = gs2 * cbuf[j];
+                        let gc = ghbuf[j] / sd + t + t;
+                        gx[base + j] = gc;
+                        terms[j] = -gc;
+                    }
+                    be.sum(&terms)
+                };
                 let gs1 = gmean * inv;
                 for j in 0..dim {
                     gx[base + j] += gs1;
@@ -374,10 +449,11 @@ impl Tensor {
             drop(sg);
             pool::recycle(cbuf);
             pool::recycle(ghbuf);
+            pool::recycle(terms);
             vec![
-                Some(Tensor::from_vec(gx, x.shape())),
-                Some(Tensor::from_vec(ggamma, &[dim])),
-                Some(Tensor::from_vec(gbeta, &[dim])),
+                Some(Tensor::from_buf(gx, x.shape())),
+                Some(Tensor::from_buf(ggamma, &[dim])),
+                Some(Tensor::from_buf(gbeta, &[dim])),
             ]
         });
         Tensor::from_op(
@@ -409,28 +485,18 @@ impl Tensor {
         obs::counter("nn/fused_calls", 1);
         let sx = self.data();
         let sb = bias.data();
-        let nb = sb.len();
         let mut out = pool::take(sx.len());
         // GELU keeps its per-element tanh for the backward (the composite's
         // tanh node does the same through its stored output, so reusing it
         // here changes no bits — it just skips the libm recompute).
         let mut tanh_cache: Vec<Elem> = Vec::new();
         if matches!(act, Activation::Gelu) {
-            tanh_cache.reserve_exact(sx.len());
-            let c = (2.0 / std::f64::consts::PI).sqrt();
-            out.extend(sx.iter().enumerate().map(|(i, &x)| {
-                let s = x + sb[i % nb];
-                let p = pow_elem(s, 3.0);
-                let pm = p * 0.044715;
-                let i1 = s + pm;
-                let i2 = i1 * c;
-                let t = i2.tanh();
-                tanh_cache.push(t);
-                let t1 = t + 1.0;
-                let m = s * t1;
-                m * 0.5
-            }));
+            let n = sx.len();
+            tanh_cache.resize(n, 0.0);
+            out.resize(n, 0.0);
+            backend::active().bias_gelu_forward(&sx, &sb, &mut out, &mut tanh_cache);
         } else {
+            let nb = sb.len();
             out.extend(
                 sx.iter()
                     .enumerate()
@@ -491,30 +557,18 @@ impl Tensor {
                 Activation::Gelu => {
                     let sx = ps[0].data();
                     let sb = ps[1].data();
-                    let nb = sb.len();
-                    let c = (2.0 / std::f64::consts::PI).sqrt();
-                    gsum.extend(sg.iter().enumerate().map(|(i, &gv)| {
-                        let s = sx[i] + sb[i % nb];
-                        let t = tanh_cache[i];
-                        let gm = gv * 0.5;
-                        let gs1 = gm * (t + 1.0);
-                        let gi2 = (gm * s) * (-(t * t) + 1.0);
-                        let gi1 = gi2 * c;
-                        let gs3 = (gi1 * 0.044715) * (pow_elem(s, 2.0) * 3.0);
-                        gs1 + gi1 + gs3
-                    }));
+                    gsum.resize(n, 0.0);
+                    backend::active().bias_gelu_backward(&sg, &sx, &sb, &tanh_cache, &mut gsum);
                 }
             }
             drop(sg);
             drop(so);
             let nb = ps[1].numel();
             let mut gb = pool::take_zeroed(nb);
-            for (i, &v) in gsum.iter().enumerate() {
-                gb[i % nb] += v;
-            }
+            backend::active().fold_rows(&gsum, &mut gb);
             vec![
-                Some(Tensor::from_vec(gsum, ps[0].shape())),
-                Some(Tensor::from_vec(gb, ps[1].shape())),
+                Some(Tensor::from_buf(gsum, ps[0].shape())),
+                Some(Tensor::from_buf(gb, ps[1].shape())),
             ]
         });
         Tensor::from_op(
@@ -537,11 +591,7 @@ impl Tensor {
         let inv = 1.0 / self.numel() as Elem;
         let sp = self.data();
         let st = target.data();
-        let mut acc = 0.0;
-        for (&p, &t) in sp.iter().zip(st.iter()) {
-            let d = p - t;
-            acc += d * d;
-        }
+        let acc = backend::active().sum_sq_diff(&sp, &st);
         drop(sp);
         drop(st);
 
@@ -573,8 +623,8 @@ impl Tensor {
             drop(sp);
             drop(st);
             vec![
-                Some(Tensor::from_vec(gpred, pred.shape())),
-                Some(Tensor::from_vec(gtarget, target.shape())),
+                Some(Tensor::from_buf(gpred, pred.shape())),
+                Some(Tensor::from_buf(gtarget, target.shape())),
             ]
         });
         Tensor::from_op(

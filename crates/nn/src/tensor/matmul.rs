@@ -21,8 +21,9 @@ use metadse_obs as obs;
 
 use crate::autograd;
 use crate::fasthash::IdHashMap;
+use crate::tensor::backend::{self, ActiveBackend};
 use crate::tensor::fused;
-use crate::tensor::pool;
+use crate::tensor::pool::{self, Buf};
 use crate::tensor::shape::{broadcast_shapes, broadcast_strides, numel, OffsetWalker};
 use crate::tensor::{BackwardFn, Tensor};
 use crate::Elem;
@@ -33,7 +34,7 @@ const SPARSE_ZERO_FRACTION: f64 = 0.25;
 
 /// Packs the `k x n` block of `db` at `base` transposed (as `n x k`) onto
 /// the end of `packed`, returning the block's start within `packed`.
-fn pack_transposed(db: &[Elem], base: usize, k: usize, n: usize, packed: &mut Vec<Elem>) -> usize {
+fn pack_transposed(db: &[Elem], base: usize, k: usize, n: usize, packed: &mut Buf) -> usize {
     let start = packed.len();
     packed.resize(start + n * k, 0.0);
     let block = &mut packed[start..];
@@ -46,10 +47,11 @@ fn pack_transposed(db: &[Elem], base: usize, k: usize, n: usize, packed: &mut Ve
     start
 }
 
-/// Dense microkernel: `out[i, j] = dot(a_row_i, bt_row_j)` with four output
-/// columns per pass over the A row. Each output element is one accumulator
-/// filled in ascending-k order.
+/// Dense microkernel: `out[i, j] = dot(a_row_i, bt_row_j)`, each output row
+/// one `dot_block` call over the packed panel.
+#[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
 fn dense_block(
+    be: ActiveBackend,
     da: &[Elem],
     a_base: usize,
     bt: &[Elem],
@@ -61,34 +63,7 @@ fn dense_block(
     for i in 0..m {
         let a_row = &da[a_base + i * k..a_base + (i + 1) * k];
         let o_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &bt[j * k..(j + 1) * k];
-            let b1 = &bt[(j + 1) * k..(j + 2) * k];
-            let b2 = &bt[(j + 2) * k..(j + 3) * k];
-            let b3 = &bt[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-            for (kk, &av) in a_row.iter().enumerate() {
-                s0 += av * b0[kk];
-                s1 += av * b1[kk];
-                s2 += av * b2[kk];
-                s3 += av * b3[kk];
-            }
-            o_row[j] = s0;
-            o_row[j + 1] = s1;
-            o_row[j + 2] = s2;
-            o_row[j + 3] = s3;
-            j += 4;
-        }
-        while j < n {
-            let bj = &bt[j * k..(j + 1) * k];
-            let mut s = 0.0;
-            for (kk, &av) in a_row.iter().enumerate() {
-                s += av * bj[kk];
-            }
-            o_row[j] = s;
-            j += 1;
-        }
+        be.dot_block(a_row, bt, k, o_row);
     }
 }
 
@@ -96,6 +71,7 @@ fn dense_block(
 /// entries — each zero avoids an entire length-`n` pass.
 #[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
 fn sparse_block(
+    be: ActiveBackend,
     da: &[Elem],
     a_base: usize,
     db: &[Elem],
@@ -113,9 +89,7 @@ fn sparse_block(
             }
             let b_row = &db[b_base + kk * n..b_base + (kk + 1) * n];
             let o_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += a_ik * bv;
-            }
+            be.axpy(a_ik, b_row, o_row);
         }
     }
 }
@@ -129,12 +103,13 @@ fn matmul_forward(
     m: usize,
     k: usize,
     n: usize,
-) -> Vec<Elem> {
+) -> Buf {
+    let be = backend::active();
     let batch_count = offsets_a.len();
     let mut out = pool::take_zeroed(batch_count * m * n);
     // Distinct B blocks packed transposed, keyed by their buffer offset. A
     // broadcast weight has one distinct offset: packed once, reused.
-    let mut packed: Vec<Elem> = pool::take(k * n);
+    let mut packed: Buf = pool::take(k * n);
     let mut slots: IdHashMap<usize, usize> = IdHashMap::default();
     // Path counts accumulate locally and flush as three counter bumps per
     // call, so instrumentation cost stays off the per-batch inner loop.
@@ -149,14 +124,23 @@ fn matmul_forward(
             .count();
         if (zeros as f64) >= SPARSE_ZERO_FRACTION * (m * k) as f64 {
             sparse_batches += 1;
-            sparse_block(da, a_base, db, b_base, out_block, m, k, n);
+            sparse_block(be, da, a_base, db, b_base, out_block, m, k, n);
         } else {
             dense_batches += 1;
             let slot = *slots.entry(b_base).or_insert_with(|| {
                 packs += 1;
                 pack_transposed(db, b_base, k, n, &mut packed)
             });
-            dense_block(da, a_base, &packed[slot..slot + n * k], out_block, m, k, n);
+            dense_block(
+                be,
+                da,
+                a_base,
+                &packed[slot..slot + n * k],
+                out_block,
+                m,
+                k,
+                n,
+            );
         }
     }
     obs::counter("nn/matmul_sparse_batches", sparse_batches);
@@ -170,10 +154,12 @@ fn matmul_forward(
 /// reduction folded into the accumulation (replacing `sum_to`).
 ///
 /// `dL/dA[i, kk] = dot_j(g[i, ·], B[kk, ·])` — both rows contiguous in the
-/// original layouts, so no transpose is ever materialized. `dL/dB` uses the
-/// axpy form with zero-skip on A (zero attention weights contribute no
-/// gradient term). Batches accumulate in ascending order, so broadcast
-/// parents see the same summation order as the serial tensor-op path.
+/// original layouts, so no transpose is ever materialized: B's `k` rows of
+/// length `n` already form a `dot_block` panel for the gradient row.
+/// `dL/dB` uses the axpy form with zero-skip on A (zero attention weights
+/// contribute no gradient term). Batches accumulate in ascending order, so
+/// broadcast parents see the same summation order as the serial tensor-op
+/// path.
 #[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
 fn matmul_backward_raw(
     dg: &[Elem],
@@ -186,7 +172,8 @@ fn matmul_backward_raw(
     n: usize,
     want_ga: bool,
     want_gb: bool,
-) -> (Option<Vec<Elem>>, Option<Vec<Elem>>) {
+) -> (Option<Buf>, Option<Buf>) {
+    let be = backend::active();
     let mut ga = want_ga.then(|| pool::take_zeroed(da.len()));
     let mut gb = want_gb.then(|| pool::take_zeroed(db.len()));
     for bi in 0..offsets_a.len() {
@@ -194,16 +181,11 @@ fn matmul_backward_raw(
         let b_base = offsets_b[bi];
         let g_base = bi * m * n;
         if let Some(ga) = ga.as_mut() {
+            let b_panel = &db[b_base..b_base + k * n];
             for i in 0..m {
                 let g_row = &dg[g_base + i * n..g_base + (i + 1) * n];
-                for kk in 0..k {
-                    let b_row = &db[b_base + kk * n..b_base + (kk + 1) * n];
-                    let mut s = 0.0;
-                    for (gv, bv) in g_row.iter().zip(b_row) {
-                        s += gv * bv;
-                    }
-                    ga[a_base + i * k + kk] += s;
-                }
+                let ga_row = &mut ga[a_base + i * k..a_base + (i + 1) * k];
+                be.dot_block_acc(g_row, b_panel, n, ga_row);
             }
         }
         if let Some(gb) = gb.as_mut() {
@@ -215,9 +197,7 @@ fn matmul_backward_raw(
                         continue;
                     }
                     let gb_row = &mut gb[b_base + kk * n..b_base + (kk + 1) * n];
-                    for (o, &gv) in gb_row.iter_mut().zip(g_row) {
-                        *o += a_ik * gv;
-                    }
+                    be.axpy(a_ik, g_row, gb_row);
                 }
             }
         }
@@ -242,7 +222,8 @@ fn matmul_nt_forward(
     m: usize,
     k: usize,
     n: usize,
-) -> Vec<Elem> {
+) -> Buf {
+    let be = backend::active();
     let mut out = pool::take_zeroed(batch_count * m * n);
     let (mut sparse_batches, mut dense_batches) = (0u64, 0u64);
     for bi in 0..batch_count {
@@ -259,22 +240,24 @@ fn matmul_nt_forward(
         for i in 0..m {
             let a_row = &a_block[i * k..(i + 1) * k];
             let o_row = &mut out_block[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &b_block[j * k..(j + 1) * k];
-                let mut s = 0.0;
-                if sparse {
+            if sparse {
+                // Zero-skipping dot: same ascending-k accumulation the
+                // sparse axpy kernel produces per output element.
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &b_block[j * k..(j + 1) * k];
+                    let mut s = 0.0;
                     for (&av, &bv) in a_row.iter().zip(b_row) {
                         if av == 0.0 {
                             continue;
                         }
                         s += av * bv;
                     }
-                } else {
-                    for (&av, &bv) in a_row.iter().zip(b_row) {
-                        s += av * bv;
-                    }
+                    *o = s;
                 }
-                *o = s;
+            } else {
+                // B's rows already store the contraction axis contiguously:
+                // the block *is* a packed panel.
+                be.dot_block(a_row, b_block, k, o_row);
             }
         }
     }
@@ -284,10 +267,12 @@ fn matmul_nt_forward(
 }
 
 /// Raw first-order gradients for `A · Bᵀ`. Mirrors the composite chain's
-/// bits: `dL/dA` is the plain dot accumulation of [`matmul_backward_raw`]
-/// (products `g[i, j] * b[j, kk]` in ascending `j`), `dL/dB` the axpy form
-/// with the same zero-skip on A, summed over `i` in ascending order — the
-/// order the transpose node would have forwarded unchanged.
+/// bits: `dL/dA[i, kk] = dot_j(g[i, ·], Bᵀ[kk, ·])` — B's contraction rows
+/// are transposed into a pooled scratch panel once per batch so the dot
+/// runs contiguously (products `g[i, j] * b[j, kk]` in ascending `j`,
+/// exactly the strided order) — and `dL/dB` is the axpy form with the same
+/// zero-skip on A, summed over `i` in ascending order — the order the
+/// transpose node would have forwarded unchanged.
 #[allow(clippy::too_many_arguments)] // raw kernel: slices + block geometry
 fn matmul_nt_backward_raw(
     dg: &[Elem],
@@ -299,23 +284,23 @@ fn matmul_nt_backward_raw(
     n: usize,
     want_ga: bool,
     want_gb: bool,
-) -> (Option<Vec<Elem>>, Option<Vec<Elem>>) {
+) -> (Option<Buf>, Option<Buf>) {
+    let be = backend::active();
     let mut ga = want_ga.then(|| pool::take_zeroed(da.len()));
     let mut gb = want_gb.then(|| pool::take_zeroed(db.len()));
+    let mut btt = want_ga.then(|| pool::take(k * n));
     for bi in 0..batch_count {
         let a_base = bi * m * k;
         let b_base = bi * n * k;
         let g_base = bi * m * n;
         if let Some(ga) = ga.as_mut() {
+            let btt = btt.as_mut().expect("scratch allocated with ga");
+            btt.clear();
+            pack_transposed(db, b_base, n, k, btt);
             for i in 0..m {
                 let g_row = &dg[g_base + i * n..g_base + (i + 1) * n];
-                for kk in 0..k {
-                    let mut s = 0.0;
-                    for (j, &gv) in g_row.iter().enumerate() {
-                        s += gv * db[b_base + j * k + kk];
-                    }
-                    ga[a_base + i * k + kk] += s;
-                }
+                let ga_row = &mut ga[a_base + i * k..a_base + (i + 1) * k];
+                be.dot_block_acc(g_row, btt, n, ga_row);
             }
         }
         if let Some(gb) = gb.as_mut() {
@@ -333,6 +318,9 @@ fn matmul_nt_backward_raw(
                 }
             }
         }
+    }
+    if let Some(btt) = btt {
+        pool::recycle(btt);
     }
     (ga, gb)
 }
@@ -435,8 +423,8 @@ impl Tensor {
                 b.requires_grad(),
             );
             vec![
-                ga.map(|v| Tensor::from_vec(v, a.shape())),
-                gb.map(|v| Tensor::from_vec(v, b.shape())),
+                ga.map(|v| Tensor::from_buf(v, a.shape())),
+                gb.map(|v| Tensor::from_buf(v, b.shape())),
             ]
         });
         Tensor::from_op(out, out_shape, vec![self.clone(), other.clone()], backward)
@@ -507,8 +495,8 @@ impl Tensor {
                 b.requires_grad(),
             );
             vec![
-                ga.map(|v| Tensor::from_vec(v, a.shape())),
-                gb.map(|v| Tensor::from_vec(v, b.shape())),
+                ga.map(|v| Tensor::from_buf(v, a.shape())),
+                gb.map(|v| Tensor::from_buf(v, b.shape())),
             ]
         });
         Tensor::from_op(out, out_shape, vec![self.clone(), other.clone()], backward)

@@ -5,6 +5,7 @@
 //! are themselves expressed with tensor operations, which is what enables
 //! gradients of gradients (see [`crate::autograd::grad`]).
 
+pub mod backend;
 pub mod fused;
 pub mod pool;
 pub mod shape;
@@ -22,6 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::autograd;
 use crate::Elem;
 
+use pool::Buf;
+
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Gradient callback: maps (output gradient, parents, output) to the
@@ -36,7 +39,7 @@ pub(crate) struct Node {
 pub(crate) struct Inner {
     id: u64,
     shape: Vec<usize>,
-    data: RefCell<Vec<Elem>>,
+    data: RefCell<Buf>,
     node: Option<Node>,
     requires_grad: bool,
 }
@@ -71,12 +74,7 @@ pub struct Tensor {
 }
 
 impl Tensor {
-    fn from_parts(
-        data: Vec<Elem>,
-        shape: Vec<usize>,
-        node: Option<Node>,
-        requires_grad: bool,
-    ) -> Tensor {
+    fn from_parts(data: Buf, shape: Vec<usize>, node: Option<Node>, requires_grad: bool) -> Tensor {
         debug_assert_eq!(data.len(), shape::numel(&shape), "data/shape mismatch");
         Tensor {
             inner: Rc::new(Inner {
@@ -103,6 +101,19 @@ impl Tensor {
             data.len(),
             shape
         );
+        Tensor::from_parts(Buf::from(data), shape.to_vec(), None, false)
+    }
+
+    /// Constant tensor taking ownership of an aligned (usually pooled)
+    /// buffer directly, skipping the `Vec` copy of [`Tensor::from_vec`].
+    pub(crate) fn from_buf(data: Buf, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            data.len(),
+            shape::numel(shape),
+            "buffer of {} elements cannot have shape {:?}",
+            data.len(),
+            shape
+        );
         Tensor::from_parts(data, shape.to_vec(), None, false)
     }
 
@@ -115,7 +126,7 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor::from_parts(data, shape.to_vec(), None, true)
+        Tensor::from_parts(Buf::from(data), shape.to_vec(), None, true)
     }
 
     /// Creates a scalar (shape `[]`) constant.
@@ -125,17 +136,17 @@ impl Tensor {
 
     /// Tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Tensor {
-        Tensor::from_vec(pool::take_zeroed(shape::numel(shape)), shape)
+        Tensor::from_buf(pool::take_zeroed(shape::numel(shape)), shape)
     }
 
     /// Tensor of ones with the given shape.
     pub fn ones(shape: &[usize]) -> Tensor {
-        Tensor::from_vec(pool::take_filled(shape::numel(shape), 1.0), shape)
+        Tensor::from_buf(pool::take_filled(shape::numel(shape), 1.0), shape)
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: &[usize], value: Elem) -> Tensor {
-        Tensor::from_vec(pool::take_filled(shape::numel(shape), value), shape)
+        Tensor::from_buf(pool::take_filled(shape::numel(shape), value), shape)
     }
 
     /// Standard-normal random tensor drawn from `rng`.
@@ -171,16 +182,16 @@ impl Tensor {
     /// Result of an operation; records graph edges when gradient mode is on
     /// and any parent requires gradients.
     pub(crate) fn from_op(
-        data: Vec<Elem>,
+        data: impl Into<Buf>,
         shape: Vec<usize>,
         parents: Vec<Tensor>,
         backward: BackwardFn,
     ) -> Tensor {
         let track = autograd::is_grad_enabled() && parents.iter().any(|p| p.requires_grad());
         if track {
-            Tensor::from_parts(data, shape, Some(Node { parents, backward }), true)
+            Tensor::from_parts(data.into(), shape, Some(Node { parents, backward }), true)
         } else {
-            Tensor::from_parts(data, shape, None, false)
+            Tensor::from_parts(data.into(), shape, None, false)
         }
     }
 
@@ -213,14 +224,14 @@ impl Tensor {
         self.inner.node.as_ref()
     }
 
-    /// Borrows the underlying buffer.
-    pub fn data(&self) -> Ref<'_, Vec<Elem>> {
+    /// Borrows the underlying buffer (derefs to `&[Elem]`).
+    pub fn data(&self) -> Ref<'_, Buf> {
         self.inner.data.borrow()
     }
 
     /// Copies the underlying buffer out.
     pub fn to_vec(&self) -> Vec<Elem> {
-        self.inner.data.borrow().clone()
+        self.inner.data.borrow().to_vec()
     }
 
     /// The value of a single-element tensor.
@@ -255,7 +266,7 @@ impl Tensor {
         let mut data = pool::take(src.len());
         data.extend_from_slice(&src[..]);
         drop(src);
-        Tensor::from_vec(data, self.shape())
+        Tensor::from_buf(data, self.shape())
     }
 
     /// True when this tensor's storage has exactly one live handle, carries

@@ -6,7 +6,8 @@
 
 use std::rc::Rc;
 
-use crate::tensor::pool;
+use crate::tensor::backend;
+use crate::tensor::pool::{self, Buf};
 use crate::tensor::shape::{
     broadcast_shapes, broadcast_strides, broadcastable_to, contiguous_strides, numel, OffsetWalker,
 };
@@ -64,11 +65,47 @@ pub(crate) fn is_suffix_shape(small: &[usize], big: &[usize]) -> bool {
     small.len() <= big.len() && big[big.len() - small.len()..] == *small
 }
 
-fn binary_values(
-    a: &Tensor,
-    b: &Tensor,
-    f: impl Fn(Elem, Elem) -> Elem,
-) -> (Vec<Elem>, Vec<usize>) {
+/// Reduction fast paths for [`Tensor::sum_to`], routed through the active
+/// backend so the composite graph and the fused kernels share one
+/// accumulation order per backend.
+///
+/// Covers the two layouts every backward pass in the crate produces:
+/// a *trailing* reduce (kept leading axes, reduced trailing axes — `sum_all`
+/// and the keepdim row reductions), where each output is one contiguous-row
+/// backend `sum`, and a *leading* reduce (reduced leading axes, kept
+/// trailing axes — bias gradients, broadcast-batch reductions), which is a
+/// row fold into independent per-slot accumulators. Anything else (reduced
+/// axes on both sides, or interior) falls back to the stride walker, which
+/// the caller runs when this returns `false`.
+fn sum_to_fast(src: &[Elem], shape: &[usize], target: &[usize], data: &mut [Elem]) -> bool {
+    let pad = shape.len() - target.len();
+    let padded = |i: usize| if i < pad { 1 } else { target[i - pad] };
+    let mut s = 0;
+    while s < shape.len() && padded(s) == shape[s] {
+        s += 1;
+    }
+    if (s..shape.len()).all(|i| padded(i) == 1) {
+        let d: usize = shape[s..].iter().product();
+        if d > 0 {
+            let be = backend::active();
+            for (slot, row) in data.iter_mut().zip(src.chunks_exact(d)) {
+                *slot = be.sum(row);
+            }
+            return true;
+        }
+    }
+    let mut t = 0;
+    while t < shape.len() && padded(t) == 1 {
+        t += 1;
+    }
+    if (t..shape.len()).all(|i| padded(i) == shape[i]) && !data.is_empty() {
+        backend::active().fold_rows(src, data);
+        return true;
+    }
+    false
+}
+
+fn binary_values(a: &Tensor, b: &Tensor, f: impl Fn(Elem, Elem) -> Elem) -> (Buf, Vec<usize>) {
     let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|| {
         panic!(
             "shapes {:?} and {:?} are not broadcast-compatible",
@@ -321,11 +358,13 @@ impl Tensor {
             self.shape(),
             target
         );
-        let strides = broadcast_strides(target, self.shape());
         let src = self.data();
         let mut data = pool::take_zeroed(numel(target));
-        for (i, off) in OffsetWalker::new(self.shape(), strides).enumerate() {
-            data[off] += src[i];
+        if !sum_to_fast(&src, self.shape(), target, &mut data) {
+            let strides = broadcast_strides(target, self.shape());
+            for (i, off) in OffsetWalker::new(self.shape(), strides).enumerate() {
+                data[off] += src[i];
+            }
         }
         drop(src);
         let backward: BackwardFn = Rc::new(|g, ps, _out| vec![Some(g.broadcast_to(ps[0].shape()))]);
@@ -399,7 +438,7 @@ impl Tensor {
         drop(src);
         let mut shape = self.shape().to_vec();
         shape[axis] = 1;
-        Tensor::from_vec(out, &shape)
+        Tensor::from_buf(out, &shape)
     }
 
     // ------------------------------------------------------------------
@@ -668,7 +707,7 @@ impl Tensor {
         let mut data = pool::take(src.len());
         data.extend(src.iter().map(|&x| if x > 0.0 { 1.0 } else { 0.0 }));
         drop(src);
-        Tensor::from_vec(data, self.shape())
+        Tensor::from_buf(data, self.shape())
     }
 
     /// Constant sign tensor (-1, 0, +1; detached).
@@ -685,7 +724,7 @@ impl Tensor {
             }
         }));
         drop(src);
-        Tensor::from_vec(data, self.shape())
+        Tensor::from_buf(data, self.shape())
     }
 }
 

@@ -1,17 +1,24 @@
-//! Thread-local recycled storage for tensor element buffers.
+//! Thread-local recycled storage for tensor element buffers, built on a
+//! 32-byte-aligned growable buffer type ([`Buf`]).
 //!
-//! Every tensor op allocates a fresh `Vec<Elem>` for its output; in the MAML
+//! Every tensor op allocates a fresh buffer for its output; in the MAML
 //! inner loop those buffers are dropped within microseconds, so the global
 //! allocator sees a high-frequency churn of identically sized blocks. The
 //! pool intercepts that churn: buffers are handed out by [`take`] /
 //! [`take_filled`], and [`Tensor`](super::Tensor) returns its storage here
 //! when the last handle drops.
 //!
+//! Storage is a [`Buf`], not a `Vec<f64>`: `Buf` keeps its elements in
+//! 32-byte-aligned chunks so the SIMD backend's vector loads always start
+//! on a full-width boundary (see `tensor/backend.rs`). `Buf` dereferences
+//! to `[f64]`, so everything downstream of an op treats it as an ordinary
+//! slice.
+//!
 //! Buffers are keyed by bucketed length (next power of two), so a request
 //! for 45·21 elements reuses any previous 1024-capacity buffer. The pool is
-//! transparent to values: [`take`] returns an *empty* vec (length 0) that the
-//! caller fully writes, and [`take_filled`] overwrites every element, so no
-//! stale data can leak into results — enabling or disabling the pool is
+//! transparent to values: [`take`] returns an *empty* buffer (length 0) that
+//! the caller fully writes, and [`take_filled`] overwrites every element, so
+//! no stale data can leak into results — enabling or disabling the pool is
 //! bit-identical (asserted by the cross-build determinism digest).
 //!
 //! Lifetime policy: between meta-iterations the training loop calls
@@ -32,9 +39,205 @@ const BUCKET_DEPTH: usize = 64;
 /// Buffers retained per bucket after a [`reclaim`] trim.
 const RETAIN_AFTER_RECLAIM: usize = 8;
 
+/// Alignment of every [`Buf`] allocation, in bytes: one AVX2 vector.
+pub const BUF_ALIGN: usize = 32;
+
+/// Elements per alignment chunk.
+const CHUNK: usize = BUF_ALIGN / std::mem::size_of::<Elem>();
+
+/// One 32-byte-aligned group of four `f64`s. A `Vec<Chunk>` allocation is
+/// therefore always 32-byte aligned, which is what gives [`Buf`] its
+/// alignment guarantee without any unsafe allocator tricks.
+#[repr(C, align(32))]
+#[derive(Clone, Copy)]
+struct Chunk([Elem; CHUNK]);
+
+impl Chunk {
+    const ZERO: Chunk = Chunk([0.0; CHUNK]);
+}
+
+/// A growable `f64` buffer whose storage is always 32-byte aligned.
+///
+/// `Buf` behaves like a `Vec<f64>` for the operations the tensor layer
+/// needs (`push`, `extend`, `resize`, slicing via `Deref`/`DerefMut`) and
+/// maintains two extra invariants:
+///
+/// * the first element sits on a [`BUF_ALIGN`]-byte boundary, so SIMD
+///   kernels can assume full-width aligned rows for contiguous buffers;
+/// * a non-empty `Buf`'s element capacity is a power of two (≥ [`CHUNK`]),
+///   so the recycling pool can bucket it without inspection.
+#[derive(Default)]
+pub struct Buf {
+    chunks: Vec<Chunk>,
+    len: usize,
+}
+
+impl Buf {
+    /// An empty buffer with no allocation.
+    pub fn new() -> Buf {
+        Buf {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty buffer with capacity for at least `n` elements (rounded up
+    /// to the pool's power-of-two sizing).
+    pub fn with_capacity(n: usize) -> Buf {
+        let mut buf = Buf::new();
+        buf.reserve_total(n);
+        buf
+    }
+
+    /// Number of initialised elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element capacity (always a power of two when non-zero).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.chunks.len() * CHUNK
+    }
+
+    /// Drops all elements, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Ensures capacity for at least `total` elements.
+    fn reserve_total(&mut self, total: usize) {
+        if total <= self.capacity() {
+            return;
+        }
+        let elems = total.next_power_of_two().max(CHUNK);
+        self.chunks.resize(elems / CHUNK, Chunk::ZERO);
+    }
+
+    /// Ensures room for `additional` more elements.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.reserve_total(self.len + additional);
+    }
+
+    /// Appends one element.
+    #[inline]
+    pub fn push(&mut self, v: Elem) {
+        if self.len == self.capacity() {
+            self.reserve_total(self.len + 1);
+        }
+        // SAFETY: `len < capacity` after the reserve; the slot is inside
+        // the chunk allocation and `f64` has no invalid bit patterns.
+        unsafe {
+            *self.chunks.as_mut_ptr().cast::<Elem>().add(self.len) = v;
+        }
+        self.len += 1;
+    }
+
+    /// Appends every element of `values`.
+    pub fn extend_from_slice(&mut self, values: &[Elem]) {
+        self.reserve(values.len());
+        // SAFETY: capacity was just reserved; source and destination are
+        // distinct allocations.
+        unsafe {
+            let dst = self.chunks.as_mut_ptr().cast::<Elem>().add(self.len);
+            std::ptr::copy_nonoverlapping(values.as_ptr(), dst, values.len());
+        }
+        self.len += values.len();
+    }
+
+    /// Resizes to `new_len`, filling any new slots with `value`.
+    pub fn resize(&mut self, new_len: usize, value: Elem) {
+        if new_len > self.len {
+            self.reserve_total(new_len);
+            // SAFETY: capacity covers `new_len`; every slot written is in
+            // bounds of the chunk allocation.
+            unsafe {
+                let base = self.chunks.as_mut_ptr().cast::<Elem>();
+                for i in self.len..new_len {
+                    *base.add(i) = value;
+                }
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// The elements as an owned `Vec` (copies).
+    pub fn to_vec(&self) -> Vec<Elem> {
+        self[..].to_vec()
+    }
+}
+
+impl std::ops::Deref for Buf {
+    type Target = [Elem];
+
+    #[inline]
+    fn deref(&self) -> &[Elem] {
+        // SAFETY: the first `len` elements of the chunk storage are
+        // initialised (`f64` has no invalid bit patterns and chunks are
+        // zero-filled on growth), contiguous, and in bounds.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for Buf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [Elem] {
+        // SAFETY: as in `deref`; exclusivity comes from `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast(), self.len) }
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Buf {
+        let mut out = Buf::with_capacity(self.len);
+        out.extend_from_slice(self);
+        out
+    }
+}
+
+impl From<Vec<Elem>> for Buf {
+    fn from(values: Vec<Elem>) -> Buf {
+        let mut out = Buf::with_capacity(values.len());
+        out.extend_from_slice(&values);
+        out
+    }
+}
+
+impl Extend<Elem> for Buf {
+    fn extend<I: IntoIterator<Item = Elem>>(&mut self, iter: I) {
+        let it = iter.into_iter();
+        let (lower, _) = it.size_hint();
+        self.reserve(lower);
+        for v in it {
+            self.push(v);
+        }
+    }
+}
+
+impl PartialEq for Buf {
+    fn eq(&self, other: &Buf) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::fmt::Debug for Buf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self[..], f)
+    }
+}
+
 struct Pool {
     /// `buckets[b]` holds free buffers of capacity exactly `1 << b`.
-    buckets: Vec<Vec<Vec<Elem>>>,
+    buckets: Vec<Vec<Buf>>,
     enabled: bool,
     hits: u64,
     misses: u64,
@@ -58,24 +261,24 @@ thread_local! {
 
 #[inline]
 fn bucket_of(len: usize) -> Option<usize> {
-    let b = len.next_power_of_two().trailing_zeros() as usize;
+    let b = len.next_power_of_two().max(CHUNK).trailing_zeros() as usize;
     (b <= MAX_LOG2).then_some(b)
 }
 
 /// Hands out an empty buffer with capacity for at least `len` elements.
 ///
-/// The returned vec has length 0; the caller is responsible for writing
+/// The returned buffer has length 0; the caller is responsible for writing
 /// every element (via `extend`/`resize`/`push`) before wrapping it in a
 /// tensor. Capacity is rounded up to a power of two so the buffer can be
-/// recycled on drop.
-pub fn take(len: usize) -> Vec<Elem> {
+/// recycled on drop, and the allocation is [`BUF_ALIGN`]-byte aligned.
+pub fn take(len: usize) -> Buf {
     if len == 0 {
-        return Vec::new();
+        return Buf::new();
     }
     POOL.try_with(|cell| {
         let mut pool = cell.borrow_mut();
         if !pool.enabled {
-            return Vec::with_capacity(len);
+            return Buf::with_capacity(len);
         }
         match bucket_of(len) {
             Some(b) => {
@@ -85,24 +288,24 @@ pub fn take(len: usize) -> Vec<Elem> {
                     buf
                 } else {
                     pool.misses += 1;
-                    Vec::with_capacity(1 << b)
+                    Buf::with_capacity(1 << b)
                 }
             }
-            None => Vec::with_capacity(len),
+            None => Buf::with_capacity(len),
         }
     })
-    .unwrap_or_else(|_| Vec::with_capacity(len))
+    .unwrap_or_else(|_| Buf::with_capacity(len))
 }
 
 /// Hands out a buffer of length `len` with every element set to `value`.
-pub fn take_filled(len: usize, value: Elem) -> Vec<Elem> {
+pub fn take_filled(len: usize, value: Elem) -> Buf {
     let mut buf = take(len);
     buf.resize(len, value);
     buf
 }
 
 /// Hands out a zero-initialised buffer of length `len`.
-pub fn take_zeroed(len: usize) -> Vec<Elem> {
+pub fn take_zeroed(len: usize) -> Buf {
     take_filled(len, 0.0)
 }
 
@@ -110,8 +313,8 @@ pub fn take_zeroed(len: usize) -> Vec<Elem> {
 /// from ops with transient scratch buffers.
 ///
 /// Only power-of-two capacities are accepted (everything [`take`] hands out
-/// qualifies); externally built vecs with odd capacities are simply freed.
-pub fn recycle(buf: Vec<Elem>) {
+/// qualifies); oversize buffers are simply freed.
+pub fn recycle(buf: Buf) {
     let cap = buf.capacity();
     if cap == 0 || !cap.is_power_of_two() {
         return;
@@ -232,5 +435,59 @@ mod tests {
         let buf = take((1 << MAX_LOG2) + 1);
         assert!(buf.capacity() > (1 << MAX_LOG2));
         recycle(buf); // silently freed, must not panic
+    }
+
+    /// The SIMD backend relies on every pooled allocation starting on a
+    /// 32-byte boundary. This is guaranteed structurally (storage is a
+    /// `Vec` of 32-byte-aligned chunks), so the assertion is deterministic,
+    /// not a lucky-allocator flake.
+    #[test]
+    fn pooled_buffers_are_32_byte_aligned() {
+        let _guard = PoolModeGuard::set(true);
+        for len in [1, 3, 7, 100, 1024, 4097] {
+            let buf = take_filled(len, 1.0);
+            assert_eq!(
+                buf.as_ptr() as usize % BUF_ALIGN,
+                0,
+                "take({len}) not {BUF_ALIGN}-byte aligned"
+            );
+            recycle(buf);
+            // Recycled buffers stay aligned on reuse.
+            let again = take(len);
+            assert_eq!(again.as_ptr() as usize % BUF_ALIGN, 0);
+        }
+        // Buffers built from plain vecs (the `From<Vec>` path used by
+        // `Tensor::from_vec`) are aligned too.
+        let from_vec = Buf::from(vec![1.0; 37]);
+        assert_eq!(from_vec.as_ptr() as usize % BUF_ALIGN, 0);
+        // Growth re-aligns: push past the initial capacity.
+        let mut grown = Buf::with_capacity(4);
+        for i in 0..1000 {
+            grown.push(i as f64);
+        }
+        assert_eq!(grown.as_ptr() as usize % BUF_ALIGN, 0);
+        assert_eq!(grown.len(), 1000);
+        assert!((0..1000).all(|i| grown[i] == i as f64));
+    }
+
+    #[test]
+    fn buf_behaves_like_a_vec() {
+        let mut b = Buf::new();
+        assert!(b.is_empty());
+        b.extend_from_slice(&[1.0, 2.0]);
+        b.push(3.0);
+        b.extend([4.0, 5.0]);
+        assert_eq!(&b[..], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        b.resize(7, 9.0);
+        assert_eq!(&b[5..], &[9.0, 9.0]);
+        b.resize(2, 0.0);
+        assert_eq!(&b[..], &[1.0, 2.0]);
+        assert!(b.capacity().is_power_of_two());
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.to_vec(), vec![1.0, 2.0]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_ne!(b, c);
     }
 }

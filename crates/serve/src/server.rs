@@ -156,6 +156,16 @@ pub struct Server {
 impl Server {
     /// Starts `config.workers` serving threads over `registry`.
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Server {
+        // Resolve the tensor backend (`METADSE_BACKEND`) once, before any
+        // worker touches a model, so every inference thread runs the same
+        // kernels for the life of the server; surfaced on a gauge so
+        // operators can tell which kernels a serving process is using.
+        let backend = metadse_nn::backend::kind();
+        obs::gauge(
+            "serve/backend_simd",
+            u64::from(backend != metadse_nn::BackendKind::Scalar) as f64,
+        );
+        obs::report::line(format!("serve: tensor backend = {}", backend.name()));
         let shared = Arc::new(Shared {
             registry,
             core: Mutex::new(QueueCore::new(config.batch)),

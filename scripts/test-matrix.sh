@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Escape-hatch matrix: the buffer pool (METADSE_POOL) and the fused
-# kernels (METADSE_FUSED) are performance features with a bit-identity
-# contract. This runs the nn and core suites in all four on/off
-# combinations against one shared METADSE_DIGEST_FILE — the first
-# combination records the pretrain digest, every later one must
-# reproduce it bit-for-bit, so any combination that changes the
-# numerics fails the run.
+# Escape-hatch matrix: the buffer pool (METADSE_POOL), the fused
+# kernels (METADSE_FUSED) and the tensor backend (METADSE_BACKEND) are
+# performance features with a bit-identity contract. This runs the nn
+# and core suites in all eight combinations against one shared
+# METADSE_DIGEST_FILE — within each backend the first combination
+# records the pretrain digest and every later one must reproduce it
+# bit-for-bit, so any combination that changes the numerics fails the
+# run. The two backends pin *separate* digests (the SIMD backend
+# reassociates reductions, so its bits legitimately differ): the core
+# test suites suffix the digest path with ".simd" when the SIMD backend
+# is active.
 #
 # Usage: scripts/test-matrix.sh [extra cargo test args…]
 set -euo pipefail
@@ -14,12 +18,15 @@ cd "$(dirname "$0")/.."
 digest_file="${METADSE_DIGEST_FILE:-$(mktemp -t metadse-matrix-digest.XXXXXX)}"
 export METADSE_DIGEST_FILE="$digest_file"
 
-for pool in 0 1; do
-  for fused in 0 1; do
-    echo "=== METADSE_POOL=$pool METADSE_FUSED=$fused ==="
-    METADSE_POOL=$pool METADSE_FUSED=$fused \
-      cargo test -q -p metadse-nn -p metadse "$@"
+for backend in scalar simd; do
+  for pool in 0 1; do
+    for fused in 0 1; do
+      echo "=== METADSE_BACKEND=$backend METADSE_POOL=$pool METADSE_FUSED=$fused ==="
+      METADSE_BACKEND=$backend METADSE_POOL=$pool METADSE_FUSED=$fused \
+        cargo test -q -p metadse-nn -p metadse "$@"
+    done
   done
 done
 
-echo "all four pool×fused combinations reproduced digest $(cat "$digest_file")"
+echo "all pool×fused combinations reproduced digest $(cat "$digest_file") (scalar)"
+echo "all pool×fused combinations reproduced digest $(cat "$digest_file.simd") (simd)"
