@@ -1,0 +1,205 @@
+//! `metadse-introspect` — command-line client for a running server's
+//! introspection endpoint (unix socket, length-prefixed frames; see
+//! `metadse_obs::introspect` for the protocol and `metadse-serve`'s
+//! `introspect` module for command semantics).
+//!
+//! ```text
+//! metadse-introspect [--socket PATH] health
+//! metadse-introspect [--socket PATH] ready   [--wait SECS]
+//! metadse-introspect [--socket PATH] metrics
+//! metadse-introspect [--socket PATH] trace ID
+//! metadse-introspect [--socket PATH] check WINDOW_NAME [--wait SECS]
+//! ```
+//!
+//! The socket defaults to `$METADSE_INTROSPECT`. `ready --wait` polls
+//! until the server reports ready (CI's startup barrier); `check` polls
+//! `metrics` until the named trailing-window histogram (e.g.
+//! `serve/e2e_latency_us`) shows a nonzero count with positive p50/p99,
+//! printing the matching line — the CI smoke step's liveness assertion.
+//! Exit status: 0 on success, 1 on an `err` reply or failed check, 2 on
+//! usage/transport errors.
+
+#[cfg(unix)]
+fn main() {
+    std::process::exit(unix_main::run());
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("metadse-introspect: unix sockets unavailable on this platform");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+mod unix_main {
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    use metadse_obs::introspect::{query, Response};
+
+    struct Args {
+        socket: PathBuf,
+        command: String,
+        operand: Option<String>,
+        wait_secs: Option<u64>,
+    }
+
+    fn usage() -> i32 {
+        eprintln!(
+            "usage: metadse-introspect [--socket PATH] <health|ready|metrics> [--wait SECS]\n\
+             \u{20}      metadse-introspect [--socket PATH] trace ID\n\
+             \u{20}      metadse-introspect [--socket PATH] check WINDOW_NAME [--wait SECS]\n\
+             socket defaults to $METADSE_INTROSPECT"
+        );
+        2
+    }
+
+    fn parse() -> Result<Args, i32> {
+        let mut socket = std::env::var_os("METADSE_INTROSPECT").map(PathBuf::from);
+        let mut wait_secs = None;
+        let mut positional: Vec<String> = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--socket" => socket = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+                "--wait" => {
+                    wait_secs = Some(args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?);
+                }
+                "--help" | "-h" => return Err(usage()),
+                _ => positional.push(arg),
+            }
+        }
+        let Some(socket) = socket else {
+            eprintln!("metadse-introspect: no socket (pass --socket or set METADSE_INTROSPECT)");
+            return Err(2);
+        };
+        let mut positional = positional.into_iter();
+        let Some(command) = positional.next() else {
+            return Err(usage());
+        };
+        Ok(Args {
+            socket,
+            command,
+            operand: positional.next(),
+            wait_secs,
+        })
+    }
+
+    /// Polls `probe` until it returns `Some(exit_code)` or the deadline
+    /// passes; `probe(true)` marks the final attempt (print diagnostics).
+    fn poll_until(wait_secs: Option<u64>, mut probe: impl FnMut(bool) -> Option<i32>) -> i32 {
+        let deadline = Instant::now() + Duration::from_secs(wait_secs.unwrap_or(0));
+        loop {
+            let last = Instant::now() >= deadline;
+            if let Some(code) = probe(last) {
+                return code;
+            }
+            if last {
+                return 1;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// Extracts the value following `key` on `line`.
+    fn field(line: &str, key: &str) -> Option<f64> {
+        let mut tokens = line.split_whitespace();
+        while let Some(tok) = tokens.next() {
+            if tok == key {
+                return tokens.next()?.parse().ok();
+            }
+        }
+        None
+    }
+
+    fn print_reply(reply: &Response) -> i32 {
+        if reply.ok {
+            print!("{}", reply.body);
+            if !reply.body.ends_with('\n') {
+                println!();
+            }
+            0
+        } else {
+            eprintln!("err: {}", reply.body);
+            1
+        }
+    }
+
+    pub fn run() -> i32 {
+        let args = match parse() {
+            Ok(args) => args,
+            Err(code) => return code,
+        };
+        match args.command.as_str() {
+            "health" | "metrics" => match query(&args.socket, &args.command) {
+                Ok(reply) => print_reply(&reply),
+                Err(e) => {
+                    eprintln!("metadse-introspect: {}: {e}", args.socket.display());
+                    2
+                }
+            },
+            "ready" => poll_until(args.wait_secs, |last| match query(&args.socket, "ready") {
+                Ok(reply) if reply.ok => Some(print_reply(&reply)),
+                Ok(reply) if last => Some(print_reply(&reply)),
+                Err(e) if last => {
+                    eprintln!("metadse-introspect: {}: {e}", args.socket.display());
+                    Some(2)
+                }
+                _ => None,
+            }),
+            "trace" => {
+                let Some(id) = args.operand else {
+                    return usage();
+                };
+                match query(&args.socket, &format!("trace?id={id}")) {
+                    Ok(reply) => print_reply(&reply),
+                    Err(e) => {
+                        eprintln!("metadse-introspect: {}: {e}", args.socket.display());
+                        2
+                    }
+                }
+            }
+            "check" => {
+                let Some(name) = args.operand else {
+                    return usage();
+                };
+                let prefix = format!("window {name} ");
+                poll_until(args.wait_secs, |last| {
+                    let reply = match query(&args.socket, "metrics") {
+                        Ok(reply) if reply.ok => reply,
+                        Ok(reply) => {
+                            if last {
+                                eprintln!("err: {}", reply.body);
+                            }
+                            return last.then_some(1);
+                        }
+                        Err(e) => {
+                            if last {
+                                eprintln!("metadse-introspect: {}: {e}", args.socket.display());
+                            }
+                            return last.then_some(2);
+                        }
+                    };
+                    let Some(line) = reply.body.lines().find(|l| l.starts_with(&prefix)) else {
+                        if last {
+                            eprintln!("check failed: no `window {name}` line in metrics");
+                        }
+                        return last.then_some(1);
+                    };
+                    let count = field(line, "count").unwrap_or(0.0);
+                    let p50 = field(line, "p50").unwrap_or(0.0);
+                    let p99 = field(line, "p99").unwrap_or(0.0);
+                    if count > 0.0 && p50 > 0.0 && p99 > 0.0 {
+                        println!("{line}");
+                        return Some(0);
+                    }
+                    if last {
+                        eprintln!("check failed: {name} window empty or zero quantiles ({line})");
+                    }
+                    last.then_some(1)
+                })
+            }
+            _ => usage(),
+        }
+    }
+}

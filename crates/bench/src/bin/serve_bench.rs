@@ -70,6 +70,40 @@ fn bench_server(workload: &str, geom: PredictorConfig, max_batch: usize) -> Serv
     )
 }
 
+/// Asserts the server's window-derived quantile agrees with the load
+/// generator's independent measurement of the same run.
+///
+/// Documented tolerance (also in EXPERIMENTS.md): the window quantile
+/// reports the *lower edge* of a log2 bucket (up to 2× below the true
+/// value) and measures admission→forward-end on the server's clock,
+/// while the load generator measures submit→reply-received including
+/// channel wake-up overhead. So the window value may sit well below the
+/// measured one but never far above it:
+///
+/// * `window ≤ measured × 1.5 + 200 µs` (window excludes client
+///   overhead; the slack absorbs scheduling noise on loaded runners),
+/// * `measured ≤ window × 4 + 1 ms` (2× bucket resolution × 2× client
+///   overhead margin).
+fn assert_window_agreement(which: &str, win_ns: f64, measured_ns: u64) {
+    let measured = measured_ns as f64;
+    report::kv(
+        &format!("{which} window vs measured"),
+        format!(
+            "{} vs {}",
+            human_ns(win_ns as u128),
+            human_ns(u128::from(measured_ns))
+        ),
+    );
+    assert!(
+        win_ns <= measured * 1.5 + 200_000.0,
+        "window {which} {win_ns:.0} ns far above measured {measured:.0} ns"
+    );
+    assert!(
+        measured <= win_ns * 4.0 + 1_000_000.0,
+        "measured {which} {measured:.0} ns far above window {win_ns:.0} ns"
+    );
+}
+
 /// `p`-th percentile (0–100) of unsorted latencies, in nanoseconds.
 fn percentile(latencies: &mut [u64], p: f64) -> u64 {
     assert!(!latencies.is_empty());
@@ -249,10 +283,15 @@ fn full_report() {
         qps
     };
 
-    // Closed-loop batch-32.
+    // Closed-loop batch-32, with the server's own trailing-window
+    // quantiles recorded alongside the load generator's measurement and
+    // cross-checked — self-validation of the observability path.
     let batch_qps = {
         let server = bench_server("bench", DISPATCH_GEOM, BATCH);
-        let (latencies, qps) = closed_loop(&server, "bench", BATCH, 250);
+        let (mut latencies, qps) = closed_loop(&server, "bench", BATCH, 250);
+        let window = server.stats().e2e_window(server.now_us());
+        let measured_p50 = percentile(&mut latencies, 50.0);
+        let measured_p99 = percentile(&mut latencies, 99.0);
         record_family(
             &mut h,
             &format!("serve/batch{BATCH}"),
@@ -260,6 +299,17 @@ fn full_report() {
             latencies,
             qps,
         );
+        for (suffix, q, measured_ns) in [("p50", 0.5, measured_p50), ("p99", 0.99, measured_p99)] {
+            let win_ns = window.quantile(q) * 1000.0; // window records µs
+            h.record(Sample {
+                name: format!("serve/batch{BATCH}_win_{suffix}"),
+                wall_ns: win_ns as u128,
+                iters: window.count as u32,
+                threads: BATCH,
+                allocs: 0,
+            });
+            assert_window_agreement(suffix, win_ns, measured_ns);
+        }
         server.shutdown();
         qps
     };
@@ -311,6 +361,30 @@ fn full_report() {
     h.write_json_merged(path, &["serve/"])
         .expect("write BENCH_results.json");
     report::kv("wrote", path.display());
+}
+
+/// Soak driver for the CI introspection smoke step: serves a continuous
+/// closed-loop load for roughly `secs` seconds so an external
+/// `metadse-introspect` client can poll the endpoint against live
+/// traffic. The endpoint itself comes from `Server::start` honouring
+/// `METADSE_INTROSPECT` — this binary never touches the socket, which
+/// is exactly the point: the exposition CI captures is produced across
+/// process boundaries.
+fn introspect_soak(secs: u64) {
+    report::banner("MetaDSE serving introspection soak");
+    report::kv("duration (s)", secs);
+    let server = bench_server("bench", DISPATCH_GEOM, BATCH);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut served = 0usize;
+    while Instant::now() < deadline {
+        let (latencies, _) = closed_loop(&server, "bench", 8, 100);
+        served += latencies.len();
+    }
+    let window = server.stats().e2e_window(server.now_us());
+    report::kv("requests served", served);
+    report::kv("window p99 (us)", format!("{:.0}", window.quantile(0.99)));
+    report::kv("final health", server.health());
+    server.shutdown();
 }
 
 /// CI regression gate on the closed-loop batch-32 p99: best-of-three
@@ -367,8 +441,12 @@ fn committed_wall_ns(json: &str, name: &str) -> Option<u128> {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
         smoke();
+    } else if let Some(pos) = args.iter().position(|a| a == "--introspect-soak") {
+        let secs = args.get(pos + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
+        introspect_soak(secs);
     } else {
         full_report();
     }

@@ -1,0 +1,346 @@
+//! Hermetic introspection transport: a unix-socket listener speaking a
+//! hand-rolled length-prefixed frame protocol, plus the matching client.
+//!
+//! No external dependencies, no HTTP: the workspace's hermetic-build
+//! constraint rules out hyper/axum, and the consumers (CI smoke steps,
+//! soak tests, the `metadse-introspect` bin) only need request/response
+//! over a local socket. The protocol is deliberately tiny:
+//!
+//! ```text
+//! frame    := len:u32-le payload:[len bytes]          (len ≤ 1 MiB)
+//! request  := frame of a UTF-8 command, e.g. "health", "trace?id=7"
+//! response := frame of "ok\n<body>" or "err\n<message>"
+//! ```
+//!
+//! One request frame per connection round-trip; connections may be
+//! reused for further round-trips or dropped at will. The listener is a
+//! plain thread in a nonblocking accept loop with a stop flag — no
+//! async runtime — sized for a handful of probes per second, not for
+//! request traffic (the serving data path never goes through it).
+//!
+//! This module is transport only. What the commands *mean* is decided
+//! by the embedding server through the [`Respond`] trait; the obs crate
+//! stays ignorant of serving concepts.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on a single frame payload (1 MiB): large enough for any
+/// metrics exposition, small enough to reject a garbage length prefix
+/// before allocating.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Writes one length-prefixed frame to `w`.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` when `payload` exceeds [`MAX_FRAME`], or any
+/// underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a length prefix beyond [`MAX_FRAME`],
+/// `UnexpectedEof` on a torn frame, or any underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// One introspection reply: success flag plus a UTF-8 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `true` → encoded as `ok\n<body>`, `false` → `err\n<body>`.
+    pub ok: bool,
+    /// Human- and machine-readable payload (plain text, one concern per
+    /// line by convention).
+    pub body: String,
+}
+
+impl Response {
+    /// A success reply.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response {
+            ok: true,
+            body: body.into(),
+        }
+    }
+
+    /// An error reply.
+    pub fn err(body: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            body: body.into(),
+        }
+    }
+
+    /// Wire encoding: status line marker + `\n` + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let status = if self.ok { "ok" } else { "err" };
+        let mut out = Vec::with_capacity(status.len() + 1 + self.body.len());
+        out.extend_from_slice(status.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Parses a wire payload back into a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a malformed status line or non-UTF-8
+    /// body.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let (status, body) = text.split_once('\n').unwrap_or((text, ""));
+        match status {
+            "ok" => Ok(Response::ok(body)),
+            "err" => Ok(Response::err(body)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response status {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Command handler plugged into a [`Listener`]. Implementations must be
+/// cheap and non-blocking — they run on the single listener thread.
+pub trait Respond: Send + Sync + 'static {
+    /// Answers one command (the request frame's UTF-8 payload).
+    fn respond(&self, command: &str) -> Response;
+}
+
+impl<F> Respond for F
+where
+    F: Fn(&str) -> Response + Send + Sync + 'static,
+{
+    fn respond(&self, command: &str) -> Response {
+        self(command)
+    }
+}
+
+#[cfg(unix)]
+pub use unix_impl::{query, serve_unix, Listener};
+
+#[cfg(unix)]
+mod unix_impl {
+    use super::*;
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    /// How long the accept loop sleeps when idle, and the per-stream
+    /// read timeout bounding how long one slow client can hold the
+    /// listener thread.
+    const POLL_INTERVAL: Duration = Duration::from_millis(1);
+    const CLIENT_TIMEOUT: Duration = Duration::from_millis(500);
+
+    /// A running introspection listener. Dropping it (or calling
+    /// [`shutdown`](Listener::shutdown)) stops the thread and removes
+    /// the socket file.
+    pub struct Listener {
+        path: PathBuf,
+        stop: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl std::fmt::Debug for Listener {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Listener")
+                .field("path", &self.path)
+                .finish()
+        }
+    }
+
+    impl Listener {
+        /// The socket path this listener is bound to.
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        /// Stops the accept loop, joins the thread, and removes the
+        /// socket file. Idempotent.
+        pub fn shutdown(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    impl Drop for Listener {
+        fn drop(&mut self) {
+            self.shutdown();
+        }
+    }
+
+    /// Binds `path` and serves `responder` on a background thread.
+    ///
+    /// A stale socket file at `path` is removed first (unix sockets do
+    /// not unlink themselves when their process dies).
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn serve_unix(path: &Path, responder: Arc<dyn Respond>) -> io::Result<Listener> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("metadse-introspect".to_string())
+            .spawn(move || accept_loop(&listener, &responder, &stop_flag))?;
+        Ok(Listener {
+            path: path.to_path_buf(),
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn accept_loop(listener: &UnixListener, responder: &Arc<dyn Respond>, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => serve_client(stream, responder, stop),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                // Transient accept errors (e.g. ECONNABORTED) — keep going.
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+    }
+
+    fn serve_client(mut stream: UnixStream, responder: &Arc<dyn Respond>, stop: &AtomicBool) {
+        let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+        // Serve round-trips until the client hangs up, errors, times
+        // out, or the listener is asked to stop.
+        while !stop.load(Ordering::Acquire) {
+            let request = match read_frame(&mut stream) {
+                Ok(payload) => payload,
+                Err(_) => return,
+            };
+            let response = match std::str::from_utf8(&request) {
+                Ok(command) => responder.respond(command.trim()),
+                Err(_) => Response::err("request is not UTF-8"),
+            };
+            if write_frame(&mut stream, &response.encode()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// One client round-trip: connect to `path`, send `command`, read
+    /// the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection, frame, or decode errors.
+    pub fn query(path: &Path, command: &str) -> io::Result<Response> {
+        let mut stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        write_frame(&mut stream, command.as_bytes())?;
+        Response::decode(&read_frame(&mut stream)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"health").unwrap();
+        assert_eq!(&buf[..4], &6u32.to_le_bytes());
+        let back = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(back, b"health");
+    }
+
+    #[test]
+    fn frame_rejects_oversize_and_torn() {
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut sink, &big).is_err());
+
+        let bad_len = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert_eq!(
+            read_frame(&mut &bad_len[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"metrics").unwrap();
+        torn.truncate(torn.len() - 3);
+        assert_eq!(
+            read_frame(&mut &torn[..]).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn response_round_trip() {
+        for r in [Response::ok("body\nlines"), Response::err("nope")] {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+        assert!(Response::decode(b"weird\nbody").is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn listener_round_trip_and_shutdown() {
+        let dir = std::env::temp_dir().join(format!("metadse-introspect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("t.sock");
+        let mut listener = serve_unix(
+            &sock,
+            Arc::new(|cmd: &str| {
+                if cmd == "ping" {
+                    Response::ok("pong")
+                } else {
+                    Response::err(format!("unknown command {cmd:?}"))
+                }
+            }),
+        )
+        .unwrap();
+
+        let reply = query(&sock, "ping").unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.body, "pong");
+        let reply = query(&sock, "nope").unwrap();
+        assert!(!reply.ok);
+
+        listener.shutdown();
+        assert!(!sock.exists());
+        assert!(query(&sock, "ping").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

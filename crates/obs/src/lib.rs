@@ -42,7 +42,9 @@
 //! let _lines = metadse_obs::to_jsonl();
 //! ```
 
+pub mod introspect;
 pub mod report;
+pub mod window;
 
 #[cfg(feature = "enabled")]
 mod metrics;
@@ -50,6 +52,45 @@ mod metrics;
 mod sink;
 #[cfg(feature = "enabled")]
 mod span;
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory → write → flush → fsync → rename. Readers never observe a
+/// torn artifact; a crash leaves at worst an orphaned `.{name}.tmp-pid`.
+///
+/// (A copy of `metadse_nn::format::atomic_write` — obs sits below nn in
+/// the dependency graph, so it cannot borrow nn's helper.)
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; the temp file is removed
+/// best-effort on failure.
+pub fn atomic_write(path: &std::path::Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+
+    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("atomic_write target {} has no file name", path.display()),
+        )
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.flush()?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
 
 #[cfg(feature = "enabled")]
 mod api {
@@ -152,13 +193,43 @@ mod api {
         sink::to_jsonl()
     }
 
-    /// Writes [`to_jsonl`] to `path`.
+    /// Writes [`to_jsonl`] to `path` atomically (temp→fsync→rename), so
+    /// a crash mid-export never leaves a torn trace file.
     ///
     /// # Errors
     ///
     /// Returns any underlying I/O error.
     pub fn write_jsonl(path: &Path) -> io::Result<()> {
-        std::fs::write(path, sink::to_jsonl())
+        crate::atomic_write(path, sink::to_jsonl().as_bytes())
+    }
+
+    /// Plain-text exposition of every registered metric, one per line:
+    /// `counter <name> <value>`, `gauge <name> <value>`, and
+    /// `histogram <name> count <n> mean <m> p50 <q> p99 <q> min <a>
+    /// max <b>` — the lifetime-cumulative section of the introspection
+    /// endpoint's `metrics` reply.
+    pub fn exposition() -> String {
+        let snap = metrics::snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for h in &snap.histograms {
+            out.push_str(&format!(
+                "histogram {} count {} mean {} p50 {} p99 {} min {} max {}\n",
+                h.name,
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                if h.count == 0 { 0.0 } else { h.min },
+                if h.count == 0 { 0.0 } else { h.max },
+            ));
+        }
+        out
     }
 }
 
@@ -246,13 +317,19 @@ mod api {
         String::new()
     }
 
-    /// Writes an empty trace so downstream tooling finds the file.
+    /// Writes an empty trace so downstream tooling finds the file —
+    /// atomically, matching the enabled build's crash discipline.
     ///
     /// # Errors
     ///
     /// Returns any underlying I/O error.
     pub fn write_jsonl(path: &Path) -> io::Result<()> {
-        std::fs::write(path, "")
+        crate::atomic_write(path, b"")
+    }
+
+    /// Empty: no metrics exist without the `enabled` feature.
+    pub fn exposition() -> String {
+        String::new()
     }
 }
 

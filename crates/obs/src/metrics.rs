@@ -13,34 +13,11 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// Number of log-scale histogram buckets.
-pub(crate) const HIST_BUCKETS: usize = 96;
-
-/// Exponent of the lowest bucket edge: bucket `i` covers
-/// `[2^(i + HIST_MIN_EXP), 2^(i + 1 + HIST_MIN_EXP))`. With −40 the
-/// histogram spans ~9.1e−13 .. 3.6e16 — wide enough for rates (1e−6..1)
-/// and wall times in nanoseconds (1..1e12) alike.
-pub(crate) const HIST_MIN_EXP: i32 = -40;
-
-/// Maps a sample to its bucket. Non-positive and non-finite values land
-/// in bucket 0; values beyond the top edge clamp into the last bucket.
-pub(crate) fn bucket_index(value: f64) -> usize {
-    if !value.is_finite() || value <= 0.0 {
-        return 0;
-    }
-    let exp = value.log2().floor() as i32 - HIST_MIN_EXP;
-    exp.clamp(0, HIST_BUCKETS as i32 - 1) as usize
-}
-
-/// Lower edge of bucket `i`.
-pub(crate) fn bucket_lo(i: usize) -> f64 {
-    (2.0f64).powi(i as i32 + HIST_MIN_EXP)
-}
-
-/// Upper edge of bucket `i`.
-pub(crate) fn bucket_hi(i: usize) -> f64 {
-    (2.0f64).powi(i as i32 + 1 + HIST_MIN_EXP)
-}
+// The bucket layout is shared with the always-compiled rolling-window
+// module so windowed and lifetime histograms bucket identically.
+#[cfg(test)]
+pub(crate) use crate::window::HIST_MIN_EXP;
+pub(crate) use crate::window::{bucket_hi, bucket_index, bucket_lo, HIST_BUCKETS};
 
 /// Histogram storage: per-bucket hit counts plus streaming count / sum /
 /// min / max, all lock-free.

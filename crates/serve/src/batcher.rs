@@ -155,6 +155,13 @@ impl<T> QueueCore<T> {
         self.closed = true;
     }
 
+    /// Admission time of the oldest queued request, if any — the
+    /// watchdog's queue-stall probe: `now_us − oldest_enqueued_us()`
+    /// bounds how long the head of line has been waiting for a worker.
+    pub fn oldest_enqueued_us(&self) -> Option<u64> {
+        self.queue.front().map(|p| p.enqueued_at_us)
+    }
+
     /// Removes and returns every queued request whose deadline is at or
     /// before `now_us`, preserving queue order. The runtime fails these
     /// with a deadline error; the policy here only evicts them so they

@@ -1,0 +1,186 @@
+//! The serving side of the introspection endpoint: command semantics
+//! over the obs crate's transport ([`metadse_obs::introspect`]).
+//!
+//! Commands (one per request frame):
+//!
+//! * `health` — watchdog verdict over the trailing window:
+//!   `ok` / `degraded` / `unhealthy`, plus the sample it was judged on.
+//! * `ready` — `ready` once at least one workload is published and the
+//!   queue is accepting; `err` otherwise (CI polls this until Ok).
+//! * `metrics` — plain-text exposition: health line, lifetime totals,
+//!   trailing-window histograms (`window <name> count … p50 … p99 …`),
+//!   window rates, queue gauge, per-tenant phase attribution, and —
+//!   when the `obs` feature is compiled in — the lifetime obs registry.
+//! * `trace?id=N` — one request's phase breakdown from the trace table.
+//!
+//! The responder reads only atomics, the trace ring, and one brief
+//! queue-lock probe; it never touches the inference path, so polling it
+//! cannot perturb served results (the soak test asserts bit-identity
+//! with a concurrent poller attached).
+
+use std::sync::Arc;
+
+use metadse_obs as obs;
+use metadse_obs::introspect::{Respond, Response};
+use metadse_obs::window::{Health, WatchdogSample, WindowSnapshot};
+
+use crate::server::Shared;
+
+/// Command handler bound to one server's shared state.
+pub(crate) struct ServeResponder {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Respond for ServeResponder {
+    fn respond(&self, command: &str) -> Response {
+        match command {
+            "health" => self.health(),
+            "ready" => self.ready(),
+            "metrics" => Response::ok(self.metrics()),
+            _ => match command.strip_prefix("trace?id=") {
+                Some(id) => self.trace(id),
+                None => Response::err(format!(
+                    "unknown command {command:?} (try health, ready, metrics, trace?id=N)"
+                )),
+            },
+        }
+    }
+}
+
+impl ServeResponder {
+    fn health(&self) -> Response {
+        let now = self.shared.now_us();
+        let (verdict, sample) = self.shared.health_at(now);
+        Response::ok(format!(
+            "{}\nwindow_admitted {} window_misses {} window_sheds {} oldest_wait_us {}\n",
+            verdict.name(),
+            sample.admitted,
+            sample.misses,
+            sample.sheds,
+            sample.oldest_queued_wait_us.unwrap_or(0),
+        ))
+    }
+
+    fn ready(&self) -> Response {
+        let workloads = self.shared.registry.workloads();
+        if workloads.is_empty() {
+            return Response::err("not ready: no workloads published");
+        }
+        if self.shared.core.lock().expect("queue poisoned").is_closed() {
+            return Response::err("not ready: server closed");
+        }
+        Response::ok(format!("ready\nworkloads {}\n", workloads.len()))
+    }
+
+    fn metrics(&self) -> String {
+        let now = self.shared.now_us();
+        let stats = &self.shared.stats;
+        let (verdict, _) = self.shared.health_at(now);
+        let (admitted, completed, shed, misses) = stats.totals();
+        let queue_depth = self.shared.core.lock().expect("queue poisoned").len();
+        let window_us = stats.window_config().window_us();
+
+        let mut out = String::new();
+        out.push_str(&format!("health {}\n", verdict.name()));
+        out.push_str(&format!("now_us {now}\nwindow_us {window_us}\n"));
+        out.push_str(&format!("gauge serve/queue_depth {queue_depth}\n"));
+        out.push_str(&format!("counter serve/admitted_total {admitted}\n"));
+        out.push_str(&format!("counter serve/completed_total {completed}\n"));
+        out.push_str(&format!("counter serve/shed_total {shed}\n"));
+        out.push_str(&format!("counter serve/deadline_miss_total {misses}\n"));
+        window_line(
+            &mut out,
+            "serve/e2e_latency_us",
+            &stats.e2e_us.snapshot(now),
+        );
+        window_line(
+            &mut out,
+            "serve/queue_wait_us",
+            &stats.queue_wait_us.snapshot(now),
+        );
+        window_line(
+            &mut out,
+            "serve/forward_us",
+            &stats.forward_us.snapshot(now),
+        );
+        window_line(
+            &mut out,
+            "serve/batch_size",
+            &stats.batch_size.snapshot(now),
+        );
+        for (name, counter) in [
+            ("serve/admitted", &stats.admitted),
+            ("serve/completed", &stats.completed),
+            ("serve/shed", &stats.shed),
+            ("serve/deadline_miss", &stats.misses),
+        ] {
+            out.push_str(&format!(
+                "rate {name}_per_s {:.3}\n",
+                counter.rate_per_sec(now)
+            ));
+        }
+        for (fingerprint, tenant) in stats.tenants() {
+            use std::sync::atomic::Ordering::Relaxed;
+            out.push_str(&format!(
+                "tenant {fingerprint:016x} workload {} generation {} requests {} misses {} \
+                 queue_wait_us {} assembly_us {} forward_us {} reply_us {} e2e_us {}\n",
+                tenant.workload,
+                tenant.generation.load(Relaxed),
+                tenant.requests.load(Relaxed),
+                tenant.misses.load(Relaxed),
+                tenant.queue_wait_us.load(Relaxed),
+                tenant.assembly_us.load(Relaxed),
+                tenant.forward_us.load(Relaxed),
+                tenant.reply_us.load(Relaxed),
+                tenant.e2e_us.load(Relaxed),
+            ));
+        }
+        // Lifetime obs registry (empty string when the feature is off).
+        out.push_str(&obs::exposition());
+        out
+    }
+
+    fn trace(&self, id: &str) -> Response {
+        let Ok(id) = id.trim().parse::<u64>() else {
+            return Response::err(format!("bad trace id {id:?}"));
+        };
+        match self.shared.stats.traces.lookup(id) {
+            Some(trace) => Response::ok(trace.render()),
+            None => Response::err(format!("trace {id} not retained")),
+        }
+    }
+}
+
+/// Appends one `window <name> …` exposition line.
+fn window_line(out: &mut String, name: &str, snap: &WindowSnapshot) {
+    out.push_str(&format!(
+        "window {name} count {} mean {:.3} p50 {:.3} p99 {:.3} min {:.3} max {:.3}\n",
+        snap.count,
+        snap.mean(),
+        snap.quantile(0.5),
+        snap.quantile(0.99),
+        snap.min(),
+        snap.max(),
+    ));
+}
+
+/// Re-exported verdict type so embedders match on `server.health()`
+/// without importing from `metadse-obs` directly.
+pub use metadse_obs::window::Health as ServeHealth;
+
+/// The watchdog evaluation used by both `health` and `Server::health`.
+pub(crate) fn evaluate(shared: &Shared, now_us: u64) -> (Health, WatchdogSample) {
+    let oldest = shared
+        .core
+        .lock()
+        .expect("queue poisoned")
+        .oldest_enqueued_us()
+        .map(|t| now_us.saturating_sub(t));
+    let sample = WatchdogSample {
+        admitted: shared.stats.admitted.total(now_us),
+        misses: shared.stats.misses.total(now_us),
+        sheds: shared.stats.shed.total(now_us),
+        oldest_queued_wait_us: oldest,
+    };
+    (shared.watchdog.evaluate(&sample), sample)
+}

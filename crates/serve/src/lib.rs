@@ -40,9 +40,13 @@
 //! ```
 
 pub mod batcher;
+pub mod introspect;
 pub mod registry;
 pub mod server;
+pub mod stats;
 
 pub use batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
+pub use introspect::ServeHealth;
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Prediction, ServeConfig, ServeError, Server, Ticket};
+pub use stats::{RequestTrace, ServerStats, TenantStats, TraceTable};

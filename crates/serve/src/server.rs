@@ -17,20 +17,30 @@
 //! same artifact (asserted by the soak test in `tests/concurrency.rs`).
 //!
 //! Observability (feature `obs`): `serve/queue_depth` gauge,
-//! `serve/batch_size` and `serve/e2e_latency_us` histograms,
-//! `serve/shed` and `serve/deadline_miss` counters.
+//! `serve/batch_size`, `serve/e2e_latency_us`, `serve/queue_wait_us`,
+//! and `serve/forward_us` histograms, `serve/shed` and
+//! `serve/deadline_miss` counters, plus `serve/batch` → `serve/forward`
+//! spans nested (via `adopt_span`) under the submitting caller's span.
+//!
+//! Independent of the `obs` feature, every server keeps always-on
+//! [`ServerStats`] — per-request [`RequestTrace`]s, rolling-window
+//! latencies, per-tenant attribution — served over the introspection
+//! endpoint ([`Server::enable_introspection`], or `METADSE_INTROSPECT`).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use metadse::predictor::TransformerPredictor;
 use metadse_obs as obs;
+use metadse_obs::window::{Health, WatchdogConfig, WatchdogSample, WindowConfig};
 use metadse_parallel::WorkerPool;
 
 use crate::batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
 use crate::registry::{ModelEntry, ModelRegistry};
+use crate::stats::{RequestTrace, ServerStats};
 
 /// Serving runtime tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,14 +111,23 @@ pub struct Prediction {
     pub generation: u64,
     /// Size of the forward batch this request was coalesced into.
     pub batch_size: usize,
+    /// Server-unique request id; pass to the introspection endpoint's
+    /// `trace?id=` for this request's phase breakdown.
+    pub trace_id: u64,
 }
 
 /// One queued query, resolved to its model at admission time so a
 /// concurrent hot swap never splits a batch's view of a workload.
-struct Request {
+pub(crate) struct Request {
     entry: Arc<ModelEntry>,
     config: Vec<f64>,
     tx: mpsc::Sender<Result<Prediction, ServeError>>,
+    /// Per-request trace context, minted at admission; carried through
+    /// the queue so workers stamp each pipeline phase into it.
+    trace: RequestTrace,
+    /// The submitting thread's innermost open obs span, adopted by the
+    /// worker so `serve/batch` spans nest under the caller.
+    parent_span: Option<u64>,
 }
 
 /// Handle for one submitted request; redeem with [`Ticket::wait`].
@@ -133,17 +152,27 @@ impl Ticket {
     }
 }
 
-struct Shared {
-    registry: Arc<ModelRegistry>,
-    core: Mutex<QueueCore<Request>>,
-    cv: Condvar,
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) core: Mutex<QueueCore<Request>>,
+    pub(crate) cv: Condvar,
     /// Epoch for the virtual microsecond clock fed to the queue core.
-    epoch: Instant,
+    pub(crate) epoch: Instant,
+    /// Always-on rolling-window stats, traces, tenant attribution.
+    pub(crate) stats: Arc<ServerStats>,
+    /// Health thresholds the watchdog judges the windows against.
+    pub(crate) watchdog: WatchdogConfig,
+    /// Request-id mint (first id is 1; 0 never names a request).
+    next_id: AtomicU64,
 }
 
 impl Shared {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn health_at(&self, now_us: u64) -> (Health, WatchdogSample) {
+        crate::introspect::evaluate(self, now_us)
     }
 }
 
@@ -151,6 +180,8 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     pool: Option<WorkerPool>,
+    #[cfg(unix)]
+    listener: Option<obs::introspect::Listener>,
 }
 
 impl Server {
@@ -171,15 +202,68 @@ impl Server {
             core: Mutex::new(QueueCore::new(config.batch)),
             cv: Condvar::new(),
             epoch: Instant::now(),
+            stats: Arc::new(ServerStats::new(WindowConfig::from_env())),
+            watchdog: WatchdogConfig::from_env(),
+            next_id: AtomicU64::new(1),
         });
         let worker_shared = shared.clone();
         let pool = WorkerPool::spawn("serve", config.workers.max(1), move |_| {
             worker_loop(&worker_shared);
         });
-        Server {
+        let mut server = Server {
             shared,
             pool: Some(pool),
+            #[cfg(unix)]
+            listener: None,
+        };
+        // `METADSE_INTROSPECT=<socket path>` turns the endpoint on for
+        // processes that cannot call `enable_introspection` themselves
+        // (CI smoke steps, soak drivers launching stock binaries).
+        #[cfg(unix)]
+        if let Ok(path) = std::env::var("METADSE_INTROSPECT") {
+            if !path.is_empty() {
+                if let Err(e) = server.enable_introspection(std::path::Path::new(&path)) {
+                    obs::report::warn(format!("serve: introspection bind failed: {e}"));
+                }
+            }
         }
+        server
+    }
+
+    /// Binds the introspection endpoint on a unix socket at `path`,
+    /// replacing any previously enabled listener. The endpoint serves
+    /// `health`, `ready`, `metrics`, and `trace?id=` (see
+    /// [`crate::introspect`]); it reads stats and never touches the
+    /// inference path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind error.
+    #[cfg(unix)]
+    pub fn enable_introspection(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let responder = Arc::new(crate::introspect::ServeResponder {
+            shared: Arc::clone(&self.shared),
+        });
+        self.listener = Some(obs::introspect::serve_unix(path, responder)?);
+        obs::report::line(format!("serve: introspection on {}", path.display()));
+        Ok(())
+    }
+
+    /// This server's always-on stats hub (rolling windows, traces,
+    /// tenant attribution) — the same data the endpoint serves.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Current watchdog verdict over the trailing window.
+    pub fn health(&self) -> Health {
+        self.shared.health_at(self.shared.now_us()).0
+    }
+
+    /// Microseconds elapsed on this server's virtual clock — the
+    /// timebase of every trace timestamp and window snapshot.
+    pub fn now_us(&self) -> u64 {
+        self.shared.now_us()
     }
 
     /// The registry this server reads models from.
@@ -213,10 +297,19 @@ impl Server {
         }
         let now = self.shared.now_us();
         let deadline = timeout.map(|t| now.saturating_add(t.as_micros() as u64));
+        let trace = RequestTrace::admitted(
+            self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            workload,
+            entry.servable.fingerprint(),
+            entry.generation,
+            now,
+        );
         let request = Request {
             entry,
             config: config.to_vec(),
             tx,
+            trace,
+            parent_span: obs::current_span(),
         };
         let admission = {
             let mut core = self.shared.core.lock().unwrap();
@@ -225,9 +318,13 @@ impl Server {
             admission
         };
         match admission {
-            Admission::Accepted => self.shared.cv.notify_one(),
+            Admission::Accepted => {
+                self.shared.stats.record_admitted(now);
+                self.shared.cv.notify_one();
+            }
             Admission::Shed(request) => {
                 obs::counter("serve/shed", 1);
+                self.shared.stats.record_shed(request.trace, now);
                 let _ = request.tx.send(Err(ServeError::Shed));
             }
             Admission::Closed(request) => {
@@ -244,6 +341,12 @@ impl Server {
     }
 
     fn close_and_join(&mut self) {
+        // Stop answering introspection queries before tearing down the
+        // queue so probes never observe a half-shut server.
+        #[cfg(unix)]
+        if let Some(mut listener) = self.listener.take() {
+            listener.shutdown();
+        }
         self.shared.core.lock().unwrap().close();
         self.shared.cv.notify_all();
         if let Some(pool) = self.pool.take() {
@@ -270,6 +373,7 @@ fn worker_loop(shared: &Shared) {
         if !expired.is_empty() {
             obs::counter("serve/deadline_miss", expired.len() as u64);
             for dead in expired {
+                shared.stats.record_miss(dead.payload.trace, now);
                 let _ = dead.payload.tx.send(Err(ServeError::DeadlineMiss));
             }
         }
@@ -277,7 +381,7 @@ fn worker_loop(shared: &Shared) {
             PopOutcome::Batch(batch) => {
                 obs::gauge("serve/queue_depth", guard.len() as f64);
                 drop(guard);
-                run_batch(shared, &mut cache, batch);
+                run_batch(shared, &mut cache, batch, now);
                 guard = shared.core.lock().unwrap();
             }
             PopOutcome::WaitUntil(wake_us) => {
@@ -294,8 +398,16 @@ fn run_batch(
     shared: &Shared,
     cache: &mut HashMap<String, (u64, TransformerPredictor)>,
     batch: Vec<Pending<Request>>,
+    popped_us: u64,
 ) {
     obs::histogram("serve/batch_size", batch.len() as f64);
+    // Nest this batch's spans under the span of whichever caller's
+    // request leads the batch — batches mix tenants, so one adopted
+    // parent is a heuristic, but it keeps `serve/batch` attached to
+    // real request flows in the trace tree instead of floating at root.
+    let parent = batch.iter().find_map(|p| p.payload.parent_span);
+    obs::adopt_span(parent);
+    let _batch_span = obs::span("serve/batch");
     // Group by model identity; requests for distinct workloads (or two
     // generations caught mid-swap) coalesce into separate forwards.
     let mut groups: HashMap<u64, Vec<Pending<Request>>> = HashMap::new();
@@ -315,7 +427,12 @@ fn run_batch(
             Ok(model) => model,
             Err(e) => {
                 let message = e.to_string();
-                for pending in group {
+                let failed_us = shared.now_us();
+                for mut pending in group {
+                    pending.payload.trace.popped_us = popped_us;
+                    pending.payload.trace.done_us = failed_us;
+                    pending.payload.trace.outcome = "artifact_error";
+                    shared.stats.traces.push(pending.payload.trace);
                     let _ = pending
                         .payload
                         .tx
@@ -328,21 +445,51 @@ fn run_batch(
             .iter_mut()
             .map(|p| std::mem::take(&mut p.payload.config))
             .collect();
-        let values = model.predict(&inputs);
+        let forward_start_us = shared.now_us();
+        let values = {
+            let _forward_span = obs::span("serve/forward");
+            model.predict(&inputs)
+        };
         let done_us = shared.now_us();
         let batch_size = group.len();
+        let mut served: Vec<RequestTrace> = Vec::with_capacity(batch_size);
         for (pending, value) in group.into_iter().zip(values) {
             obs::histogram(
                 "serve/e2e_latency_us",
                 done_us.saturating_sub(pending.enqueued_at_us) as f64,
             );
+            let mut trace = pending.payload.trace;
+            trace.popped_us = popped_us;
+            trace.forward_start_us = forward_start_us;
+            trace.forward_end_us = done_us;
+            trace.batch_size = batch_size;
+            trace.outcome = "served";
+            obs::histogram("serve/queue_wait_us", trace.queue_wait_us() as f64);
             let _ = pending.payload.tx.send(Ok(Prediction {
                 value,
                 generation: pending.payload.entry.generation,
                 batch_size,
+                trace_id: trace.id,
             }));
+            served.push(trace);
+        }
+        obs::histogram(
+            "serve/forward_us",
+            done_us.saturating_sub(forward_start_us) as f64,
+        );
+        // Reply delivery is done; stamp it once per group and fold the
+        // finished traces into the rolling windows and tenant ledgers.
+        let reply_done_us = shared.now_us();
+        for mut trace in served {
+            trace.done_us = reply_done_us;
+            shared.stats.record_served(trace);
         }
     }
+    // The pool threads are long-lived: clear the adopted parent so the
+    // next batch (possibly from an unrelated caller) starts clean. The
+    // batch span's parent was resolved when it opened, so the order of
+    // this reset and the guard's drop doesn't matter.
+    obs::adopt_span(None);
 }
 
 /// The worker's live predictor for `entry`, instantiating on first use
