@@ -46,9 +46,14 @@ use metadse_serve::{BatchConfig, ModelRegistry, ServeConfig, Server};
 /// Name of the row the `--smoke` gate checks.
 const SMOKE_ROW: &str = "serve/batch32_p99";
 
+/// Paper-geometry plan-path row the `--smoke` gate also checks.
+const PLAN_SMOKE_ROW: &str = "serve/paper_batch32_p99";
+
 /// A server wired for benchmarking: fresh scratch registry publishing
-/// one generation of `workload` with the given geometry.
-fn bench_server(workload: &str, geom: PredictorConfig, max_batch: usize) -> Server {
+/// one generation of `workload` with the given geometry. `plan` selects
+/// compiled-plan execution vs the layer-stack forward (the `…@stack`
+/// A/B rows), mirroring PR 6's `…@scalar` backend convention.
+fn bench_server(workload: &str, geom: PredictorConfig, max_batch: usize, plan: bool) -> Server {
     let model = TransformerPredictor::new(geom, 9);
     let servable = ServablePredictor::capture(&model, None, "ipc");
     let dir = std::env::temp_dir().join("metadse_serve_bench");
@@ -66,6 +71,7 @@ fn bench_server(workload: &str, geom: PredictorConfig, max_batch: usize) -> Serv
                 queue_capacity: 4096,
             },
             workers: 1,
+            plan,
         },
     )
 }
@@ -276,7 +282,7 @@ fn full_report() {
 
     // Closed-loop single-query baseline: batching off.
     let single_qps = {
-        let server = bench_server("bench", DISPATCH_GEOM, 1);
+        let server = bench_server("bench", DISPATCH_GEOM, 1, true);
         let (latencies, qps) = closed_loop(&server, "bench", 1, 4000);
         record_family(&mut h, "serve/single_query", 1, latencies, qps);
         server.shutdown();
@@ -287,7 +293,7 @@ fn full_report() {
     // quantiles recorded alongside the load generator's measurement and
     // cross-checked — self-validation of the observability path.
     let batch_qps = {
-        let server = bench_server("bench", DISPATCH_GEOM, BATCH);
+        let server = bench_server("bench", DISPATCH_GEOM, BATCH, true);
         let (mut latencies, qps) = closed_loop(&server, "bench", BATCH, 250);
         let window = server.stats().e2e_window(server.now_us());
         let measured_p50 = percentile(&mut latencies, 50.0);
@@ -330,7 +336,7 @@ fn full_report() {
     // Open-loop at ~half of batched capacity: queueing delay visible,
     // but the server is not saturated.
     {
-        let server = bench_server("bench", DISPATCH_GEOM, BATCH);
+        let server = bench_server("bench", DISPATCH_GEOM, BATCH, true);
         let (latencies, qps) = open_loop(&server, "bench", batch_qps * 0.5, 4000);
         record_family(&mut h, "serve/open_loop", 2, latencies, qps);
         server.shutdown();
@@ -340,12 +346,12 @@ fn full_report() {
     // coalescing win is small — report it rather than hide it.
     {
         let paper = PredictorConfig::default();
-        let server = bench_server("bench", paper, 1);
+        let server = bench_server("bench", paper, 1, true);
         let (latencies, qps) = closed_loop(&server, "bench", 1, 300);
         record_family(&mut h, "serve/paper_single_query", 1, latencies, qps);
         server.shutdown();
-        let server = bench_server("bench", paper, BATCH);
-        let (latencies, batch_qps) = closed_loop(&server, "bench", BATCH, 12);
+        let server = bench_server("bench", paper, BATCH, true);
+        let (latencies, batch_qps) = closed_loop(&server, "bench", BATCH, 25);
         record_family(
             &mut h,
             &format!("serve/paper_batch{BATCH}"),
@@ -355,6 +361,33 @@ fn full_report() {
         );
         server.shutdown();
         report::kv("paper-geometry speedup", format!("{:.2}x", batch_qps / qps));
+
+        // A/B: the same paper-geometry batch-32 load through the
+        // layer-stack forward (`plan: false`), recorded under the
+        // `…@stack` suffix — PR 6's `…@scalar` convention. The headline
+        // `serve/plan_speedup_x1000` row is plan qps over stack qps.
+        let server = bench_server("bench", paper, BATCH, false);
+        let (latencies, stack_qps) = closed_loop(&server, "bench", BATCH, 25);
+        record_family(
+            &mut h,
+            &format!("serve/paper_batch{BATCH}@stack"),
+            BATCH,
+            latencies,
+            stack_qps,
+        );
+        server.shutdown();
+        let plan_speedup = batch_qps / stack_qps;
+        h.record(Sample {
+            name: "serve/plan_speedup_x1000".to_string(),
+            wall_ns: (plan_speedup * 1000.0) as u128,
+            iters: (BATCH * 25) as u32,
+            threads: BATCH,
+            allocs: 0,
+        });
+        report::kv(
+            "paper-geometry plan vs layer-stack",
+            format!("{plan_speedup:.2}x"),
+        );
     }
 
     let path = Path::new("BENCH_results.json");
@@ -373,7 +406,7 @@ fn full_report() {
 fn introspect_soak(secs: u64) {
     report::banner("MetaDSE serving introspection soak");
     report::kv("duration (s)", secs);
-    let server = bench_server("bench", DISPATCH_GEOM, BATCH);
+    let server = bench_server("bench", DISPATCH_GEOM, BATCH, true);
     let deadline = Instant::now() + Duration::from_secs(secs);
     let mut served = 0usize;
     while Instant::now() < deadline {
@@ -387,43 +420,67 @@ fn introspect_soak(secs: u64) {
     server.shutdown();
 }
 
-/// CI regression gate on the closed-loop batch-32 p99: best-of-three
-/// against the committed baseline row, with a generous ratio (tail
-/// latency on shared runners is noisy) and an absolute floor — a p99
-/// under 2 ms passes outright, whatever the committed value was.
+/// CI regression gate on closed-loop batch-32 p99 rows: best-of-three
+/// against the committed baseline, with a generous ratio (tail latency
+/// on shared runners is noisy) and an absolute floor — a p99 under the
+/// floor passes outright, whatever the committed value was. Gates both
+/// the dispatch-bound row and the paper-geometry plan-path row, so a
+/// plan-execution regression trips CI even though the dispatch row is
+/// queue-dominated.
 fn smoke() {
-    const MAX_RATIO: f64 = 2.5;
-    const ABS_FLOOR_NS: u64 = 2_000_000;
-    const ATTEMPTS: usize = 3;
-
     report::banner("MetaDSE serving smoke check");
     let committed = std::fs::read_to_string("BENCH_results.json")
         .expect("smoke mode needs the committed BENCH_results.json baseline");
-    let baseline = committed_wall_ns(&committed, SMOKE_ROW).expect("baseline serve p99 row");
-    report::kv("baseline p99", human_ns(baseline));
+    smoke_gate(&committed, SMOKE_ROW, DISPATCH_GEOM, 60, 2_000_000);
+    smoke_gate(
+        &committed,
+        PLAN_SMOKE_ROW,
+        PredictorConfig::default(),
+        12,
+        // Paper-geometry forwards are dense-math-bound and an order of
+        // magnitude slower per batch; the outright-pass floor scales
+        // with them.
+        20_000_000,
+    );
+}
+
+/// One best-of-three p99 gate for `row` at `geom` (plan path on).
+fn smoke_gate(
+    committed: &str,
+    row: &str,
+    geom: PredictorConfig,
+    per_client: usize,
+    abs_floor_ns: u64,
+) {
+    const MAX_RATIO: f64 = 2.5;
+    const ATTEMPTS: usize = 3;
+
+    let baseline = committed_wall_ns(committed, row)
+        .unwrap_or_else(|| panic!("baseline row {row} missing from BENCH_results.json"));
+    report::kv(&format!("{row} baseline"), human_ns(baseline));
 
     let mut best = u64::MAX;
     for attempt in 1..=ATTEMPTS {
-        let server = bench_server("bench", DISPATCH_GEOM, BATCH);
-        let (mut latencies, _) = closed_loop(&server, "bench", BATCH, 60);
+        let server = bench_server("bench", geom, BATCH, true);
+        let (mut latencies, _) = closed_loop(&server, "bench", BATCH, per_client);
         server.shutdown();
         let p99 = percentile(&mut latencies, 99.0);
         let ratio = p99 as f64 / baseline as f64;
         report::kv(
-            &format!("attempt {attempt}/{ATTEMPTS} p99"),
+            &format!("{row} attempt {attempt}/{ATTEMPTS} p99"),
             format!("{} ({ratio:.3}x)", human_ns(u128::from(p99))),
         );
         best = best.min(p99);
-        if p99 <= ABS_FLOOR_NS || ratio <= MAX_RATIO {
+        if p99 <= abs_floor_ns || ratio <= MAX_RATIO {
             report::line(format!(
-                "OK: {SMOKE_ROW} within {MAX_RATIO}x of baseline (or under {})",
-                human_ns(u128::from(ABS_FLOOR_NS))
+                "OK: {row} within {MAX_RATIO}x of baseline (or under {})",
+                human_ns(u128::from(abs_floor_ns))
             ));
             return;
         }
     }
     report::line(format!(
-        "FAIL: {SMOKE_ROW} regressed {:.2}x vs committed baseline \
+        "FAIL: {row} regressed {:.2}x vs committed baseline \
          (limit {MAX_RATIO}x, best of {ATTEMPTS} attempts)",
         best as f64 / baseline as f64
     ));

@@ -102,6 +102,26 @@ impl ServablePredictor {
         self.mask.is_some()
     }
 
+    /// Decodes the embedded parameter payload into named
+    /// `(name, shape, values)` entries, in payload order, without
+    /// instantiating a model — the extraction path for consumers that
+    /// compile the weights into another execution form (e.g. the
+    /// serving plan compiler in `metadse-serve`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] for a malformed payload (possible
+    /// only for hand-built artifacts; capture/decode both validate).
+    pub fn param_entries(&self) -> Result<Vec<metadse_nn::serialize::ParamEntry>, CheckpointError> {
+        entries_from_bytes(&self.params)
+    }
+
+    /// The captured WAM mask values, row-major
+    /// `[num_params × num_params]`, if present.
+    pub fn mask_values(&self) -> Option<&[Elem]> {
+        self.mask.as_deref()
+    }
+
     /// Rebuilds a live predictor from the artifact: fresh construction at
     /// the captured geometry, parameters loaded by name, mask installed
     /// when present. Each call is independent, so worker threads can each

@@ -54,6 +54,7 @@ pub mod tensor;
 
 pub use tensor::backend::{self, BackendKind, BackendModeGuard};
 pub use tensor::fused::Activation;
+pub use tensor::prims;
 pub use tensor::Tensor;
 
 /// Scalar element type used throughout the crate.

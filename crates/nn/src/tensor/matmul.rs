@@ -30,7 +30,7 @@ use crate::Elem;
 
 /// A batch's A block is "sparse" when at least this fraction of it is
 /// exactly zero; the axpy kernel then skips whole zero terms.
-const SPARSE_ZERO_FRACTION: f64 = 0.25;
+pub(crate) const SPARSE_ZERO_FRACTION: f64 = 0.25;
 
 /// Packs the `k x n` block of `db` at `base` transposed (as `n x k`) onto
 /// the end of `packed`, returning the block's start within `packed`.

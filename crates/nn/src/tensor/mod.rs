@@ -8,6 +8,7 @@
 pub mod backend;
 pub mod fused;
 pub mod pool;
+pub mod prims;
 pub mod shape;
 
 mod composite;

@@ -1,0 +1,100 @@
+//! Public handles to the resolved kernel backend for out-of-graph
+//! executors.
+//!
+//! The tensor graph keeps [`super::backend`]'s dispatch machinery
+//! crate-private so in-graph ops can never observe a half-configured
+//! backend. External executors that bypass the graph entirely — the
+//! compiled inference plans in `metadse-serve` — still need the *same*
+//! kernels, because the repository's bit-exactness contracts (scalar ≡
+//! simd digests, fused ≡ composite) are stated per kernel: any executor
+//! that reproduces an op's accumulation order on these primitives
+//! inherits the guarantees for free.
+//!
+//! [`kernels`] resolves the calling thread's active backend once and
+//! returns a [`Kernels`] handle — a `Copy` token that pins the choice
+//! for a whole forward pass, exactly as `backend::active()` does inside
+//! each tensor op. The handle exposes only forward-pass primitives;
+//! gradient kernels stay internal because out-of-graph executors are
+//! inference-only by construction.
+
+use super::backend::{self, ActiveBackend};
+use crate::Elem;
+
+/// Fraction of exact zeros at which the in-graph matmul switches a
+/// batch to the zero-skipping sparse kernel. Exported so out-of-graph
+/// executors reproduce the *data-dependent* dense/sparse choice — the
+/// path decision is part of the bit-exactness contract, not just the
+/// arithmetic inside each path.
+pub const SPARSE_ZERO_FRACTION: f64 = super::matmul::SPARSE_ZERO_FRACTION;
+
+/// Row lengths at or below this bound make the backends' chunked
+/// reductions degenerate to sequential accumulation (re-exported from
+/// [`backend::SEQ_EQUIV_MAX`]).
+pub use super::backend::SEQ_EQUIV_MAX;
+
+/// The calling thread's resolved kernel set.
+///
+/// Copies of this handle all dispatch to the same backend; resolve one
+/// per forward pass so a concurrent [`crate::BackendModeGuard`] on
+/// another thread can never split a single pass across kernel sets.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    be: ActiveBackend,
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Kernels(..)")
+    }
+}
+
+/// Resolves the active backend (`METADSE_BACKEND`, process override,
+/// or thread-local guard) for the calling thread.
+pub fn kernels() -> Kernels {
+    Kernels {
+        be: backend::active(),
+    }
+}
+
+impl Kernels {
+    /// `out[j] = dot(a, bt_row_j)` over a packed `[n, k]` panel `bt` —
+    /// the dense matmul microkernel.
+    #[inline(always)]
+    pub fn dot_block(self, a: &[Elem], bt: &[Elem], k: usize, out: &mut [Elem]) {
+        self.be.dot_block(a, bt, k, out)
+    }
+
+    /// `dst[i] += scale * src[i]` — the sparse matmul accumulation.
+    #[inline(always)]
+    pub fn axpy(self, scale: Elem, src: &[Elem], dst: &mut [Elem]) {
+        self.be.axpy(scale, src, dst)
+    }
+
+    /// Chunked row sum — the reduction order `sum_to`'s trailing-axis
+    /// fast path produces.
+    #[inline(always)]
+    pub fn sum(self, xs: &[Elem]) -> Elem {
+        self.be.sum(xs)
+    }
+
+    /// Chunked sum of squares — the layernorm variance reduction.
+    #[inline(always)]
+    pub fn sum_sq(self, xs: &[Elem]) -> Elem {
+        self.be.sum_sq(xs)
+    }
+
+    /// Folds `src`'s rows (row length `out.len()`) into `out` by
+    /// addition, rows in ascending order.
+    #[inline(always)]
+    pub fn fold_rows(self, src: &[Elem], out: &mut [Elem]) {
+        self.be.fold_rows(src, out)
+    }
+
+    /// Fused `gelu(x + bias)` over a flat buffer with a suffix-broadcast
+    /// bias; `tanh` receives the per-element tanh values (`out.len()`
+    /// scratch the caller provides).
+    #[inline(always)]
+    pub fn bias_gelu_forward(self, sx: &[Elem], sb: &[Elem], out: &mut [Elem], tanh: &mut [Elem]) {
+        self.be.bias_gelu_forward(sx, sb, out, tanh)
+    }
+}

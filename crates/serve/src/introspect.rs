@@ -108,6 +108,22 @@ impl ServeResponder {
             "serve/batch_size",
             &stats.batch_size.snapshot(now),
         );
+        // Plan-cache counters come straight off the registry atomics so
+        // they are visible even in builds without the `obs` feature
+        // (the CI introspection smoke asserts on these lines).
+        let plan_stats = self.shared.registry.plan_cache_stats();
+        out.push_str(&format!(
+            "counter serve/plan_cache_hits {}\n",
+            plan_stats.hits
+        ));
+        out.push_str(&format!(
+            "counter serve/plan_cache_misses {}\n",
+            plan_stats.misses
+        ));
+        out.push_str(&format!(
+            "counter serve/plan_compile_us {}\n",
+            plan_stats.compile_us
+        ));
         for (name, counter) in [
             ("serve/admitted", &stats.admitted),
             ("serve/completed", &stats.completed),

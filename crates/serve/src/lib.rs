@@ -4,7 +4,7 @@
 //! missing layer between "a model finished meta-training" and "a DSE
 //! tool is querying it at scale".
 //!
-//! Three pieces compose the crate:
+//! Four pieces compose the crate:
 //!
 //! * [`registry`] — a directory of generation-rotated, sealed
 //!   [`ServablePredictor`](metadse::ServablePredictor) artifacts per
@@ -14,10 +14,16 @@
 //!   over a virtual clock: bounded admission with shed-on-full,
 //!   `max_batch`/`max_wait_us` coalescing, per-request deadlines, and
 //!   graceful drain — all unit-testable with no threads or timers.
+//! * [`plan`] / [`exec`] — compiled fixed-shape inference plans: a
+//!   tiny ~10-op serving IR lowered once per artifact × batch capacity,
+//!   executed over one preallocated arena sized by op liveness, with
+//!   every kernel choice resolved at compile time and bit-exact parity
+//!   with the layer-stack forward (`METADSE_PLAN=0` falls back).
 //! * [`server`] — the runtime: a worker pool (on
 //!   [`metadse_parallel::WorkerPool`]) pops batches, groups them by
-//!   model fingerprint, and runs one inference-mode forward per group;
-//!   callers block on per-request [`Ticket`]s.
+//!   model fingerprint, and runs one inference-mode forward per group
+//!   through the compiled plan; callers block on per-request
+//!   [`Ticket`]s.
 //!
 //! Because every op in the `metadse-nn` forward path computes each
 //! output element independently of batch row count, a batched forward
@@ -40,13 +46,17 @@
 //! ```
 
 pub mod batcher;
+pub mod exec;
 pub mod introspect;
+pub mod plan;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
+pub use exec::{PlanArena, PlanProfile};
 pub use introspect::ServeHealth;
-pub use registry::{ModelEntry, ModelRegistry};
+pub use plan::Plan;
+pub use registry::{ModelEntry, ModelRegistry, PlanCacheStats};
 pub use server::{Prediction, ServeConfig, ServeError, Server, Ticket};
 pub use stats::{RequestTrace, ServerStats, TenantStats, TraceTable};

@@ -33,11 +33,15 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use metadse::ServablePredictor;
 use metadse_nn::serialize::CheckpointError;
 use metadse_obs::{self as obs, report};
+
+use crate::plan::Plan;
 
 /// One servable model at one generation, shared immutably with workers.
 #[derive(Debug)]
@@ -50,6 +54,18 @@ pub struct ModelEntry {
     pub servable: ServablePredictor,
 }
 
+/// Cumulative plan-cache counters (see
+/// [`ModelRegistry::plan_cache_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a fresh plan.
+    pub misses: u64,
+    /// Total wall time spent compiling plans, in microseconds.
+    pub compile_us: u64,
+}
+
 /// Directory-backed registry of hot-swappable serving models.
 #[derive(Debug)]
 pub struct ModelRegistry {
@@ -57,6 +73,18 @@ pub struct ModelRegistry {
     /// Generations retained per workload after a publish (min 2).
     keep: usize,
     table: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    /// Compiled plans keyed by `(artifact fingerprint, batch capacity)`.
+    /// Content-addressed: a cached plan is *correct* for its
+    /// fingerprint forever; eviction on hot swap is memory hygiene, not
+    /// a correctness requirement.
+    plans: RwLock<HashMap<(u64, usize), Arc<Plan>>>,
+    /// Bumped on every table install; servers use it to invalidate
+    /// per-workload route memos without re-locking the table per
+    /// request.
+    epoch: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_compile_us: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -67,6 +95,11 @@ impl ModelRegistry {
             root: root.into(),
             keep: keep.max(2),
             table: RwLock::new(HashMap::new()),
+            plans: RwLock::new(HashMap::new()),
+            epoch: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            plan_compile_us: AtomicU64::new(0),
         }
     }
 
@@ -178,11 +211,81 @@ impl ModelRegistry {
         self.workloads()
     }
 
+    /// The compiled plan for `entry`'s artifact at `capacity` batch
+    /// rows, served from the cache when one exists (one compile per
+    /// `fingerprint × capacity`, shared by every worker via `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Plan::compile`] failures (malformed parameter
+    /// payloads); nothing is cached on error, so callers can fall back
+    /// to the layer-stack path.
+    pub fn plan_for(
+        &self,
+        entry: &ModelEntry,
+        capacity: usize,
+    ) -> Result<Arc<Plan>, CheckpointError> {
+        let key = (entry.servable.fingerprint(), capacity.max(1));
+        if let Some(plan) = self.plans.read().unwrap().get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve/plan_cache_hits", 1);
+            return Ok(plan.clone());
+        }
+        // Compile outside any lock: compiles are rare and readers must
+        // not stall behind one.
+        let started = Instant::now();
+        let plan = Arc::new(Plan::compile(&entry.servable, key.1)?);
+        let elapsed = started.elapsed().as_micros() as u64;
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.plan_compile_us.fetch_add(elapsed, Ordering::Relaxed);
+        obs::counter("serve/plan_cache_misses", 1);
+        obs::counter("serve/plan_compile_us", elapsed);
+        let mut plans = self.plans.write().unwrap();
+        // Keep the first plan on a compile race so every worker
+        // converges on one Arc (either is bit-identical).
+        Ok(plans.entry(key).or_insert(plan).clone())
+    }
+
+    /// Monotone table version; bumped by every install (publish,
+    /// refresh swap). Route memos keyed on this value are invalidated
+    /// by hot swaps without touching the table lock.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Cumulative plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+            compile_us: self.plan_compile_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(fingerprint, capacity)` keys currently cached (tests and
+    /// diagnostics).
+    pub fn cached_plan_shapes(&self) -> Vec<(u64, usize)> {
+        let mut keys: Vec<(u64, usize)> = self.plans.read().unwrap().keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     fn install(&self, entry: Arc<ModelEntry>) {
-        self.table
+        let live: Vec<u64> = {
+            let mut table = self.table.write().unwrap();
+            table.insert(entry.workload.clone(), entry);
+            table.values().map(|e| e.servable.fingerprint()).collect()
+        };
+        // Evict plans whose artifact is no longer served anywhere.
+        // Purely memory hygiene — plans are content-addressed by
+        // fingerprint, so a stale plan could never serve wrong bits; it
+        // would only pin dead weights. Lock order is table → plans
+        // here, and `plan_for` takes only `plans`, so no cycle exists.
+        self.plans
             .write()
             .unwrap()
-            .insert(entry.workload.clone(), entry);
+            .retain(|(fp, _), _| live.contains(fp));
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     fn workload_dir(&self, workload: &str) -> PathBuf {
@@ -358,6 +461,52 @@ mod tests {
         let registry = ModelRegistry::new(&root, 4);
         assert!(registry.get("nope").is_none());
         assert!(registry.refresh("nope").is_none());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn plan_for_caches_one_plan_per_fingerprint_and_capacity() {
+        let root = temp_root("plancache");
+        let registry = ModelRegistry::new(&root, 4);
+        registry.publish("mcf", &small_servable(1)).unwrap();
+        let entry = registry.get("mcf").unwrap();
+
+        let first = registry.plan_for(&entry, 8).unwrap();
+        let second = registry.plan_for(&entry, 8).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same key must share one Arc");
+        let other_cap = registry.plan_for(&entry, 16).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other_cap));
+
+        let stats = registry.plan_cache_stats();
+        assert_eq!(stats.misses, 2, "two distinct shapes compiled");
+        assert_eq!(stats.hits, 1, "one lookup served from cache");
+        assert!(stats.compile_us > 0 || stats.misses > 0);
+        assert_eq!(registry.cached_plan_shapes().len(), 2);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn hot_swap_purges_stale_plans_and_bumps_epoch() {
+        let root = temp_root("planswap");
+        let registry = ModelRegistry::new(&root, 4);
+        registry.publish("mcf", &small_servable(1)).unwrap();
+        let old_entry = registry.get("mcf").unwrap();
+        let old_fp = old_entry.servable.fingerprint();
+        registry.plan_for(&old_entry, 8).unwrap();
+        assert_eq!(registry.cached_plan_shapes(), vec![(old_fp, 8)]);
+
+        let epoch_before = registry.epoch();
+        registry.publish("mcf", &small_servable(2)).unwrap();
+        assert!(registry.epoch() > epoch_before, "install must bump epoch");
+        assert!(
+            registry.cached_plan_shapes().is_empty(),
+            "plans of unserved fingerprints are purged on swap"
+        );
+
+        // The new entry compiles (and caches) its own plan.
+        let new_entry = registry.get("mcf").unwrap();
+        let plan = registry.plan_for(&new_entry, 8).unwrap();
+        assert_eq!(plan.fingerprint(), new_entry.servable.fingerprint());
         fs::remove_dir_all(&root).ok();
     }
 }

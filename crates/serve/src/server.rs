@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use metadse::predictor::TransformerPredictor;
@@ -39,6 +39,8 @@ use metadse_obs::window::{Health, WatchdogConfig, WatchdogSample, WindowConfig};
 use metadse_parallel::WorkerPool;
 
 use crate::batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
+use crate::exec::{PlanArena, PlanProfile};
+use crate::plan::Plan;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::stats::{RequestTrace, ServerStats};
 
@@ -49,6 +51,12 @@ pub struct ServeConfig {
     pub batch: BatchConfig,
     /// Worker threads executing batches (min 1).
     pub workers: usize,
+    /// Execute grouped batches through compiled inference plans
+    /// ([`crate::plan`]). Defaults to on; `METADSE_PLAN=0` in the
+    /// environment (or setting this to `false`) falls back to the
+    /// layer-stack `predict` path — an escape hatch, since the two are
+    /// bit-identical.
+    pub plan: bool,
 }
 
 impl Default for ServeConfig {
@@ -56,8 +64,15 @@ impl Default for ServeConfig {
         ServeConfig {
             batch: BatchConfig::default(),
             workers: 2,
+            plan: plan_enabled_from_env(),
         }
     }
+}
+
+/// `METADSE_PLAN=0` disables plan execution; anything else (including
+/// unset) leaves it on.
+fn plan_enabled_from_env() -> bool {
+    std::env::var("METADSE_PLAN").map_or(true, |v| v != "0")
 }
 
 /// Why a request was refused or failed.
@@ -120,6 +135,10 @@ pub struct Prediction {
 /// concurrent hot swap never splits a batch's view of a workload.
 pub(crate) struct Request {
     entry: Arc<ModelEntry>,
+    /// Compiled plan for `entry`'s artifact, resolved alongside it at
+    /// admission (None when plan execution is off or compile failed —
+    /// the worker then falls back to the layer-stack path).
+    plan: Option<Arc<Plan>>,
     config: Vec<f64>,
     tx: mpsc::Sender<Result<Prediction, ServeError>>,
     /// Per-request trace context, minted at admission; carried through
@@ -152,6 +171,13 @@ impl Ticket {
     }
 }
 
+/// One workload's resolved serving route, memoized per registry epoch.
+struct CachedRoute {
+    epoch: u64,
+    entry: Arc<ModelEntry>,
+    plan: Option<Arc<Plan>>,
+}
+
 pub(crate) struct Shared {
     pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) core: Mutex<QueueCore<Request>>,
@@ -164,6 +190,14 @@ pub(crate) struct Shared {
     pub(crate) watchdog: WatchdogConfig,
     /// Request-id mint (first id is 1; 0 never names a request).
     next_id: AtomicU64,
+    /// Whether admitted requests carry compiled plan handles.
+    plan_mode: bool,
+    /// Plan batch capacity (= the batcher's `max_batch`).
+    batch_capacity: usize,
+    /// Workload → route memo, validated against the registry epoch so a
+    /// burst of submits resolves the table (and plan cache) once per
+    /// workload per swap instead of once per request.
+    routes: RwLock<HashMap<String, CachedRoute>>,
 }
 
 impl Shared {
@@ -173,6 +207,48 @@ impl Shared {
 
     pub(crate) fn health_at(&self, now_us: u64) -> (Health, WatchdogSample) {
         crate::introspect::evaluate(self, now_us)
+    }
+
+    /// The serving route for `workload`: its current registry entry
+    /// plus (in plan mode) the compiled plan handle. Memoized per
+    /// registry epoch — the epoch is read *before* the table, so a
+    /// concurrent hot swap can only leave the memo stamped older than
+    /// its contents, forcing a harmless re-resolve next lookup, never a
+    /// stale hit.
+    fn resolve(&self, workload: &str) -> Option<(Arc<ModelEntry>, Option<Arc<Plan>>)> {
+        let epoch = self.registry.epoch();
+        if let Some(route) = self.routes.read().unwrap().get(workload) {
+            if route.epoch == epoch {
+                return Some((route.entry.clone(), route.plan.clone()));
+            }
+        }
+        let entry = self.registry.get(workload)?;
+        let plan = if self.plan_mode {
+            match self.registry.plan_for(&entry, self.batch_capacity) {
+                Ok(plan) => Some(plan),
+                Err(e) => {
+                    // Malformed payloads fall back to the layer-stack
+                    // path, which surfaces the same failure as an
+                    // `Artifact` error on the ticket. Memoizing the
+                    // `None` keeps the warn at once per epoch.
+                    obs::report::warn(format!(
+                        "serve: plan compile failed for {workload} ({e}); using layer-stack path"
+                    ));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        self.routes.write().unwrap().insert(
+            workload.to_string(),
+            CachedRoute {
+                epoch,
+                entry: entry.clone(),
+                plan: plan.clone(),
+            },
+        );
+        Some((entry, plan))
     }
 }
 
@@ -205,6 +281,9 @@ impl Server {
             stats: Arc::new(ServerStats::new(WindowConfig::from_env())),
             watchdog: WatchdogConfig::from_env(),
             next_id: AtomicU64::new(1),
+            plan_mode: config.plan,
+            batch_capacity: config.batch.max_batch.max(1),
+            routes: RwLock::new(HashMap::new()),
         });
         let worker_shared = shared.clone();
         let pool = WorkerPool::spawn("serve", config.workers.max(1), move |_| {
@@ -283,7 +362,10 @@ impl Server {
     pub fn submit(&self, workload: &str, config: &[f64], timeout: Option<Duration>) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket { rx };
-        let Some(entry) = self.shared.registry.get(workload) else {
+        // One epoch-memoized resolve covers the registry lookup *and*
+        // the plan handle: submit bursts within a batch window no
+        // longer take the registry table lock per request.
+        let Some((entry, plan)) = self.shared.resolve(workload) else {
             let _ = tx.send(Err(ServeError::UnknownWorkload(workload.to_string())));
             return ticket;
         };
@@ -306,6 +388,7 @@ impl Server {
         );
         let request = Request {
             entry,
+            plan,
             config: config.to_vec(),
             tx,
             trace,
@@ -366,6 +449,9 @@ fn worker_loop(shared: &Shared) {
     // Keyed by fingerprint so a hot-swapped generation rebuilds exactly
     // once per worker, while no-op refreshes keep the instance warm.
     let mut cache: HashMap<String, (u64, TransformerPredictor)> = HashMap::new();
+    // Worker-owned plan arena: one slab reused by every plan forward
+    // this thread runs, across batches, plans, and hot swaps.
+    let mut arena = PlanArena::new();
     let mut guard = shared.core.lock().unwrap();
     loop {
         let now = shared.now_us();
@@ -381,7 +467,7 @@ fn worker_loop(shared: &Shared) {
             PopOutcome::Batch(batch) => {
                 obs::gauge("serve/queue_depth", guard.len() as f64);
                 drop(guard);
-                run_batch(shared, &mut cache, batch, now);
+                run_batch(shared, &mut cache, &mut arena, batch, now);
                 guard = shared.core.lock().unwrap();
             }
             PopOutcome::WaitUntil(wake_us) => {
@@ -397,6 +483,7 @@ fn worker_loop(shared: &Shared) {
 fn run_batch(
     shared: &Shared,
     cache: &mut HashMap<String, (u64, TransformerPredictor)>,
+    arena: &mut PlanArena,
     batch: Vec<Pending<Request>>,
     popped_us: u64,
 ) {
@@ -423,22 +510,37 @@ fn run_batch(
     for key in order {
         let mut group = groups.remove(&key).unwrap();
         let entry = group[0].payload.entry.clone();
-        let model = match cached_instance(cache, &entry) {
-            Ok(model) => model,
-            Err(e) => {
-                let message = e.to_string();
-                let failed_us = shared.now_us();
-                for mut pending in group {
-                    pending.payload.trace.popped_us = popped_us;
-                    pending.payload.trace.done_us = failed_us;
-                    pending.payload.trace.outcome = "artifact_error";
-                    shared.stats.traces.push(pending.payload.trace);
-                    let _ = pending
-                        .payload
-                        .tx
-                        .send(Err(ServeError::Artifact(message.clone())));
+        // A plan handle attached at admission serves the whole group —
+        // the group key *is* the artifact fingerprint, so any member's
+        // handle is valid for all of them. Requests without one (plan
+        // mode off, or compile fell back) take the layer-stack path.
+        let plan: Option<Arc<Plan>> = group.iter().find_map(|p| {
+            p.payload
+                .plan
+                .as_ref()
+                .filter(|plan| plan.fingerprint() == key && plan.capacity() >= group.len())
+                .cloned()
+        });
+        let model = if plan.is_some() {
+            None
+        } else {
+            match cached_instance(cache, &entry) {
+                Ok(model) => Some(model),
+                Err(e) => {
+                    let message = e.to_string();
+                    let failed_us = shared.now_us();
+                    for mut pending in group {
+                        pending.payload.trace.popped_us = popped_us;
+                        pending.payload.trace.done_us = failed_us;
+                        pending.payload.trace.outcome = "artifact_error";
+                        shared.stats.traces.push(pending.payload.trace);
+                        let _ = pending
+                            .payload
+                            .tx
+                            .send(Err(ServeError::Artifact(message.clone())));
+                    }
+                    continue;
                 }
-                continue;
             }
         };
         let inputs: Vec<Vec<f64>> = group
@@ -448,7 +550,11 @@ fn run_batch(
         let forward_start_us = shared.now_us();
         let values = {
             let _forward_span = obs::span("serve/forward");
-            model.predict(&inputs)
+            match (&plan, model) {
+                (Some(plan), _) => run_plan(plan, &inputs, arena),
+                (None, Some(model)) => model.predict(&inputs),
+                (None, None) => unreachable!("group has neither plan nor model"),
+            }
         };
         let done_us = shared.now_us();
         let batch_size = group.len();
@@ -490,6 +596,23 @@ fn run_batch(
     // batch span's parent was resolved when it opened, so the order of
     // this reset and the guard's drop doesn't matter.
     obs::adopt_span(None);
+}
+
+/// Executes one grouped batch through its compiled plan. Per-op wall
+/// time is attributed onto `serve/plan_op/<kind>_us` counters — only
+/// when instrumentation is compiled in, because the two `Instant` reads
+/// per op are measurable against dispatch-bound geometries.
+fn run_plan(plan: &Plan, inputs: &[Vec<f64>], arena: &mut PlanArena) -> Vec<f64> {
+    if obs::enabled() {
+        let mut profile = PlanProfile::default();
+        let values = plan.run_profiled(inputs, arena, &mut profile);
+        for (name, us) in profile.rows() {
+            obs::counter(&format!("serve/plan_op/{name}_us"), us);
+        }
+        values
+    } else {
+        plan.run(inputs, arena)
+    }
 }
 
 /// The worker's live predictor for `entry`, instantiating on first use

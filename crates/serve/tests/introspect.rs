@@ -77,6 +77,7 @@ fn endpoint_answers_health_ready_metrics_and_trace() {
                 queue_capacity: 64,
             },
             workers: 2,
+            ..ServeConfig::default()
         },
     );
     let sock = sock_path("roundtrip");
@@ -101,8 +102,24 @@ fn endpoint_answers_health_ready_metrics_and_trace() {
         last_trace_id = prediction.trace_id;
     }
 
-    let metrics = query(&sock, "metrics").unwrap();
-    assert!(metrics.ok);
+    // Workers send replies *before* folding the finished traces into
+    // the stats ledgers (reply-first keeps client latency honest), so
+    // the counters trail the last `.wait()` by a bookkeeping window —
+    // poll briefly for the final request to land.
+    let mut metrics = query(&sock, "metrics").unwrap();
+    for _ in 0..200 {
+        assert!(metrics.ok);
+        if field(
+            &metrics.body,
+            "counter serve/completed_total",
+            "serve/completed_total",
+        ) == Some(16.0)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        metrics = query(&sock, "metrics").unwrap();
+    }
     let body = &metrics.body;
     assert_eq!(
         field(
@@ -124,6 +141,29 @@ fn endpoint_answers_health_ready_metrics_and_trace() {
         field(body, "window serve/batch_size", "count") == Some(16.0),
         "batch-size window populated"
     );
+    // Plan-cache counters come off the registry atomics, so they must
+    // appear in the exposition even in builds without the obs feature.
+    for line in [
+        "counter serve/plan_cache_hits",
+        "counter serve/plan_cache_misses",
+        "counter serve/plan_compile_us",
+    ] {
+        assert!(
+            body.lines().any(|l| l.starts_with(line)),
+            "metrics exposition must carry {line:?}"
+        );
+    }
+    if ServeConfig::default().plan {
+        assert!(
+            field(
+                body,
+                "counter serve/plan_cache_misses",
+                "serve/plan_cache_misses"
+            )
+            .is_some_and(|v| v >= 1.0),
+            "plan path on: at least one plan compiled"
+        );
+    }
     // Tenant attribution: one fingerprint, 16 requests, nonzero forward.
     let tenant_line = body
         .lines()
@@ -167,6 +207,7 @@ fn health_transitions_ok_to_degraded_on_forced_deadline_misses() {
                 queue_capacity: 64,
             },
             workers: 1,
+            ..ServeConfig::default()
         },
     );
     let sock = sock_path("degrade");
@@ -242,6 +283,7 @@ fn soak_polling_the_endpoint_never_perturbs_served_bits() {
                     queue_capacity: 256,
                 },
                 workers,
+                ..ServeConfig::default()
             },
         );
         let sock = sock_path(&format!("soak{workers}"));

@@ -24,9 +24,16 @@ for backend in scalar simd; do
       echo "=== METADSE_BACKEND=$backend METADSE_POOL=$pool METADSE_FUSED=$fused ==="
       METADSE_BACKEND=$backend METADSE_POOL=$pool METADSE_FUSED=$fused \
         cargo test -q -p metadse-nn -p metadse "$@"
+      # The compiled-plan parity suite pins its own digest per backend
+      # (suffix ".plan"): the plan path ignores the pool and fused
+      # toggles, so all four combinations must reproduce it too.
+      METADSE_BACKEND=$backend METADSE_POOL=$pool METADSE_FUSED=$fused \
+        cargo test -q -p metadse-serve --test plan "$@"
     done
   done
 done
 
 echo "all pool×fused combinations reproduced digest $(cat "$digest_file") (scalar)"
 echo "all pool×fused combinations reproduced digest $(cat "$digest_file.simd") (simd)"
+echo "compiled plans reproduced digest $(cat "$digest_file.plan") (scalar)"
+echo "compiled plans reproduced digest $(cat "$digest_file.plan.simd") (simd)"
