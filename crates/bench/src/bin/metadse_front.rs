@@ -1,0 +1,135 @@
+//! `metadse-front` — the sharded serving front door, batteries
+//! included.
+//!
+//! Launches N shard worker processes (re-executions of this binary with
+//! the `--shard-worker` flag), blocks until every shard's readiness
+//! barrier passes, then serves the front-door socket until killed.
+//! Crashed shards are respawned by the built-in supervisor; clients
+//! speak the binary frame protocol of [`metadse_serve::shard`] (see
+//! [`metadse_serve::FrontClient`]).
+//!
+//! ```text
+//! metadse-front --registry results/models --socket /run/mdse/front.sock --shards 4
+//! METADSE_SHARDS=4 metadse-front --registry results/models
+//! ```
+//!
+//! Flags:
+//!
+//! - `--registry DIR` (required) — registry root shared by all shards;
+//! - `--socket PATH` — client socket (default `<dir>/front.sock`);
+//! - `--dir DIR` — socket scratch directory (default
+//!   `$TMPDIR/metadse-front-<pid>`);
+//! - `--shards N` — worker count (default `METADSE_SHARDS`, else 1);
+//! - `--workers/--max-batch/--max-wait-us` — per-shard serving tuning;
+//! - `--duration SECS` — exit after this long (default: run forever).
+
+#[cfg(unix)]
+fn run() -> Result<(), String> {
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    use metadse_bench::fleet::{launch, FleetOptions};
+    use metadse_bench::report;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut registry: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut shards = metadse::shard::shard_count_from_env().unwrap_or(1);
+    let mut workers = 1usize;
+    let mut max_batch = 8usize;
+    let mut max_wait_us = 100u64;
+    let mut duration: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--registry" => registry = Some(PathBuf::from(value("--registry")?)),
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-batch" => {
+                max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--max-wait-us" => {
+                max_wait_us = value("--max-wait-us")?
+                    .parse()
+                    .map_err(|e| format!("--max-wait-us: {e}"))?;
+            }
+            "--duration" => {
+                duration = Some(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let registry = registry.ok_or("--registry is required")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("metadse-front-{}", std::process::id()))
+    });
+
+    let mut opts = FleetOptions::new(&dir, registry, shards);
+    opts.workers = workers;
+    opts.max_batch = max_batch;
+    opts.max_wait_us = max_wait_us;
+    let fleet = launch(&opts).map_err(|e| format!("fleet launch failed: {e}"))?;
+    // The in-process Front binds `<dir>/front.sock`; an explicit
+    // `--socket` is honoured via a symlink so the Front keeps owning
+    // (and cleaning up) its own path.
+    if let Some(requested) = socket {
+        if requested != fleet.socket() {
+            let _ = std::fs::remove_file(&requested);
+            std::os::unix::fs::symlink(fleet.socket(), &requested)
+                .map_err(|e| format!("linking {}: {e}", requested.display()))?;
+            report::kv("client socket", requested.display());
+        }
+    }
+    report::kv("front socket", fleet.socket().display());
+    report::kv("shards", shards);
+
+    match duration {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    fleet.shutdown();
+    Ok(())
+}
+
+fn main() {
+    #[cfg(unix)]
+    {
+        if let Some(code) = metadse_serve::shard::run_worker_if_flagged() {
+            std::process::exit(code);
+        }
+        if let Err(e) = run() {
+            eprintln!("metadse-front: {e}");
+            std::process::exit(2);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("metadse-front: unix sockets unavailable on this platform");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! `metadse-serve` — one shard worker process of the sharded serving
+//! fleet.
+//!
+//! Loads the slice of the registry its `--shard-index/--shard-count`
+//! owns (see [`metadse::shard::shard_of`]), binds its data socket and
+//! the `<socket>.intro` introspection endpoint, and serves until
+//! killed. Normally spawned and supervised by `metadse-front` (or a
+//! soak/bench driver), but runs standalone too:
+//!
+//! ```text
+//! metadse-serve --socket /run/mdse/shard-0.sock --registry results/models \
+//!               --shard-index 0 --shard-count 4
+//! ```
+//!
+//! Flags: `--socket PATH --registry DIR [--shard-index I --shard-count N]
+//! [--keep K] [--workers W] [--max-batch B] [--max-wait-us U]
+//! [--queue-capacity Q]` — the same vector fleet launchers pass after
+//! the `--shard-worker` reexec flag (accepted and ignored here, so the
+//! same argv works against either entry point).
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some(metadse_serve::shard::WORKER_FLAG) {
+        args.remove(0);
+    }
+    let opts = match metadse_serve::shard::parse_worker_args(&args) {
+        Ok(opts) => opts,
+        Err(usage) => {
+            eprintln!("metadse-serve: {usage}");
+            std::process::exit(2);
+        }
+    };
+    #[cfg(unix)]
+    match metadse_serve::shard::worker_main(opts) {
+        Ok(never) => match never {},
+        Err(e) => {
+            eprintln!("metadse-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = opts;
+        eprintln!("metadse-serve: unix sockets unavailable on this platform");
+        std::process::exit(1);
+    }
+}

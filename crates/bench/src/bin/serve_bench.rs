@@ -391,8 +391,22 @@ fn full_report() {
     }
 
     let path = Path::new("BENCH_results.json");
-    h.write_json_merged(path, &["serve/"])
-        .expect("write BENCH_results.json");
+    // Owned prefixes cover every row family this mode produces — but
+    // not `serve/shards…`, which `--shards` owns, so the two modes
+    // merge into one file without clobbering each other.
+    h.write_json_merged(
+        path,
+        &[
+            "serve/raw_",
+            "serve/single_query",
+            "serve/batch",
+            "serve/speedup",
+            "serve/open_loop",
+            "serve/paper_",
+            "serve/plan_",
+        ],
+    )
+    .expect("write BENCH_results.json");
     report::kv("wrote", path.display());
 }
 
@@ -442,6 +456,8 @@ fn smoke() {
         // with them.
         20_000_000,
     );
+    #[cfg(unix)]
+    sharded::smoke_gate(&committed);
 }
 
 /// One best-of-three p99 gate for `row` at `geom` (plan path on).
@@ -497,10 +513,228 @@ fn committed_wall_ns(json: &str, name: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+/// Multi-process shard-scaling rows: stands up real worker-process
+/// fleets (this binary re-executed with `--shard-worker`, supervised)
+/// behind a front door and measures closed-loop aggregate QPS per fleet
+/// size. Rows `serve/shardsN_qps` store *requests per second* in the
+/// `wall_ns` field (a value row, like `serve/speedup_x1000`), and
+/// `serve/shard_scaling_x1000` stores the 4-shard/1-shard ratio ×1000.
+///
+/// The workload is the **paper geometry** (dense-math-bound, ~170 µs a
+/// forward), so per-request compute dominates the two socket hops and
+/// scaling across worker processes is physically possible. On a
+/// single-core container the sizes tie at ~1× — the committed rows say
+/// whatever the measuring machine could honestly do, and the CI gate
+/// only enforces the ≥ 2.5× 4-shard ratio on runners with ≥ 4 CPUs.
+#[cfg(unix)]
+mod sharded {
+    use std::collections::BTreeMap;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    use metadse::predictor::{PredictorConfig, TransformerPredictor};
+    use metadse::ServablePredictor;
+    use metadse_bench::fleet::{launch, Fleet, FleetOptions};
+    use metadse_bench::report;
+    use metadse_bench::serving::request_row;
+    use metadse_bench::timing::{Harness, Sample};
+    use metadse_serve::{FrontClient, ModelRegistry};
+
+    /// Row families owned by `--shards` mode in `BENCH_results.json`.
+    const ROW_PREFIXES: &[&str] = &["serve/shards", "serve/shard_scaling"];
+
+    /// The fleet sizes the committed rows cover.
+    const SIZES: [usize; 3] = [1, 2, 4];
+
+    /// Mixed tenants so every shard of a 4-way fleet owns work.
+    const TENANTS: [&str; 8] = [
+        "astar", "bzip2", "gcc", "leela", "mcf", "omnetpp", "sjeng", "xalan",
+    ];
+
+    /// Publishes the tenant registry and launches a `shards`-worker
+    /// fleet with a front door; returns it with its scratch dir.
+    fn fleet_up(shards: usize, tag: &str) -> (Fleet, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "metadse-shardbench-{tag}-{shards}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let root = dir.join("models");
+        let registry = ModelRegistry::new(&root, 2);
+        for (i, name) in TENANTS.iter().enumerate() {
+            let servable = ServablePredictor::capture(
+                &TransformerPredictor::new(PredictorConfig::default(), 300 + i as u64),
+                None,
+                "ipc",
+            );
+            registry.publish(name, &servable).expect("publish tenant");
+        }
+        let mut opts = FleetOptions::new(&dir, &root, shards);
+        opts.max_batch = 8;
+        opts.max_wait_us = 100;
+        (launch(&opts).expect("fleet launch"), dir)
+    }
+
+    /// Closed-loop load through the front: `clients` threads, one
+    /// request in flight each, `per_client` requests per thread over
+    /// the mixed tenants. Returns aggregate QPS.
+    fn closed_loop_front(fleet: &Fleet, clients: usize, per_client: usize) -> f64 {
+        let arity = PredictorConfig::default().num_params;
+        // Warm every shard's plan cache before the clock starts.
+        let mut warm = FrontClient::connect(fleet.socket()).expect("front connect");
+        for (i, name) in TENANTS.iter().enumerate() {
+            warm.predict(name, &request_row(i, arity), None)
+                .expect("warmup predict");
+        }
+        let done = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let done = &done;
+                s.spawn(move || {
+                    let mut client = FrontClient::connect(fleet.socket()).expect("front connect");
+                    for i in 0..per_client {
+                        let request = c * per_client + i;
+                        let tenant = TENANTS[request % TENANTS.len()];
+                        let config = request_row(request, arity);
+                        // No faults are injected here, but transient
+                        // shed/unavailable outcomes still deserve a
+                        // bounded retry rather than a dead sample.
+                        let mut attempts = 0;
+                        loop {
+                            match client.predict(tenant, &config, None) {
+                                Ok(_) => break,
+                                Err(e) if e.retryable() && attempts < 50 => {
+                                    attempts += 1;
+                                    client = FrontClient::connect(fleet.socket())
+                                        .expect("front reconnect");
+                                }
+                                Err(e) => panic!("shard bench request failed: {e}"),
+                            }
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// One measured fleet size → QPS (the fleet is torn down after).
+    fn measure(shards: usize, tag: &str, per_client: usize) -> f64 {
+        let (fleet, dir) = fleet_up(shards, tag);
+        let clients = (4 * shards).min(16);
+        let qps = closed_loop_front(&fleet, clients, per_client);
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        report::kv(&format!("{shards} shard(s) qps"), format!("{qps:.0}"));
+        qps
+    }
+
+    /// The full `--shards` report: QPS rows for each fleet size plus
+    /// the 4-vs-1 scaling ratio, merged into `BENCH_results.json`.
+    pub fn full_report() {
+        report::banner("MetaDSE sharded serving scaling benchmark");
+        report::kv(
+            "hardware threads",
+            metadse_parallel::available_parallelism(),
+        );
+        let mut h = Harness::new();
+        let mut qps_by_size: BTreeMap<usize, f64> = BTreeMap::new();
+        for &shards in &SIZES {
+            let qps = measure(shards, "full", 400);
+            let clients = (4 * shards).min(16);
+            h.record(Sample {
+                name: format!("serve/shards{shards}_qps"),
+                wall_ns: qps as u128,
+                iters: (clients * 400) as u32,
+                threads: clients,
+                allocs: 0,
+            });
+            qps_by_size.insert(shards, qps);
+        }
+        if let (Some(q1), Some(q4)) = (qps_by_size.get(&1), qps_by_size.get(&4)) {
+            let ratio = q4 / q1;
+            h.record(Sample {
+                name: "serve/shard_scaling_x1000".to_string(),
+                wall_ns: (ratio * 1000.0) as u128,
+                iters: 1,
+                threads: 16,
+                allocs: 0,
+            });
+            report::kv("4-shard scaling over 1 shard", format!("{ratio:.2}x"));
+        }
+        let path = Path::new("BENCH_results.json");
+        h.write_json_merged(path, ROW_PREFIXES)
+            .expect("write BENCH_results.json");
+        report::kv("wrote", path.display());
+    }
+
+    /// The CI gate on the shard rows: the committed baseline must carry
+    /// them, and on runners with ≥ 4 CPUs a live 4-shard fleet must
+    /// beat a live 1-shard fleet by ≥ 2.5× (best of three — process
+    /// scheduling on shared runners is noisy). On smaller machines the
+    /// ratio is physically out of reach, so only row presence is
+    /// enforced — and the skip is reported, never silent.
+    pub fn smoke_gate(committed: &str) {
+        const MIN_RATIO: f64 = 2.5;
+        const ATTEMPTS: usize = 3;
+
+        for row in ["serve/shards1_qps", "serve/shards4_qps"] {
+            let qps = super::committed_wall_ns(committed, row)
+                .unwrap_or_else(|| panic!("baseline row {row} missing from BENCH_results.json"));
+            report::kv(&format!("{row} baseline"), format!("{qps} qps"));
+        }
+        let cores = metadse_parallel::available_parallelism();
+        if cores < 4 {
+            report::line(format!(
+                "SKIP: shard-scaling ratio gate needs ≥ 4 CPUs (have {cores}); \
+                 row presence verified"
+            ));
+            return;
+        }
+        let mut best = 0.0f64;
+        for attempt in 1..=ATTEMPTS {
+            let q1 = measure(1, &format!("smoke{attempt}"), 150);
+            let q4 = measure(4, &format!("smoke{attempt}"), 150);
+            let ratio = q4 / q1;
+            report::kv(
+                &format!("scaling attempt {attempt}/{ATTEMPTS}"),
+                format!("{ratio:.2}x"),
+            );
+            best = best.max(ratio);
+            if ratio >= MIN_RATIO {
+                report::line(format!(
+                    "OK: 4-shard fleet scales {ratio:.2}x (≥ {MIN_RATIO}x)"
+                ));
+                return;
+            }
+        }
+        report::line(format!(
+            "FAIL: 4-shard fleet only {best:.2}x over 1 shard (need ≥ {MIN_RATIO}x on {cores} CPUs)"
+        ));
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    #[cfg(unix)]
+    if let Some(code) = metadse_serve::shard::run_worker_if_flagged() {
+        std::process::exit(code);
+    }
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--smoke") {
         smoke();
+    } else if args.iter().any(|a| a == "--shards") {
+        #[cfg(unix)]
+        sharded::full_report();
+        #[cfg(not(unix))]
+        {
+            eprintln!("serve_bench --shards needs unix sockets");
+            std::process::exit(1);
+        }
     } else if let Some(pos) = args.iter().position(|a| a == "--introspect-soak") {
         let secs = args.get(pos + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
         introspect_soak(secs);

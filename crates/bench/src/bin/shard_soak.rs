@@ -1,0 +1,445 @@
+//! Crash-restart soak for the sharded serving fleet — the headline
+//! check of the multi-process front door.
+//!
+//! For each fleet size (default 1, 2, 4 shards) the driver:
+//!
+//! 1. publishes a mixed-tenant registry (8 workloads) and keeps an
+//!    in-process reference predictor per tenant;
+//! 2. launches real worker *processes* (re-executions of this binary
+//!    with `--shard-worker`) under the supervisor, plus the front door;
+//! 3. drives a closed-loop mixed-tenant load from several client
+//!    threads **while a fault injector SIGKILLs a rotating shard**
+//!    mid-load, waiting for the supervisor's restart to report ready
+//!    before the next kill — every crash hits a *serving* shard;
+//! 4. asserts, per request:
+//!    - every completed response is **bit-identical** to the serial
+//!      in-process `predict` for the same `(workload, config)` — two
+//!      process hops and a batched forward change nothing;
+//!    - no request is silently dropped: each attempt ends in a value or
+//!      a *typed* retryable error (`Unavailable`/`Shed`/`Closed`) that
+//!      is retried to completion — the accounting table must balance
+//!      exactly (`issued == completed`, zero failures, zero mismatches).
+//!
+//! Fleet QPS is reported per size for eyeballing; the recorded
+//! `serve/shardsN_qps` rows (and the CI scaling gate) belong to
+//! `serve_bench --shards`. On a single-core container the sizes tie —
+//! that is expected and honest; correctness is what this binary gates.
+//!
+//! ```text
+//! shard_soak                                   # 36k requests × {1,2,4} shards
+//! shard_soak --shards 2 --requests 20000       # the CI shard-soak job
+//! shard_soak --quick                           # seconds, for local iteration
+//! shard_soak --no-faults                       # load only, no fault injection
+//! ```
+
+#[cfg(unix)]
+mod soak {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    use metadse::predictor::TransformerPredictor;
+    use metadse::ServablePredictor;
+    use metadse_bench::fleet::{launch, Fleet, FleetOptions};
+    use metadse_bench::serving::{request_row, DISPATCH_GEOM};
+    use metadse_bench::{render_table, report};
+    use metadse_serve::{ErrorCode, FrontClient, ModelRegistry};
+
+    /// Mixed-tenant workload names (SPEC-flavoured, like the paper's
+    /// workload suite).
+    const TENANTS: [&str; 8] = [
+        "astar", "bzip2", "gcc", "leela", "mcf", "omnetpp", "sjeng", "xalan",
+    ];
+
+    pub struct Options {
+        pub shards: Vec<usize>,
+        pub requests: usize,
+        pub clients: usize,
+        pub kill_every: Duration,
+        pub faults: bool,
+    }
+
+    impl Default for Options {
+        fn default() -> Options {
+            Options {
+                shards: vec![1, 2, 4],
+                requests: 36_000,
+                clients: 4,
+                kill_every: Duration::from_millis(500),
+                faults: true,
+            }
+        }
+    }
+
+    pub fn parse_args(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--shards" => {
+                    opts.shards = value("--shards")?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--shards: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--requests" => {
+                    opts.requests = value("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?;
+                }
+                "--clients" => {
+                    opts.clients = value("--clients")?
+                        .parse()
+                        .map_err(|e| format!("--clients: {e}"))?;
+                }
+                "--kill-every-ms" => {
+                    opts.kill_every = Duration::from_millis(
+                        value("--kill-every-ms")?
+                            .parse()
+                            .map_err(|e| format!("--kill-every-ms: {e}"))?,
+                    );
+                }
+                "--no-faults" => opts.faults = false,
+                "--quick" => opts.requests = 3_000,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if opts.shards.is_empty() || opts.shards.contains(&0) {
+            return Err("--shards needs a comma list of counts ≥ 1".to_string());
+        }
+        if opts.clients == 0 || opts.requests == 0 {
+            return Err("--clients and --requests must be ≥ 1".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Per-run outcome accounting. Every request the load issues must
+    /// end in exactly one of `ok` / `failed`; the retry counters record
+    /// the typed, retryable detours taken along the way.
+    #[derive(Default)]
+    struct Outcomes {
+        ok: AtomicU64,
+        failed: AtomicU64,
+        mismatched: AtomicU64,
+        retried_unavailable: AtomicU64,
+        retried_shed: AtomicU64,
+        retried_closed: AtomicU64,
+        reconnects: AtomicU64,
+    }
+
+    /// One request driven to completion: retry typed-retryable outcomes
+    /// (reconnecting on transport-tainted streams) until a value
+    /// arrives or the per-request budget dies.
+    #[allow(clippy::too_many_lines)]
+    fn drive_request(
+        socket: &std::path::Path,
+        client: &mut Option<FrontClient>,
+        workload: &str,
+        config: &[f64],
+        expected_bits: u64,
+        outcomes: &Outcomes,
+    ) {
+        const BUDGET: Duration = Duration::from_secs(60);
+        const BACKOFF: Duration = Duration::from_millis(2);
+        let deadline = Instant::now() + BUDGET;
+        loop {
+            let Some(conn) = client.as_mut() else {
+                match FrontClient::connect(socket) {
+                    Ok(c) => {
+                        outcomes.reconnects.fetch_add(1, Ordering::Relaxed);
+                        *client = Some(c);
+                    }
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(BACKOFF);
+                    }
+                    Err(e) => {
+                        report::warn(format!("{workload}: reconnect budget exhausted: {e}"));
+                        outcomes.failed.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                continue;
+            };
+            match conn.predict(workload, config, None) {
+                Ok(prediction) => {
+                    if prediction.value.to_bits() != expected_bits {
+                        report::warn(format!(
+                            "{workload}: bits {:#018x} != serial predict {expected_bits:#018x}",
+                            prediction.value.to_bits()
+                        ));
+                        outcomes.mismatched.fetch_add(1, Ordering::Relaxed);
+                    }
+                    outcomes.ok.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(e) if e.retryable() && Instant::now() < deadline => {
+                    match e.code {
+                        ErrorCode::Unavailable => {
+                            // Shard down or transport tainted — either
+                            // way the stream may hold half a frame, so
+                            // reconnect before retrying.
+                            *client = None;
+                            outcomes.retried_unavailable.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ErrorCode::Closed => {
+                            outcomes.retried_closed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            outcomes.retried_shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(BACKOFF);
+                }
+                Err(e) => {
+                    report::warn(format!("{workload}: terminal outcome {e}"));
+                    outcomes.failed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// SIGKILLs a rotating shard every `kill_every`, pacing on the
+    /// supervisor's restart barrier so each kill lands on a *serving*
+    /// shard. Returns the kill count when `stop` rises.
+    fn fault_injector(
+        fleet: &Fleet,
+        shard_count: usize,
+        kill_every: Duration,
+        stop: &AtomicBool,
+    ) -> u64 {
+        let mut kills = 0u64;
+        let mut target = 0usize;
+        while !stop.load(Ordering::Acquire) {
+            // Sleep in small steps so teardown never waits a full period.
+            let wake = Instant::now() + kill_every;
+            while Instant::now() < wake {
+                if stop.load(Ordering::Acquire) {
+                    return kills;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if fleet.supervisor.kill(target) {
+                kills += 1;
+                if let Err(e) = fleet
+                    .supervisor
+                    .await_shard_ready(target, Duration::from_secs(30))
+                {
+                    report::warn(format!("shard {target} never came back: {e}"));
+                    return kills;
+                }
+            }
+            target = (target + 1) % shard_count;
+        }
+        kills
+    }
+
+    struct RunReport {
+        shards: usize,
+        issued: u64,
+        qps: f64,
+        kills: u64,
+        restarts: u64,
+        retries: u64,
+        reconnects: u64,
+    }
+
+    /// One fleet size: launch, soak, account, tear down.
+    fn run_fleet(opts: &Options, shard_count: usize, seq: usize) -> RunReport {
+        let dir = std::env::temp_dir().join(format!(
+            "metadse-soak-{seq}-{}shards-{}",
+            shard_count,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let root = dir.join("models");
+        let registry = ModelRegistry::new(&root, 4);
+        // Sealed artifacts are Sync; the live predictors are not — each
+        // client thread instantiates its own references from these.
+        let servables: Vec<ServablePredictor> = TENANTS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let servable = ServablePredictor::capture(
+                    &TransformerPredictor::new(DISPATCH_GEOM, 100 + i as u64),
+                    None,
+                    "ipc",
+                );
+                registry.publish(name, &servable).expect("publish tenant");
+                servable
+            })
+            .collect();
+
+        let fleet = launch(&FleetOptions::new(&dir, &root, shard_count)).expect("fleet launch");
+        let outcomes = Outcomes::default();
+        let stop_faults = AtomicBool::new(false);
+        let per_client = opts.requests / opts.clients;
+        let issued = (per_client * opts.clients) as u64;
+        let arity = DISPATCH_GEOM.num_params;
+
+        let start = Instant::now();
+        let mut kills = 0u64;
+        std::thread::scope(|s| {
+            let injector = (opts.faults && shard_count > 1).then(|| {
+                s.spawn(|| fault_injector(&fleet, shard_count, opts.kill_every, &stop_faults))
+            });
+            let clients: Vec<_> = (0..opts.clients)
+                .map(|c| {
+                    let fleet = &fleet;
+                    let outcomes = &outcomes;
+                    let servables = &servables;
+                    s.spawn(move || {
+                        let references: Vec<TransformerPredictor> = servables
+                            .iter()
+                            .map(|s| s.instantiate().expect("reference model"))
+                            .collect();
+                        let mut client = None;
+                        for i in 0..per_client {
+                            let request = c * per_client + i;
+                            let tenant = request % TENANTS.len();
+                            let config = request_row(request, arity);
+                            let expected =
+                                references[tenant].predict(std::slice::from_ref(&config))[0];
+                            drive_request(
+                                fleet.socket(),
+                                &mut client,
+                                TENANTS[tenant],
+                                &config,
+                                expected.to_bits(),
+                                outcomes,
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for handle in clients {
+                handle.join().expect("client thread");
+            }
+            stop_faults.store(true, Ordering::Release);
+            if let Some(handle) = injector {
+                kills = handle.join().expect("fault injector thread");
+            }
+        });
+        let elapsed = start.elapsed();
+        let restarts = fleet.supervisor.restarts();
+
+        // The accounting must balance *exactly*: every issued request
+        // completed with a value, every completed value matched the
+        // serial predict bit for bit, and any crash the injector dealt
+        // was healed by a supervisor restart.
+        let ok = outcomes.ok.load(Ordering::Relaxed);
+        let failed = outcomes.failed.load(Ordering::Relaxed);
+        let mismatched = outcomes.mismatched.load(Ordering::Relaxed);
+        assert_eq!(
+            ok + failed,
+            issued,
+            "{shard_count} shard(s): a request vanished without an outcome"
+        );
+        assert_eq!(
+            failed, 0,
+            "{shard_count} shard(s): {failed} requests failed terminally"
+        );
+        assert_eq!(
+            mismatched, 0,
+            "{shard_count} shard(s): {mismatched} responses diverged from serial predict"
+        );
+        if opts.faults && shard_count > 1 {
+            assert!(
+                kills > 0,
+                "{shard_count} shard(s): fault injector never fired"
+            );
+            assert!(
+                restarts >= kills,
+                "{shard_count} shard(s): {kills} kills but only {restarts} restarts"
+            );
+        }
+
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        RunReport {
+            shards: shard_count,
+            issued,
+            qps: ok as f64 / elapsed.as_secs_f64(),
+            kills,
+            restarts,
+            retries: outcomes.retried_unavailable.load(Ordering::Relaxed)
+                + outcomes.retried_shed.load(Ordering::Relaxed)
+                + outcomes.retried_closed.load(Ordering::Relaxed),
+            reconnects: outcomes.reconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn run(opts: &Options) {
+        report::banner("MetaDSE sharded serving crash-restart soak");
+        report::kv("fleet sizes", format!("{:?}", opts.shards));
+        report::kv("requests per fleet", opts.requests);
+        report::kv("client threads", opts.clients);
+        report::kv(
+            "fault injection",
+            if opts.faults {
+                format!("SIGKILL every {:?} (fleets > 1 shard)", opts.kill_every)
+            } else {
+                "off".to_string()
+            },
+        );
+        let reports: Vec<RunReport> = opts
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(seq, &count)| run_fleet(opts, count, seq))
+            .collect();
+
+        let mut rows = vec![[
+            "shards",
+            "issued",
+            "qps",
+            "kills",
+            "restarts",
+            "retries",
+            "reconnects",
+        ]
+        .map(String::from)
+        .to_vec()];
+        for r in &reports {
+            rows.push(vec![
+                r.shards.to_string(),
+                r.issued.to_string(),
+                format!("{:.0}", r.qps),
+                r.kills.to_string(),
+                r.restarts.to_string(),
+                r.retries.to_string(),
+                r.reconnects.to_string(),
+            ]);
+        }
+        report::line(render_table(&rows));
+        let total: u64 = reports.iter().map(|r| r.issued).sum();
+        report::line(format!(
+            "OK: {total} requests across {} fleet size(s) — zero drops, zero bit divergences",
+            reports.len()
+        ));
+    }
+}
+
+fn main() {
+    #[cfg(unix)]
+    {
+        if let Some(code) = metadse_serve::shard::run_worker_if_flagged() {
+            std::process::exit(code);
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match soak::parse_args(&args) {
+            Ok(opts) => soak::run(&opts),
+            Err(usage) => {
+                eprintln!("shard_soak: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("shard_soak: unix sockets unavailable on this platform; nothing to soak");
+    }
+}

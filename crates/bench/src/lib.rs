@@ -128,6 +128,140 @@ pub mod serving {
     }
 }
 
+/// Launching sharded serving fleets for the benchmark and soak
+/// binaries: N `--shard-worker` re-executions of the *current* binary
+/// supervised by [`metadse_serve::Supervisor`], fronted by an in-process
+/// [`metadse_serve::Front`]. One binary carries driver and worker — the
+/// driver spawns `std::env::current_exe()` with
+/// [`metadse_serve::shard::WORKER_FLAG`], so fleets need no install
+/// step and always run the exact code under test.
+///
+/// Any binary using this module **must** call
+/// [`metadse_serve::shard::run_worker_if_flagged`] first in `main`.
+#[cfg(unix)]
+pub mod fleet {
+    use std::io;
+    use std::path::{Path, PathBuf};
+
+    use metadse_serve::front::{Front, FrontConfig};
+    use metadse_serve::shard::{shard_socket, WORKER_FLAG};
+    use metadse_serve::supervisor::{ShardPlan, Supervisor, SupervisorConfig};
+
+    /// How to stand up one fleet.
+    #[derive(Debug, Clone)]
+    pub struct FleetOptions {
+        /// Scratch directory holding every socket (`shard-N.sock`,
+        /// `front.sock`, and their `.intro` twins).
+        pub dir: PathBuf,
+        /// Registry root all shards read their partitions from.
+        pub registry_root: PathBuf,
+        /// Worker-process count.
+        pub shards: usize,
+        /// Worker threads per shard.
+        pub workers: usize,
+        /// Batching cap per shard.
+        pub max_batch: usize,
+        /// Batching wait per shard, µs.
+        pub max_wait_us: u64,
+        /// Restart policy and readiness budget.
+        pub supervisor: SupervisorConfig,
+    }
+
+    impl FleetOptions {
+        /// A fleet of `shards` workers over `registry_root`, sockets
+        /// under `dir`, with soak-friendly defaults (1 worker thread,
+        /// batch 8 / 100 µs).
+        pub fn new(
+            dir: impl Into<PathBuf>,
+            registry_root: impl Into<PathBuf>,
+            shards: usize,
+        ) -> FleetOptions {
+            FleetOptions {
+                dir: dir.into(),
+                registry_root: registry_root.into(),
+                shards,
+                workers: 1,
+                max_batch: 8,
+                max_wait_us: 100,
+                supervisor: SupervisorConfig::default(),
+            }
+        }
+
+        /// The spawn plan for shard `index`: re-execute this binary
+        /// with [`WORKER_FLAG`].
+        ///
+        /// # Errors
+        ///
+        /// When `std::env::current_exe` cannot name the running binary.
+        pub fn worker_plan(&self, index: usize) -> io::Result<ShardPlan> {
+            let socket = shard_socket(&self.dir, index);
+            let args = [
+                WORKER_FLAG,
+                "--socket",
+                &socket.display().to_string(),
+                "--registry",
+                &self.registry_root.display().to_string(),
+                "--shard-index",
+                &index.to_string(),
+                "--shard-count",
+                &self.shards.to_string(),
+                "--workers",
+                &self.workers.to_string(),
+                "--max-batch",
+                &self.max_batch.to_string(),
+                "--max-wait-us",
+                &self.max_wait_us.to_string(),
+            ]
+            .map(String::from)
+            .to_vec();
+            Ok(ShardPlan {
+                program: std::env::current_exe()?,
+                args,
+                socket,
+            })
+        }
+    }
+
+    /// A running fleet: supervised worker processes plus the front door.
+    pub struct Fleet {
+        /// Process supervisor (fault injection: [`Supervisor::kill`]).
+        pub supervisor: Supervisor,
+        /// The front door, running in the driver process.
+        pub front: Front,
+    }
+
+    impl Fleet {
+        /// The client socket to connect to.
+        pub fn socket(&self) -> &Path {
+            self.front.socket()
+        }
+
+        /// Orderly teardown: front first (stop accepting), then the
+        /// worker processes.
+        pub fn shutdown(self) {
+            self.front.shutdown();
+            self.supervisor.shutdown();
+        }
+    }
+
+    /// Spawns the worker fleet, blocks on every shard's readiness
+    /// barrier, then starts the front over their sockets.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, readiness timeouts, or socket-bind errors.
+    pub fn launch(opts: &FleetOptions) -> io::Result<Fleet> {
+        std::fs::create_dir_all(&opts.dir)?;
+        let plans: Vec<ShardPlan> = (0..opts.shards)
+            .map(|i| opts.worker_plan(i))
+            .collect::<io::Result<_>>()?;
+        let sockets: Vec<PathBuf> = plans.iter().map(|p| p.socket.clone()).collect();
+        let supervisor = Supervisor::launch(plans, opts.supervisor)?;
+        let front = Front::start(FrontConfig::new(opts.dir.join("front.sock"), sockets))?;
+        Ok(Fleet { supervisor, front })
+    }
+}
+
 /// Selects the experiment scale from CLI arguments (`--quick`, `--paper`)
 /// or the `METADSE_SCALE` environment variable (`quick`/`scaled`/`paper`).
 /// Defaults to [`Scale::scaled`].

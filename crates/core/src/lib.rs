@@ -43,6 +43,7 @@ pub mod explorer;
 pub mod maml;
 pub mod predictor;
 pub mod servable;
+pub mod shard;
 pub mod trendse;
 pub mod wam;
 
@@ -51,5 +52,6 @@ pub use evaluation::{EvalSummary, TaskScores};
 pub use maml::{MamlConfig, PretrainReport};
 pub use predictor::{PredictorConfig, TransformerPredictor};
 pub use servable::ServablePredictor;
+pub use shard::{shard_of, ShardSpec};
 pub use trendse::{TrEnDse, TrEnDseConfig, TrEnDseTransformer};
 pub use wam::{AdaptConfig, AttentionStats, WamConfig};

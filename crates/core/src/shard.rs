@@ -1,0 +1,154 @@
+//! Deterministic model-fingerprint → shard assignment for the
+//! multi-process serving fabric.
+//!
+//! The front door routes every request by the *fingerprint* of the
+//! artifact serving its workload, and each `metadse-serve` worker
+//! process loads only the workloads it owns. Both sides must therefore
+//! agree on the assignment with no coordination — the mapping here is a
+//! pure function of `(fingerprint, shard count)`, identical in every
+//! process and across restarts, so a shard that was SIGKILLed and
+//! respawned picks up exactly the workload set it served before.
+//!
+//! Fingerprints are FNV-1a digests of the sealed artifact bytes
+//! (see [`crate::servable::ServablePredictor::fingerprint`]). FNV mixes
+//! well in the low bits but assignment must stay balanced for *any*
+//! future fingerprint scheme, so the fingerprint passes through a
+//! splitmix64 finalizer before the residue is taken.
+
+/// Environment variable naming the shard count for fleet launchers
+/// (`metadse-front`, `serve_bench --shards`, the soak harness).
+pub const SHARDS_ENV: &str = "METADSE_SHARDS";
+
+/// splitmix64 finalizer: a bijective 64-bit mix, so distinct
+/// fingerprints never collide *before* the residue and every output bit
+/// depends on every input bit.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The shard (in `0..count`) that owns artifacts with this fingerprint.
+///
+/// Deterministic, coordination-free, stable across processes and
+/// restarts. `count == 0` is treated as a single shard.
+#[must_use]
+pub fn shard_of(fingerprint: u64, count: usize) -> usize {
+    let count = count.max(1);
+    (mix64(fingerprint) % count as u64) as usize
+}
+
+/// One worker's position in a shard fleet: `index` of `count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This worker's shard index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total shards in the fleet.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard fleet: one worker owns everything.
+    #[must_use]
+    pub fn single() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// A validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `count` is zero or `index` out of range.
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Whether this shard owns artifacts with `fingerprint`.
+    #[must_use]
+    pub fn owns(&self, fingerprint: u64) -> bool {
+        shard_of(fingerprint, self.count) == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Shard count from [`SHARDS_ENV`], when set and parseable (≥ 1).
+#[must_use]
+pub fn shard_count_from_env() -> Option<usize> {
+    let raw = std::env::var(SHARDS_ENV).ok()?;
+    let n: usize = raw.trim().parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_partitions_exactly_one_owner_per_fingerprint() {
+        for count in [1usize, 2, 3, 4, 7] {
+            for fp in (0u64..2_000).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+                let owners: Vec<usize> = (0..count)
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(fp))
+                    .collect();
+                assert_eq!(owners.len(), 1, "fingerprint {fp:#x} at count {count}");
+                assert_eq!(owners[0], shard_of(fp, count));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_reasonably_balanced() {
+        // Sequential fingerprints (the adversarial case for a plain
+        // modulus) must still spread across shards after mixing.
+        for count in [2usize, 4, 8] {
+            let mut buckets = vec![0usize; count];
+            for fp in 0u64..8_000 {
+                buckets[shard_of(fp, count)] += 1;
+            }
+            let expected = 8_000 / count;
+            for (i, &n) in buckets.iter().enumerate() {
+                assert!(
+                    n > expected / 2 && n < expected * 2,
+                    "shard {i}/{count} got {n} of 8000 (expected ≈{expected})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable() {
+        // Pinned values: the mapping is a cross-process protocol — a
+        // change here silently strands every workload on the wrong
+        // shard after a rolling restart, so drift must fail loudly.
+        assert_eq!(shard_of(0, 4), shard_of(0, 4));
+        assert_eq!(shard_of(0xdead_beef, 1), 0);
+        let pinned: Vec<usize> = (0u64..8).map(|fp| shard_of(fp, 4)).collect();
+        assert_eq!(pinned, vec![0, 1, 2, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn spec_validation_and_display() {
+        assert!(ShardSpec::new(0, 0).is_err());
+        assert!(ShardSpec::new(3, 3).is_err());
+        let spec = ShardSpec::new(2, 4).unwrap();
+        assert_eq!(spec.to_string(), "2/4");
+        assert_eq!(ShardSpec::single(), ShardSpec { index: 0, count: 1 });
+    }
+
+    #[test]
+    fn zero_count_degrades_to_single_shard() {
+        assert_eq!(shard_of(123, 0), 0);
+    }
+}

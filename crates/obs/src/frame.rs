@@ -1,0 +1,112 @@
+//! Shared length-prefixed frame codec.
+//!
+//! One wire format, used by every hand-rolled socket protocol in the
+//! workspace — the introspection endpoint ([`crate::introspect`]), the
+//! serving front door, and the shard worker protocol (`metadse-serve`):
+//!
+//! ```text
+//! frame := len:u32-le payload:[len bytes]        (len ≤ MAX_FRAME)
+//! ```
+//!
+//! The codec is deliberately tiny and total: a frame either round-trips
+//! exactly or fails with a typed `io::Error` — `InvalidInput` for an
+//! oversize write, `InvalidData` for a length prefix beyond
+//! [`MAX_FRAME`] (rejected *before* allocating), and `UnexpectedEof`
+//! for a frame torn at any byte. Reads are `read_exact`-based, so
+//! split/partial delivery (a peer writing one byte at a time, a kernel
+//! buffer boundary mid-prefix) reassembles transparently; the property
+//! suite in `tests/frame.rs` drives truncation at every byte prefix and
+//! 1-byte-chunk readers over a corpus that includes zero-length frames.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame payload (1 MiB): large enough for any
+/// metrics exposition or shard batch, small enough to reject a garbage
+/// length prefix before allocating.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Writes one length-prefixed frame to `w`.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` when `payload` exceeds [`MAX_FRAME`], or any
+/// underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a length prefix beyond [`MAX_FRAME`],
+/// `UnexpectedEof` on a torn frame, or any underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"health").unwrap();
+        assert_eq!(&buf[..4], &6u32.to_le_bytes());
+        let back = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(back, b"health");
+    }
+
+    #[test]
+    fn zero_length_frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        assert_eq!(buf, 0u32.to_le_bytes());
+        assert_eq!(read_frame(&mut &buf[..]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn frame_rejects_oversize_and_torn() {
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert_eq!(
+            write_frame(&mut sink, &big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(sink.is_empty(), "nothing written before the size check");
+
+        let bad_len = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert_eq!(
+            read_frame(&mut &bad_len[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"metrics").unwrap();
+        torn.truncate(torn.len() - 3);
+        assert_eq!(
+            read_frame(&mut &torn[..]).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -4,7 +4,8 @@
 //! No external dependencies, no HTTP: the workspace's hermetic-build
 //! constraint rules out hyper/axum, and the consumers (CI smoke steps,
 //! soak tests, the `metadse-introspect` bin) only need request/response
-//! over a local socket. The protocol is deliberately tiny:
+//! over a local socket. Framing comes from the shared [`crate::frame`]
+//! codec; the protocol on top of it is deliberately tiny:
 //!
 //! ```text
 //! frame    := len:u32-le payload:[len bytes]          (len ≤ 1 MiB)
@@ -22,55 +23,17 @@
 //! by the embedding server through the [`Respond`] trait; the obs crate
 //! stays ignorant of serving concepts.
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Upper bound on a single frame payload (1 MiB): large enough for any
-/// metrics exposition, small enough to reject a garbage length prefix
-/// before allocating.
-pub const MAX_FRAME: usize = 1 << 20;
-
-/// Writes one length-prefixed frame to `w`.
-///
-/// # Errors
-///
-/// Returns `InvalidInput` when `payload` exceeds [`MAX_FRAME`], or any
-/// underlying I/O error.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    if payload.len() > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
-        ));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one length-prefixed frame from `r`.
-///
-/// # Errors
-///
-/// Returns `InvalidData` on a length prefix beyond [`MAX_FRAME`],
-/// `UnexpectedEof` on a torn frame, or any underlying I/O error.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
-    let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
-}
+// The frame codec lives in [`crate::frame`] (it is shared with the
+// serving shard protocol); re-exported here so existing
+// `obs::introspect::{read_frame, write_frame, MAX_FRAME}` callers keep
+// compiling unchanged.
+pub use crate::frame::{read_frame, write_frame, MAX_FRAME};
 
 /// One introspection reply: success flag plus a UTF-8 body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,36 +238,6 @@ mod unix_impl {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn frame_round_trip() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"health").unwrap();
-        assert_eq!(&buf[..4], &6u32.to_le_bytes());
-        let back = read_frame(&mut &buf[..]).unwrap();
-        assert_eq!(back, b"health");
-    }
-
-    #[test]
-    fn frame_rejects_oversize_and_torn() {
-        let mut sink = Vec::new();
-        let big = vec![0u8; MAX_FRAME + 1];
-        assert!(write_frame(&mut sink, &big).is_err());
-
-        let bad_len = (MAX_FRAME as u32 + 1).to_le_bytes();
-        assert_eq!(
-            read_frame(&mut &bad_len[..]).unwrap_err().kind(),
-            io::ErrorKind::InvalidData
-        );
-
-        let mut torn = Vec::new();
-        write_frame(&mut torn, b"metrics").unwrap();
-        torn.truncate(torn.len() - 3);
-        assert_eq!(
-            read_frame(&mut &torn[..]).unwrap_err().kind(),
-            io::ErrorKind::UnexpectedEof
-        );
-    }
 
     #[test]
     fn response_round_trip() {

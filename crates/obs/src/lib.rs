@@ -42,6 +42,7 @@
 //! let _lines = metadse_obs::to_jsonl();
 //! ```
 
+pub mod frame;
 pub mod introspect;
 pub mod report;
 pub mod window;

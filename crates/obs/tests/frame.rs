@@ -1,0 +1,178 @@
+//! Property suite for the shared length-prefixed frame codec
+//! (`metadse_obs::frame`), the wire substrate under the introspection
+//! endpoint, the serving front door, and the shard worker protocol.
+//!
+//! The properties a multi-process serving fabric leans on:
+//!
+//! * **round trip** — encode∘decode is the identity for any payload up
+//!   to `MAX_FRAME`, including zero-length frames;
+//! * **total truncation rejection** — a frame cut at *every* byte
+//!   prefix fails with `UnexpectedEof`, never a partial payload or a
+//!   hang;
+//! * **oversize rejection** — a length prefix beyond `MAX_FRAME` is
+//!   refused before any payload allocation; oversize writes are refused
+//!   before any byte reaches the wire;
+//! * **reassembly** — a reader delivering 1..=7-byte chunks (kernel
+//!   buffer boundaries, slow peers) reassembles every frame exactly;
+//! * **streaming** — back-to-back frames on one stream decode in order
+//!   with no framing drift.
+
+use std::io::{self, Read};
+
+use metadse_obs::frame::{read_frame, write_frame, MAX_FRAME};
+
+/// Deterministic corpus: payload shapes chosen to straddle the length
+/// prefix (0), single bytes, prefix-sized (4), typical commands, binary
+/// with embedded NULs and 0xFF, and a large frame near the cap.
+fn corpus() -> Vec<Vec<u8>> {
+    let mut c: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0x00],
+        vec![0xFF],
+        b"ok".to_vec(),
+        b"ping".to_vec(),
+        b"health".to_vec(),
+        (0u8..=255).collect(),
+        vec![0u8; 4],
+        vec![0xAB; 1 << 10],
+    ];
+    // A payload whose first four bytes decode as an enormous length —
+    // framing must never be confused by payload content.
+    let mut evil = (u32::MAX).to_le_bytes().to_vec();
+    evil.extend_from_slice(b"payload bytes that look like a length");
+    c.push(evil);
+    c
+}
+
+/// A reader that hands out at most `chunk` bytes per `read` call.
+struct Chunked<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Chunked<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn every_corpus_payload_round_trips() {
+    for payload in corpus() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(wire.len(), 4 + payload.len());
+        assert_eq!(&wire[..4], &(payload.len() as u32).to_le_bytes());
+        let back = read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(back, payload);
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_prefix_is_rejected() {
+    for payload in corpus() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 0..wire.len() {
+            let err = read_frame(&mut &wire[..cut]).expect_err("torn frame must not decode");
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "cut at byte {cut} of a {}-byte frame",
+                wire.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn split_reads_reassemble_every_frame() {
+    for payload in corpus() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for chunk in 1..=7 {
+            let mut r = Chunked {
+                data: &wire,
+                pos: 0,
+                chunk,
+            };
+            assert_eq!(
+                read_frame(&mut r).unwrap(),
+                payload,
+                "chunk size {chunk} must reassemble"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_length_frames_interleave_with_data_frames() {
+    // Framing must not drift across empty frames on a shared stream.
+    let frames: Vec<&[u8]> = vec![b"", b"a", b"", b"", b"final"];
+    let mut wire = Vec::new();
+    for f in &frames {
+        write_frame(&mut wire, f).unwrap();
+    }
+    let mut r: &[u8] = &wire;
+    for f in &frames {
+        assert_eq!(read_frame(&mut r).unwrap(), *f);
+    }
+    assert_eq!(
+        read_frame(&mut r).unwrap_err().kind(),
+        io::ErrorKind::UnexpectedEof,
+        "stream exhausted exactly at the last frame boundary"
+    );
+}
+
+#[test]
+fn oversize_length_prefixes_reject_before_allocating() {
+    // Every length strictly beyond MAX_FRAME must be InvalidData, even
+    // when the wire carries no payload at all — the check precedes the
+    // allocation, so a hostile 4-byte frame cannot OOM the reader.
+    for len in [
+        MAX_FRAME as u64 + 1,
+        MAX_FRAME as u64 * 2,
+        u64::from(u32::MAX),
+    ] {
+        let prefix = (len as u32).to_le_bytes();
+        let err = read_frame(&mut &prefix[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "length {len}");
+    }
+    // The boundary itself is legal.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &vec![7u8; MAX_FRAME]).unwrap();
+    assert_eq!(read_frame(&mut &wire[..]).unwrap().len(), MAX_FRAME);
+}
+
+#[test]
+fn oversize_writes_leave_the_wire_untouched() {
+    let mut wire = Vec::new();
+    let err = write_frame(&mut wire, &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    assert!(
+        wire.is_empty(),
+        "a refused frame must not half-write a length prefix"
+    );
+}
+
+#[test]
+fn back_to_back_frames_decode_in_order() {
+    let corpus = corpus();
+    let mut wire = Vec::new();
+    for payload in &corpus {
+        write_frame(&mut wire, payload).unwrap();
+    }
+    // Whole-stream reassembly under a pathological 1-byte reader.
+    let mut r = Chunked {
+        data: &wire,
+        pos: 0,
+        chunk: 1,
+    };
+    for payload in &corpus {
+        assert_eq!(&read_frame(&mut r).unwrap(), payload);
+    }
+}

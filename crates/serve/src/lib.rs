@@ -47,11 +47,14 @@
 
 pub mod batcher;
 pub mod exec;
+pub mod front;
 pub mod introspect;
 pub mod plan;
 pub mod registry;
 pub mod server;
+pub mod shard;
 pub mod stats;
+pub mod supervisor;
 
 pub use batcher::{Admission, BatchConfig, Pending, PopOutcome, QueueCore};
 pub use exec::{PlanArena, PlanProfile};
@@ -59,4 +62,12 @@ pub use introspect::ServeHealth;
 pub use plan::Plan;
 pub use registry::{ModelEntry, ModelRegistry, PlanCacheStats};
 pub use server::{Prediction, ServeConfig, ServeError, Server, Ticket};
+pub use shard::{ErrorCode, ShardError, ShardOptions, ShardReply, ShardRequest, WirePrediction};
 pub use stats::{RequestTrace, ServerStats, TenantStats, TraceTable};
+
+#[cfg(unix)]
+pub use front::{Front, FrontClient, FrontConfig, ShardPrediction};
+#[cfg(unix)]
+pub use shard::ShardServer;
+#[cfg(unix)]
+pub use supervisor::{ShardPlan, Supervisor, SupervisorConfig};

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+use metadse::shard::ShardSpec;
 use metadse::ServablePredictor;
 use metadse_nn::serialize::CheckpointError;
 use metadse_obs::{self as obs, report};
@@ -82,6 +83,13 @@ pub struct ModelRegistry {
     /// per-workload route memos without re-locking the table per
     /// request.
     epoch: AtomicU64,
+    /// When set, this registry is one shard of a fleet: only workloads
+    /// whose newest readable artifact this spec [`owns`](ShardSpec::owns)
+    /// are installed; everything else on disk is invisible. The
+    /// assignment is the deterministic [`metadse::shard::shard_of`], so
+    /// every worker process derives the same partition with no
+    /// coordination.
+    shard: Option<ShardSpec>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     plan_compile_us: AtomicU64,
@@ -100,6 +108,7 @@ impl ModelRegistry {
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             plan_compile_us: AtomicU64::new(0),
+            shard: None,
         }
     }
 
@@ -111,6 +120,26 @@ impl ModelRegistry {
             let _ = registry.refresh(&workload);
         }
         registry
+    }
+
+    /// Opens `root` as one shard of a fleet: only workloads whose
+    /// artifacts `spec` owns (by fingerprint) are loaded and served.
+    /// This is the registry a `metadse-serve` worker process runs on —
+    /// after a crash-restart it reopens the same root with the same
+    /// spec and recovers exactly its partition, falling back past any
+    /// generation the crash left corrupt.
+    pub fn open_sharded(root: impl Into<PathBuf>, keep: usize, spec: ShardSpec) -> ModelRegistry {
+        let mut registry = ModelRegistry::new(root, keep);
+        registry.shard = Some(spec);
+        for workload in registry.scan_workloads() {
+            let _ = registry.refresh(&workload);
+        }
+        registry
+    }
+
+    /// The shard spec this registry filters by, if any.
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
     }
 
     /// The registry's root directory.
@@ -173,6 +202,15 @@ impl ModelRegistry {
         for (generation, path) in scan_generations(&dir).iter().rev() {
             match ServablePredictor::load(path) {
                 Ok(servable) => {
+                    if let Some(spec) = self.shard {
+                        // Ownership is decided by the newest readable
+                        // artifact: if it belongs to another shard, the
+                        // workload is invisible here — no fallback to
+                        // older (possibly differently-owned) bytes.
+                        if !spec.owns(servable.fingerprint()) {
+                            return None;
+                        }
+                    }
                     if let Some(current) = self.get(workload) {
                         // Fingerprint-checked swap: identical content at
                         // the same generation keeps worker caches warm.
@@ -271,6 +309,14 @@ impl ModelRegistry {
     }
 
     fn install(&self, entry: Arc<ModelEntry>) {
+        if let Some(spec) = self.shard {
+            // A publish through a sharded registry still writes the
+            // artifact (any process may produce models), but only the
+            // owning shard serves it.
+            if !spec.owns(entry.servable.fingerprint()) {
+                return;
+            }
+        }
         let live: Vec<u64> = {
             let mut table = self.table.write().unwrap();
             table.insert(entry.workload.clone(), entry);
@@ -461,6 +507,39 @@ mod tests {
         let registry = ModelRegistry::new(&root, 4);
         assert!(registry.get("nope").is_none());
         assert!(registry.refresh("nope").is_none());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sharded_open_partitions_workloads_without_overlap_or_loss() {
+        let root = temp_root("sharded");
+        let workloads = ["astar", "bzip2", "gcc", "mcf", "omnetpp", "sjeng"];
+        {
+            let writer = ModelRegistry::new(&root, 4);
+            for (i, w) in workloads.iter().enumerate() {
+                writer.publish(w, &small_servable(100 + i as u64)).unwrap();
+            }
+        }
+        let count = 3;
+        let mut seen: Vec<String> = Vec::new();
+        for index in 0..count {
+            let spec = ShardSpec::new(index, count).unwrap();
+            let shard = ModelRegistry::open_sharded(&root, 4, spec);
+            assert_eq!(shard.shard(), Some(spec));
+            for w in shard.workloads() {
+                let fp = shard.get(&w).unwrap().servable.fingerprint();
+                assert!(spec.owns(fp), "shard {index} loaded unowned {w}");
+                seen.push(w);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            workloads.iter().map(|w| w.to_string()).collect::<Vec<_>>(),
+            "every workload owned by exactly one shard"
+        );
+        // Unsharded open sees everything.
+        assert_eq!(ModelRegistry::open(&root, 4).workloads().len(), 6);
         fs::remove_dir_all(&root).ok();
     }
 

@@ -328,6 +328,12 @@ impl Server {
         Ok(())
     }
 
+    /// The shared runtime state, for in-crate embedders (the shard
+    /// worker wraps it in its own introspection responder).
+    pub(crate) fn shared_handle(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
     /// This server's always-on stats hub (rolling windows, traces,
     /// tenant attribution) — the same data the endpoint serves.
     pub fn stats(&self) -> Arc<ServerStats> {
@@ -558,7 +564,6 @@ fn run_batch(
         };
         let done_us = shared.now_us();
         let batch_size = group.len();
-        let mut served: Vec<RequestTrace> = Vec::with_capacity(batch_size);
         for (pending, value) in group.into_iter().zip(values) {
             obs::histogram(
                 "serve/e2e_latency_us",
@@ -571,25 +576,29 @@ fn run_batch(
             trace.batch_size = batch_size;
             trace.outcome = "served";
             obs::histogram("serve/queue_wait_us", trace.queue_wait_us() as f64);
+            // Bookkeeping happens-before the reply: the trace, tenant
+            // rollups, and window counters are folded in *before* the
+            // caller's channel learns the outcome, so a client whose
+            // `wait()` returned can immediately read its own request in
+            // `completed_total` / `trace?id=` — no polling window. The
+            // `done_us` stamp is therefore taken at reply *handoff*
+            // (send is an in-process channel push; what it can't cover
+            // is the receiver's wake-up, which no server-side stamp
+            // could observe anyway).
+            trace.done_us = shared.now_us();
+            let trace_id = trace.id;
+            shared.stats.record_served(trace);
             let _ = pending.payload.tx.send(Ok(Prediction {
                 value,
                 generation: pending.payload.entry.generation,
                 batch_size,
-                trace_id: trace.id,
+                trace_id,
             }));
-            served.push(trace);
         }
         obs::histogram(
             "serve/forward_us",
             done_us.saturating_sub(forward_start_us) as f64,
         );
-        // Reply delivery is done; stamp it once per group and fold the
-        // finished traces into the rolling windows and tenant ledgers.
-        let reply_done_us = shared.now_us();
-        for mut trace in served {
-            trace.done_us = reply_done_us;
-            shared.stats.record_served(trace);
-        }
     }
     // The pool threads are long-lived: clear the adopted parent so the
     // next batch (possibly from an unrelated caller) starts clean. The

@@ -22,6 +22,13 @@
 //! [`TenantStats`], and latencies/rates feed the [`ServerStats`] rolling
 //! windows that the endpoint's `metrics` command exposes as live
 //! trailing-window p50/p99/shed-rate/miss-rate.
+//!
+//! **Ordering contract**: every terminal record (`record_served`,
+//! `record_miss`, `record_shed`) is folded into the ledgers *before*
+//! the request's reply is handed to the caller's channel. A client
+//! whose `Ticket::wait` has returned can therefore read its own request
+//! in `completed_total`, the tenant rollups, and `trace?id=` without a
+//! bookkeeping race — the introspection suite asserts this directly.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,7 +110,9 @@ impl RequestTrace {
         self.forward_end_us.saturating_sub(self.forward_start_us)
     }
 
-    /// Microseconds delivering replies after the forward finished.
+    /// Microseconds between the forward finishing and this request's
+    /// reply handoff (per-request result assembly and stats
+    /// bookkeeping, including that of group members replied-to first).
     pub fn reply_us(&self) -> u64 {
         self.done_us.saturating_sub(self.forward_end_us)
     }

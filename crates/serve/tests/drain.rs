@@ -1,0 +1,345 @@
+//! Scripted-replay harness for batcher shutdown interleavings.
+//!
+//! [`QueueCore`] is a pure state machine over a virtual clock, so exact
+//! interleavings — a push on the same tick `close()` lands, a deadline
+//! expiring mid-drain, a worker pop racing the drain — are replayable
+//! deterministically. Each script drives the core op by op while a
+//! ledger records every request's outcome; the harness then drains the
+//! queue to `Closed` and proves the conservation law:
+//!
+//! * every admitted request ends **served** (in some popped batch),
+//!   **expired** (surrendered by `take_expired`), or **refused** at the
+//!   push (`Shed`/`Closed`, payload handed back) — exactly one outcome
+//!   per request, never zero (lost) and never two (duplicated);
+//! * served requests leave in admission order;
+//! * no batch exceeds `max_batch`, even while draining a closed queue.
+//!
+//! Hand-written scripts pin the named shutdown races; a seeded random
+//! sweep replays a few thousand more interleavings around them.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use metadse_serve::{Admission, BatchConfig, PopOutcome, QueueCore};
+
+/// One scripted step against the core.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push the next request id; `deadline_in_us` is relative to now.
+    Push { deadline_in_us: Option<u64> },
+    /// Advance the virtual clock.
+    Tick(u64),
+    /// Worker turn: `take_expired` then `pop` once (the runtime's loop
+    /// body).
+    Work,
+    /// Close the queue (shutdown begins; drain continues).
+    Close,
+}
+
+/// Where a request ended up. Exactly one per issued id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Served,
+    Expired,
+    Shed,
+    RefusedClosed,
+}
+
+/// Replays `script` and returns the outcome ledger, after appending a
+/// full drain (the runtime always runs its worker loop to `Closed`).
+/// Panics on any conservation violation — the assertions *are* the
+/// test.
+fn replay(config: BatchConfig, script: &[Op]) -> HashMap<u32, Outcome> {
+    let mut core: QueueCore<u32> = QueueCore::new(config);
+    let max_batch = core.config().max_batch;
+    let mut now = 0u64;
+    let mut next_id = 0u32;
+    let mut ledger: HashMap<u32, Outcome> = HashMap::new();
+    // Admission-ordered ids still inside the queue, mirrored from the
+    // outcomes the core reports — served batches must be prefixes.
+    let mut inside: Vec<u32> = Vec::new();
+    let mut closed = false;
+
+    let settle = |ledger: &mut HashMap<u32, Outcome>, id: u32, outcome: Outcome| {
+        let previous = ledger.insert(id, outcome);
+        assert_eq!(
+            previous, None,
+            "request {id} got a second outcome {outcome:?} after {previous:?}"
+        );
+    };
+    let work = |core: &mut QueueCore<u32>,
+                now: u64,
+                inside: &mut Vec<u32>,
+                ledger: &mut HashMap<u32, Outcome>| {
+        for dead in core.take_expired(now) {
+            let pos = inside
+                .iter()
+                .position(|&id| id == dead.payload)
+                .unwrap_or_else(|| panic!("expired {} was not queued", dead.payload));
+            inside.remove(pos);
+            let previous = ledger.insert(dead.payload, Outcome::Expired);
+            assert_eq!(previous, None, "{} settled twice", dead.payload);
+        }
+        match core.pop(now) {
+            PopOutcome::Batch(batch) => {
+                assert!(
+                    batch.len() <= max_batch,
+                    "drain batch of {} exceeds max_batch {max_batch}",
+                    batch.len()
+                );
+                let expect: Vec<u32> = inside.drain(..batch.len()).collect();
+                let got: Vec<u32> = batch.iter().map(|p| p.payload).collect();
+                assert_eq!(got, expect, "served out of admission order");
+                for p in batch {
+                    let previous = ledger.insert(p.payload, Outcome::Served);
+                    assert_eq!(previous, None, "{} settled twice", p.payload);
+                }
+                true
+            }
+            PopOutcome::WaitUntil(wake) => {
+                assert!(
+                    wake > now,
+                    "WaitUntil({wake}) is not in the future of {now}"
+                );
+                false
+            }
+            PopOutcome::Idle => {
+                assert!(core.is_empty(), "Idle with requests still queued");
+                false
+            }
+            PopOutcome::Closed => {
+                assert!(core.is_empty(), "Closed with requests still queued");
+                assert!(inside.is_empty(), "core closed but ledger still waits");
+                false
+            }
+        }
+    };
+
+    for &op in script {
+        match op {
+            Op::Push { deadline_in_us } => {
+                let id = next_id;
+                next_id += 1;
+                match core.push(id, now, deadline_in_us.map(|d| now + d)) {
+                    Admission::Accepted => {
+                        assert!(!closed, "push accepted after close");
+                        inside.push(id);
+                    }
+                    Admission::Shed(returned) => {
+                        assert_eq!(returned, id, "shed must hand the payload back");
+                        settle(&mut ledger, id, Outcome::Shed);
+                    }
+                    Admission::Closed(returned) => {
+                        assert_eq!(returned, id, "refusal must hand the payload back");
+                        assert!(closed, "Closed admission from an open queue");
+                        settle(&mut ledger, id, Outcome::RefusedClosed);
+                    }
+                }
+            }
+            Op::Tick(us) => now += us,
+            Op::Work => {
+                work(&mut core, now, &mut inside, &mut ledger);
+            }
+            Op::Close => {
+                core.close();
+                closed = true;
+            }
+        }
+    }
+
+    // Shutdown epilogue, exactly like the runtime's worker loop: close
+    // (if the script did not) and drain until `Closed`. No admitted
+    // request may still be in flight afterwards.
+    core.close();
+    let mut spins = 0;
+    while !(core.is_empty() && inside.is_empty()) {
+        work(&mut core, now, &mut inside, &mut ledger);
+        now += 1;
+        spins += 1;
+        assert!(spins < 100_000, "drain failed to converge");
+    }
+    assert!(matches!(core.pop(now), PopOutcome::Closed));
+
+    // Conservation: every issued id has exactly one outcome.
+    assert_eq!(
+        ledger.len(),
+        next_id as usize,
+        "issued {next_id} requests but settled {}",
+        ledger.len()
+    );
+    ledger
+}
+
+fn counts(ledger: &HashMap<u32, Outcome>) -> (usize, usize, usize, usize) {
+    let tally = |o: Outcome| ledger.values().filter(|&&v| v == o).count();
+    (
+        tally(Outcome::Served),
+        tally(Outcome::Expired),
+        tally(Outcome::Shed),
+        tally(Outcome::RefusedClosed),
+    )
+}
+
+fn config(max_batch: usize, max_wait_us: u64, queue_capacity: usize) -> BatchConfig {
+    BatchConfig {
+        max_batch,
+        max_wait_us,
+        queue_capacity,
+    }
+}
+
+#[test]
+fn push_on_the_close_tick_is_drained_not_lost() {
+    // The named race: requests admitted on the very tick close() lands.
+    // Both sides of the boundary get explicit outcomes — admitted-before
+    // drains, pushed-after is refused with the payload handed back.
+    let script = [
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Close,
+        Op::Push {
+            deadline_in_us: None,
+        }, // same tick, after close
+        Op::Work,
+    ];
+    let ledger = replay(config(8, 1_000, 16), &script);
+    assert_eq!(counts(&ledger), (2, 0, 0, 1));
+    assert_eq!(ledger[&0], Outcome::Served);
+    assert_eq!(ledger[&1], Outcome::Served);
+    assert_eq!(ledger[&2], Outcome::RefusedClosed);
+}
+
+#[test]
+fn oversize_backlog_drains_in_order_after_close() {
+    // 3× max_batch queued, then shutdown: the drain chunks batches and
+    // loses nothing, with no worker turn before close.
+    let mut script = vec![
+        Op::Push {
+            deadline_in_us: None
+        };
+        12
+    ];
+    script.push(Op::Close);
+    let ledger = replay(config(4, 1_000_000, 16), &script);
+    assert_eq!(counts(&ledger), (12, 0, 0, 0));
+}
+
+#[test]
+fn deadline_expiring_mid_drain_is_surrendered_not_served_late() {
+    // A request whose deadline passes between close() and its drain
+    // batch must expire with an explicit outcome, not ride along stale.
+    let script = [
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Push {
+            deadline_in_us: Some(10),
+        },
+        Op::Tick(50), // deadline 10 is long dead
+        Op::Close,
+        Op::Work,
+    ];
+    let ledger = replay(config(8, 1_000, 16), &script);
+    assert_eq!(counts(&ledger), (1, 1, 0, 0));
+    assert_eq!(ledger[&1], Outcome::Expired);
+}
+
+#[test]
+fn shed_at_capacity_then_close_accounts_both_ways() {
+    // Overload right up to the close: capacity-2 queue, four pushes.
+    // Two admitted (drained), two shed (handed back) — all explicit.
+    let script = [
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Close,
+    ];
+    let ledger = replay(config(8, 1_000, 2), &script);
+    assert_eq!(counts(&ledger), (2, 0, 2, 0));
+}
+
+#[test]
+fn interleaved_worker_turns_and_closes_preserve_order() {
+    // Worker turns interleave with pushes before the close lands.
+    let script = [
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Work, // full batch of 2 leaves
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Tick(5),
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Close,
+        Op::Push {
+            deadline_in_us: None,
+        },
+        Op::Work,
+        Op::Work,
+    ];
+    let ledger = replay(config(2, 1_000, 16), &script);
+    assert_eq!(counts(&ledger), (4, 0, 0, 1));
+}
+
+#[test]
+fn random_interleaving_sweep_conserves_every_request() {
+    // A few thousand seeded scripts around the shutdown boundary:
+    // random pushes (some with tight deadlines), ticks, worker turns,
+    // and a close at a random position. `replay` asserts conservation,
+    // ordering, and batch bounds internally; the sweep's job is to
+    // reach interleavings the hand-written scripts do not.
+    let mut total_served = 0usize;
+    let mut total_refused = 0usize;
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = config(
+            rng.gen_range(1..6),
+            rng.gen_range(0..500),
+            rng.gen_range(1..12),
+        );
+        let close_at = rng.gen_range(0..40);
+        let script: Vec<Op> = (0..40)
+            .map(|position| {
+                if position == close_at {
+                    return Op::Close;
+                }
+                match rng.gen_range(0..10) {
+                    0..=4 => Op::Push {
+                        deadline_in_us: (rng.gen_range(0..10) < 3)
+                            .then(|| rng.gen_range(0..300u64)),
+                    },
+                    5..=6 => Op::Tick(rng.gen_range(1..400)),
+                    _ => Op::Work,
+                }
+            })
+            .collect();
+        let ledger = replay(cfg, &script);
+        let (served, _expired, _shed, refused) = counts(&ledger);
+        total_served += served;
+        total_refused += refused;
+    }
+    // The sweep must actually exercise both sides of the close.
+    assert!(total_served > 1_000, "sweep served only {total_served}");
+    assert!(total_refused > 100, "sweep refused only {total_refused}");
+}

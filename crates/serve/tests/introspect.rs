@@ -102,24 +102,11 @@ fn endpoint_answers_health_ready_metrics_and_trace() {
         last_trace_id = prediction.trace_id;
     }
 
-    // Workers send replies *before* folding the finished traces into
-    // the stats ledgers (reply-first keeps client latency honest), so
-    // the counters trail the last `.wait()` by a bookkeeping window —
-    // poll briefly for the final request to land.
-    let mut metrics = query(&sock, "metrics").unwrap();
-    for _ in 0..200 {
-        assert!(metrics.ok);
-        if field(
-            &metrics.body,
-            "counter serve/completed_total",
-            "serve/completed_total",
-        ) == Some(16.0)
-        {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(2));
-        metrics = query(&sock, "metrics").unwrap();
-    }
+    // Stats bookkeeping happens-before each reply is sent, so the
+    // moment the last `.wait()` above returned, all 16 completions are
+    // visible — a single direct read must observe them.
+    let metrics = query(&sock, "metrics").unwrap();
+    assert!(metrics.ok);
     let body = &metrics.body;
     assert_eq!(
         field(
