@@ -1,0 +1,636 @@
+//! Deterministic concurrency soak for multi-tenant exploration
+//! sessions — the headline check of the session layer.
+//!
+//! For each concurrency level (default 1, 4, 16 driver threads) the
+//! driver:
+//!
+//! 1. publishes a mixed-tenant registry (8 workloads at the full
+//!    21-parameter design-space arity) into a fresh scratch dir;
+//! 2. launches a real worker-process fleet (re-executions of this
+//!    binary with `--shard-worker`) with `--session-dir` persistence,
+//!    plus the front door;
+//! 3. opens one exploration session per (tenant, seed) pair — the same
+//!    fixed roster every wave — and drives propose → batched-predict →
+//!    front-delta rounds through [`FrontClient`] session ops, **while a
+//!    fault injector SIGKILLs a shard at guaranteed mid-soak progress
+//!    points** (sessions resume from their `MDSESESS` checkpoints on
+//!    the restarted worker);
+//! 4. asserts, per wave:
+//!    - every round's accounting law holds (`proposed == predicted +
+//!      cache_hits + shed`);
+//!    - hypervolume is monotone nondecreasing per session;
+//!    - every live shard reports `session/duplicate_predictions_total
+//!      0` — the exactly-once prediction law (predictions issued ==
+//!      unique points proposed fleet-wide);
+//! 5. asserts across waves: for a fixed spec the final Pareto front —
+//!    rebuilt client-side from the per-round deltas alone — is
+//!    **bit-identical** at every concurrency level, with and without
+//!    mid-soak kills. Concurrency, cache-hit pattern, and crash-resume
+//!    change the wall clock, never the bits.
+//!
+//! Per-tenant hypervolume-vs-wall-clock curves from the
+//! highest-concurrency wave are merged into `BENCH_results.json` under
+//! the `session/` row family (suppress with `--no-json`).
+//!
+//! ```text
+//! session_soak                                  # 16 sessions × {1,4,16} threads × 2 shards
+//! session_soak --sessions 16 --shards 2         # the CI session-soak job
+//! session_soak --quick                          # seconds, for local iteration
+//! session_soak --no-faults                      # no kills, pure concurrency sweep
+//! ```
+
+#[cfg(unix)]
+mod soak {
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    use metadse::explorer::{apply_front_delta, canonical_front, FrontDelta, ParetoEntry};
+    use metadse::predictor::{PredictorConfig, TransformerPredictor};
+    use metadse::ServablePredictor;
+    use metadse_bench::fleet::{launch, Fleet, FleetOptions};
+    use metadse_bench::timing::{Harness, Sample};
+    use metadse_bench::{render_table, report};
+    use metadse_nn::format::fnv1a;
+    use metadse_obs::introspect::query;
+    use metadse_serve::shard::intro_socket;
+    use metadse_serve::{ErrorCode, FrontClient, ModelRegistry, SessionSpec};
+
+    /// Mixed-tenant workload names (SPEC-flavoured, like the paper's
+    /// workload suite).
+    const TENANTS: [&str; 8] = [
+        "astar", "bzip2", "gcc", "leela", "mcf", "omnetpp", "sjeng", "xalan",
+    ];
+
+    /// Sessions explore the full design space, so the served models
+    /// must accept 21-parameter encodings; everything else is sized for
+    /// soak speed, not fidelity.
+    const SESSION_GEOM: PredictorConfig = PredictorConfig {
+        num_params: 21,
+        d_model: 4,
+        heads: 2,
+        depth: 1,
+        d_hidden: 8,
+        head_hidden: 4,
+    };
+
+    pub struct Options {
+        pub shards: usize,
+        pub sessions: usize,
+        pub concurrency: Vec<usize>,
+        pub initial_samples: u32,
+        pub refinement_rounds: u32,
+        pub beam: u32,
+        pub faults: bool,
+        pub json: bool,
+    }
+
+    impl Default for Options {
+        fn default() -> Options {
+            Options {
+                shards: 2,
+                sessions: 16,
+                concurrency: vec![1, 4, 16],
+                initial_samples: 24,
+                refinement_rounds: 3,
+                beam: 3,
+                faults: true,
+                json: true,
+            }
+        }
+    }
+
+    pub fn parse_args(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--shards" => {
+                    opts.shards = value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?;
+                }
+                "--sessions" => {
+                    opts.sessions = value("--sessions")?
+                        .parse()
+                        .map_err(|e| format!("--sessions: {e}"))?;
+                }
+                "--concurrency" => {
+                    opts.concurrency = value("--concurrency")?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--concurrency: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--rounds" => {
+                    opts.refinement_rounds = value("--rounds")?
+                        .parse()
+                        .map_err(|e| format!("--rounds: {e}"))?;
+                }
+                "--initial-samples" => {
+                    opts.initial_samples = value("--initial-samples")?
+                        .parse()
+                        .map_err(|e| format!("--initial-samples: {e}"))?;
+                }
+                "--no-faults" => opts.faults = false,
+                "--no-json" => opts.json = false,
+                "--quick" => {
+                    opts.sessions = 8;
+                    opts.concurrency = vec![1, 8];
+                    opts.initial_samples = 12;
+                    opts.refinement_rounds = 2;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if opts.shards == 0 || opts.sessions == 0 {
+            return Err("--shards and --sessions must be ≥ 1".to_string());
+        }
+        if opts.concurrency.is_empty() || opts.concurrency.contains(&0) {
+            return Err("--concurrency needs a comma list of thread counts ≥ 1".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// The fixed session roster: session `i` explores tenant
+    /// `i % TENANTS.len()` with a seed that is a pure function of `i`.
+    /// Every wave opens exactly these specs, so the final fronts are
+    /// comparable bit-for-bit across waves.
+    fn roster_spec(opts: &Options, i: usize) -> SessionSpec {
+        SessionSpec {
+            workload: TENANTS[i % TENANTS.len()].to_string(),
+            seed: 0x5E55 + i as u64,
+            initial_samples: opts.initial_samples,
+            refinement_rounds: opts.refinement_rounds,
+            beam: opts.beam,
+            round_timeout_us: 0,
+        }
+    }
+
+    /// FNV-1a over a canonical front's point indices and objective bit
+    /// patterns — drifts iff any point, ordering, or f64 bit changes.
+    fn front_digest(front: &[ParetoEntry]) -> u64 {
+        let mut bytes = Vec::new();
+        for e in front {
+            for &i in e.point.indices() {
+                bytes.extend_from_slice(&(i as u64).to_le_bytes());
+            }
+            bytes.extend_from_slice(&e.ipc.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&e.power.to_bits().to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
+    /// Per-wave accounting shared by the driver threads.
+    #[derive(Default)]
+    struct Outcomes {
+        /// Rounds completed fleet-wide (the injector's progress clock).
+        rounds: AtomicU64,
+        reconnects: AtomicU64,
+        reopens: AtomicU64,
+        predicted: AtomicU64,
+        cache_hits: AtomicU64,
+        shed: AtomicU64,
+    }
+
+    /// One point on a tenant's hypervolume-vs-wall-clock curve.
+    struct CurvePoint {
+        tenant: &'static str,
+        round: u64,
+        elapsed: Duration,
+        hypervolume: f64,
+    }
+
+    /// The per-session result of one wave.
+    struct SessionOutcome {
+        digest: u64,
+        curve: Vec<CurvePoint>,
+    }
+
+    fn connect_retry(socket: &Path, outcomes: &Outcomes, deadline: Instant) -> FrontClient {
+        loop {
+            match FrontClient::connect(socket) {
+                Ok(c) => {
+                    outcomes.reconnects.fetch_add(1, Ordering::Relaxed);
+                    return c;
+                }
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "reconnect budget exhausted: {e}");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    /// Drives one session open → step… → close through the front,
+    /// riding out kills: `Unavailable` reconnects and retries (a
+    /// restarted shard resumes the session from its checkpoint and
+    /// replays or re-executes the round deterministically), and
+    /// `UnknownSession` — a kill before the first checkpoint — re-opens
+    /// and restarts delta accumulation from round 1.
+    fn drive_session(
+        socket: &Path,
+        spec: &SessionSpec,
+        tenant_index: usize,
+        outcomes: &Outcomes,
+        wave_start: Instant,
+    ) -> SessionOutcome {
+        const BUDGET: Duration = Duration::from_secs(180);
+        const BACKOFF: Duration = Duration::from_millis(2);
+        let deadline = Instant::now() + BUDGET;
+        let tenant = TENANTS[tenant_index % TENANTS.len()];
+        let mut client = connect_retry(socket, outcomes, deadline);
+        let open = |client: &mut FrontClient, outcomes: &Outcomes| loop {
+            match client.open_session(spec) {
+                Ok(info) => return info,
+                Err(e) if e.retryable() => {
+                    assert!(Instant::now() < deadline, "{tenant}: open budget exhausted");
+                    if e.code == ErrorCode::Unavailable {
+                        *client = connect_retry(socket, outcomes, deadline);
+                    }
+                    std::thread::sleep(BACKOFF);
+                }
+                Err(e) => panic!("{tenant}: terminal open outcome: {e}"),
+            }
+        };
+
+        let mut info = open(&mut client, outcomes);
+        let mut applied: Vec<ParetoEntry> = Vec::new();
+        let mut curve = Vec::new();
+        let mut prev_hv = 0.0;
+        let mut round = info.rounds_done + 1;
+        while round <= info.rounds_total {
+            match client.step_session(&spec.workload, info.session_id, round) {
+                Ok(report) => {
+                    assert_eq!(
+                        report.proposed,
+                        report.predicted + report.cache_hits + report.shed,
+                        "{tenant}: round {round} accounting law broke"
+                    );
+                    assert!(
+                        report.hypervolume >= prev_hv,
+                        "{tenant}: hypervolume regressed at round {round}"
+                    );
+                    prev_hv = report.hypervolume;
+                    apply_front_delta(
+                        &mut applied,
+                        &FrontDelta {
+                            added: report.added.clone(),
+                            removed: report.removed.clone(),
+                        },
+                    );
+                    curve.push(CurvePoint {
+                        tenant,
+                        round,
+                        elapsed: wave_start.elapsed(),
+                        hypervolume: report.hypervolume,
+                    });
+                    outcomes.rounds.fetch_add(1, Ordering::Relaxed);
+                    outcomes
+                        .predicted
+                        .fetch_add(u64::from(report.predicted), Ordering::Relaxed);
+                    outcomes
+                        .cache_hits
+                        .fetch_add(u64::from(report.cache_hits), Ordering::Relaxed);
+                    outcomes
+                        .shed
+                        .fetch_add(u64::from(report.shed), Ordering::Relaxed);
+                    round += 1;
+                }
+                Err(e) if e.code == ErrorCode::UnknownSession => {
+                    // The shard died before this session's first
+                    // checkpoint landed: start over. Re-execution is
+                    // deterministic, so the deltas re-accumulate to
+                    // identical bits.
+                    assert!(
+                        Instant::now() < deadline,
+                        "{tenant}: reopen budget exhausted"
+                    );
+                    outcomes.reopens.fetch_add(1, Ordering::Relaxed);
+                    info = open(&mut client, outcomes);
+                    applied.clear();
+                    curve.clear();
+                    prev_hv = 0.0;
+                    round = info.rounds_done + 1;
+                }
+                Err(e) if e.retryable() => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "{tenant}: step retry budget exhausted on {e}"
+                    );
+                    if e.code == ErrorCode::Unavailable {
+                        client = connect_retry(socket, outcomes, deadline);
+                    }
+                    std::thread::sleep(BACKOFF);
+                }
+                Err(e) => panic!("{tenant}: terminal step outcome at round {round}: {e}"),
+            }
+        }
+        // Best-effort close; a kill racing the close only leaves a
+        // checkpoint behind, never wrong bits.
+        let _ = client.close_session(&spec.workload, info.session_id);
+        SessionOutcome {
+            digest: front_digest(&canonical_front(applied)),
+            curve,
+        }
+    }
+
+    /// SIGKILLs a rotating shard when fleet-wide round progress crosses
+    /// 1/3 and 2/3 of the wave's total — every kill is mid-soak by
+    /// construction, and each restart is awaited so the next kill hits
+    /// a serving shard.
+    fn fault_injector(
+        fleet: &Fleet,
+        shard_count: usize,
+        progress: &AtomicU64,
+        total_rounds: u64,
+        stop: &AtomicBool,
+    ) -> u64 {
+        let mut kills = 0u64;
+        for (i, threshold) in [total_rounds / 3, (2 * total_rounds) / 3]
+            .into_iter()
+            .enumerate()
+        {
+            while progress.load(Ordering::Relaxed) < threshold.max(1) {
+                if stop.load(Ordering::Acquire) {
+                    return kills;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let target = i % shard_count;
+            if fleet.supervisor.kill(target) {
+                kills += 1;
+                if let Err(e) = fleet
+                    .supervisor
+                    .await_shard_ready(target, Duration::from_secs(30))
+                {
+                    report::warn(format!("shard {target} never came back: {e}"));
+                    return kills;
+                }
+            }
+        }
+        kills
+    }
+
+    struct WaveReport {
+        concurrency: usize,
+        faults: bool,
+        digests: Vec<u64>,
+        curves: Vec<CurvePoint>,
+        elapsed: Duration,
+        kills: u64,
+        restarts: u64,
+        reopens: u64,
+        reconnects: u64,
+        predicted: u64,
+        cache_hits: u64,
+        shed: u64,
+    }
+
+    /// One wave: fresh fleet, the fixed session roster driven by
+    /// `concurrency` threads, optional mid-soak kills, exactly-once
+    /// metric check, teardown.
+    fn run_wave(opts: &Options, concurrency: usize, faults: bool, seq: usize) -> WaveReport {
+        let dir = std::env::temp_dir().join(format!(
+            "metadse-sessionsoak-{seq}-c{concurrency}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let root = dir.join("models");
+        let registry = ModelRegistry::new(&root, 4);
+        for (i, name) in TENANTS.iter().enumerate() {
+            // Same artifact seeds every wave → same fingerprints → the
+            // fronts are functions of the spec alone.
+            let servable = ServablePredictor::capture(
+                &TransformerPredictor::new(SESSION_GEOM, 100 + i as u64),
+                None,
+                "ipc",
+            );
+            registry.publish(name, &servable).expect("publish tenant");
+        }
+        let mut fleet_opts = FleetOptions::new(&dir, &root, opts.shards);
+        fleet_opts.session_dir = Some(dir.join("sessions"));
+        let fleet = launch(&fleet_opts).expect("fleet launch");
+
+        let outcomes = Outcomes::default();
+        let stop = AtomicBool::new(false);
+        let rounds_total = u64::from(opts.refinement_rounds) + 1;
+        let total_rounds = rounds_total * opts.sessions as u64;
+        let start = Instant::now();
+        let mut kills = 0u64;
+        let mut collected: Vec<(usize, SessionOutcome)> = Vec::with_capacity(opts.sessions);
+        std::thread::scope(|s| {
+            let injector = faults.then(|| {
+                s.spawn(|| {
+                    fault_injector(&fleet, opts.shards, &outcomes.rounds, total_rounds, &stop)
+                })
+            });
+            let drivers: Vec<_> = (0..concurrency)
+                .map(|t| {
+                    let fleet = &fleet;
+                    let outcomes = &outcomes;
+                    s.spawn(move || {
+                        let mut outs = Vec::new();
+                        for i in (t..opts.sessions).step_by(concurrency) {
+                            let spec = roster_spec(opts, i);
+                            outs.push((
+                                i,
+                                drive_session(fleet.socket(), &spec, i, outcomes, start),
+                            ));
+                        }
+                        outs
+                    })
+                })
+                .collect();
+            for handle in drivers {
+                collected.extend(handle.join().expect("driver thread"));
+            }
+            stop.store(true, Ordering::Release);
+            if let Some(handle) = injector {
+                kills = handle.join().expect("fault injector thread");
+            }
+        });
+        collected.sort_by_key(|(i, _)| *i);
+        let elapsed = start.elapsed();
+        let restarts = fleet.supervisor.restarts();
+
+        // The exactly-once law, read off the live fleet: no shard ever
+        // predicted the same (fingerprint, point) twice.
+        for index in 0..opts.shards {
+            let socket = metadse_serve::shard::shard_socket(&dir, index);
+            let metrics = query(&intro_socket(&socket), "metrics").expect("shard metrics");
+            assert!(
+                metrics
+                    .body
+                    .contains("counter session/duplicate_predictions_total 0"),
+                "shard {index}: duplicate predictions detected:\n{}",
+                metrics.body
+            );
+        }
+        if faults {
+            assert!(kills > 0, "fault injector never fired");
+            assert!(
+                restarts >= kills,
+                "{kills} kills but only {restarts} restarts"
+            );
+        }
+
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut digests = Vec::with_capacity(opts.sessions);
+        let mut curves = Vec::new();
+        assert_eq!(collected.len(), opts.sessions, "every session must finish");
+        for (i, outcome) in collected {
+            digests.push(outcome.digest);
+            // One hv-vs-wall-clock curve per tenant: its first session.
+            if i < TENANTS.len() {
+                curves.extend(outcome.curve);
+            }
+        }
+        WaveReport {
+            concurrency,
+            faults,
+            digests,
+            curves,
+            elapsed,
+            kills,
+            restarts,
+            reopens: outcomes.reopens.load(Ordering::Relaxed),
+            reconnects: outcomes.reconnects.load(Ordering::Relaxed),
+            predicted: outcomes.predicted.load(Ordering::Relaxed),
+            cache_hits: outcomes.cache_hits.load(Ordering::Relaxed),
+            shed: outcomes.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn run(opts: &Options) {
+        report::banner("MetaDSE multi-tenant exploration session soak");
+        report::kv("shards", opts.shards);
+        report::kv("sessions", opts.sessions);
+        report::kv("concurrency levels", format!("{:?}", opts.concurrency));
+        report::kv("rounds per session", u64::from(opts.refinement_rounds) + 1);
+        report::kv(
+            "fault injection",
+            if opts.faults {
+                "mid-soak SIGKILL at 1/3 and 2/3 progress (concurrency > 1)".to_string()
+            } else {
+                "off".to_string()
+            },
+        );
+
+        let waves: Vec<WaveReport> = opts
+            .concurrency
+            .iter()
+            .enumerate()
+            .map(|(seq, &concurrency)| {
+                // The first wave is the serial reference: no faults, so
+                // its digests are the ground truth the faulted waves
+                // must hit bit-for-bit.
+                let faults = opts.faults && seq > 0 && concurrency > 1;
+                run_wave(opts, concurrency, faults, seq)
+            })
+            .collect();
+
+        let mut rows = vec![[
+            "concurrency",
+            "faults",
+            "wall_ms",
+            "kills",
+            "restarts",
+            "reopens",
+            "reconnects",
+            "predicted",
+            "cache_hits",
+            "shed",
+        ]
+        .map(String::from)
+        .to_vec()];
+        for w in &waves {
+            rows.push(vec![
+                w.concurrency.to_string(),
+                if w.faults { "on" } else { "off" }.to_string(),
+                format!("{:.0}", w.elapsed.as_secs_f64() * 1000.0),
+                w.kills.to_string(),
+                w.restarts.to_string(),
+                w.reopens.to_string(),
+                w.reconnects.to_string(),
+                w.predicted.to_string(),
+                w.cache_hits.to_string(),
+                w.shed.to_string(),
+            ]);
+        }
+        report::line(render_table(&rows));
+
+        // The determinism headline: every wave landed every session on
+        // the serial reference's exact front bits.
+        let reference = &waves[0];
+        for wave in &waves[1..] {
+            for (i, (got, want)) in wave.digests.iter().zip(&reference.digests).enumerate() {
+                assert_eq!(
+                    got,
+                    want,
+                    "session {i} ({}): concurrency {} front diverged from serial reference",
+                    TENANTS[i % TENANTS.len()],
+                    wave.concurrency
+                );
+            }
+        }
+
+        if opts.json {
+            let busiest = waves.last().expect("at least one wave");
+            let mut h = Harness::new();
+            for point in &busiest.curves {
+                h.record(Sample {
+                    name: format!("session/{}_r{}_wall", point.tenant, point.round),
+                    wall_ns: point.elapsed.as_nanos(),
+                    iters: 1,
+                    threads: busiest.concurrency,
+                    allocs: 0,
+                });
+                h.record(Sample {
+                    name: format!("session/{}_r{}_hv_x1e6", point.tenant, point.round),
+                    wall_ns: (point.hypervolume * 1e6) as u128,
+                    iters: 1,
+                    threads: busiest.concurrency,
+                    allocs: 0,
+                });
+            }
+            let path = Path::new("BENCH_results.json");
+            h.write_json_merged(path, &["session/"])
+                .expect("write BENCH_results.json");
+            report::kv("wrote", path.display());
+        }
+
+        report::line(format!(
+            "OK: {} sessions × {} concurrency level(s) — fronts bit-identical to the \
+             serial reference through kills, resumes, and cache sharing",
+            opts.sessions,
+            waves.len()
+        ));
+    }
+}
+
+fn main() {
+    #[cfg(unix)]
+    {
+        if let Some(code) = metadse_serve::shard::run_worker_if_flagged() {
+            std::process::exit(code);
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match soak::parse_args(&args) {
+            Ok(opts) => soak::run(&opts),
+            Err(usage) => {
+                eprintln!("session_soak: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("session_soak: unix sockets unavailable on this platform; nothing to soak");
+    }
+}

@@ -163,6 +163,10 @@ pub mod fleet {
         pub max_batch: usize,
         /// Batching wait per shard, µs.
         pub max_wait_us: u64,
+        /// Session checkpoint root passed to every worker
+        /// (`--session-dir`); `None` leaves sessions in memory only, so
+        /// a killed worker loses them.
+        pub session_dir: Option<PathBuf>,
         /// Restart policy and readiness budget.
         pub supervisor: SupervisorConfig,
     }
@@ -183,6 +187,7 @@ pub mod fleet {
                 workers: 1,
                 max_batch: 8,
                 max_wait_us: 100,
+                session_dir: None,
                 supervisor: SupervisorConfig::default(),
             }
         }
@@ -195,7 +200,7 @@ pub mod fleet {
         /// When `std::env::current_exe` cannot name the running binary.
         pub fn worker_plan(&self, index: usize) -> io::Result<ShardPlan> {
             let socket = shard_socket(&self.dir, index);
-            let args = [
+            let mut args = [
                 WORKER_FLAG,
                 "--socket",
                 &socket.display().to_string(),
@@ -214,6 +219,10 @@ pub mod fleet {
             ]
             .map(String::from)
             .to_vec();
+            if let Some(session_dir) = &self.session_dir {
+                args.push("--session-dir".to_string());
+                args.push(session_dir.display().to_string());
+            }
             Ok(ShardPlan {
                 program: std::env::current_exe()?,
                 args,

@@ -466,9 +466,23 @@ impl Checkpointer {
     /// removed on a best-effort basis and the target directory never
     /// holds a partially written generation file.
     pub fn save(&mut self, state: &TrainState) -> Result<u64, CheckpointError> {
+        self.save_bytes(&encode(state))
+    }
+
+    /// Writes an already-sealed payload as the next generation through
+    /// the same atomic temp → chunk → fsync → rename → prune path as
+    /// [`save`](Checkpointer::save). Callers own the seal (magic,
+    /// version, checksum); pairing with
+    /// [`load_latest_with`](Checkpointer::load_latest_with) keeps the
+    /// corrupt-fallback guarantee for any payload type.
+    ///
+    /// # Errors
+    ///
+    /// Any IO failure (including injected faults), as for
+    /// [`save`](Checkpointer::save).
+    pub fn save_bytes(&mut self, bytes: &[u8]) -> Result<u64, CheckpointError> {
         let _span = obs::span("ckpt/save");
         let started = Instant::now();
-        let bytes = encode(state);
         fs::create_dir_all(&self.config.dir)?;
         self.ensure_generation_cursor();
         let generation = self.next_generation;
@@ -515,6 +529,23 @@ impl Checkpointer {
     /// `ckpt/corrupt_fallbacks`). `Ok(None)` when the directory is
     /// missing, empty, or nothing in it is readable.
     pub fn load_latest(&mut self) -> Result<Option<(TrainState, u64)>, CheckpointError> {
+        self.load_latest_with(decode)
+    }
+
+    /// Loads the newest generation that `decode` accepts, with the same
+    /// corrupt-fallback walk as [`load_latest`](Checkpointer::load_latest).
+    /// The decoder must verify integrity (unseal a checksummed
+    /// container) — a decoder that accepts torn bytes defeats the
+    /// fallback.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today: unreadable generations are skipped, and an
+    /// empty or missing directory is `Ok(None)`.
+    pub fn load_latest_with<T>(
+        &mut self,
+        decode: impl Fn(&[u8]) -> Result<T, CheckpointError>,
+    ) -> Result<Option<(T, u64)>, CheckpointError> {
         let generations = scan_generations(&self.config.dir);
         self.next_generation = generations.last().map_or(1, |(g, _)| g + 1);
         for (generation, path) in generations.iter().rev() {

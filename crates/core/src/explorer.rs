@@ -107,6 +107,63 @@ pub fn pareto_front(entries: &[ParetoEntry]) -> Vec<ParetoEntry> {
     front
 }
 
+/// One round's incremental change to a Pareto front: entries that
+/// joined and points that were dominated out. Transmitting deltas
+/// instead of whole fronts is what makes per-round session replies
+/// cheap — and [`apply_front_delta`] proves they lose nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrontDelta {
+    /// Entries present in the new front but not the previous one.
+    pub added: Vec<ParetoEntry>,
+    /// Points present in the previous front but dominated out of the
+    /// new one.
+    pub removed: Vec<ConfigPoint>,
+}
+
+impl FrontDelta {
+    /// True when the round changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// The delta taking `prev` to `next` (both Pareto fronts; membership is
+/// keyed by design point).
+pub fn front_delta(prev: &[ParetoEntry], next: &[ParetoEntry]) -> FrontDelta {
+    let added = next
+        .iter()
+        .filter(|e| !prev.iter().any(|p| p.point == e.point))
+        .cloned()
+        .collect();
+    let removed = prev
+        .iter()
+        .filter(|e| !next.iter().any(|n| n.point == e.point))
+        .map(|e| e.point.clone())
+        .collect();
+    FrontDelta { added, removed }
+}
+
+/// Applies one delta in place: drop `removed` points, append `added`
+/// entries. The result is a set equal to the next front; use
+/// [`canonical_front`] before comparing order-sensitively.
+pub fn apply_front_delta(front: &mut Vec<ParetoEntry>, delta: &FrontDelta) {
+    front.retain(|e| !delta.removed.contains(&e.point));
+    front.extend(delta.added.iter().cloned());
+}
+
+/// Total, deterministic front order for bit-exact comparison across
+/// processes: descending IPC, then ascending power (both by exact bit
+/// pattern via `total_cmp`), then point indices.
+pub fn canonical_front(mut front: Vec<ParetoEntry>) -> Vec<ParetoEntry> {
+    front.sort_by(|a, b| {
+        b.ipc
+            .total_cmp(&a.ipc)
+            .then_with(|| a.power.total_cmp(&b.power))
+            .then_with(|| a.point.indices().cmp(b.point.indices()))
+    });
+    front
+}
+
 /// Explores the design space with a surrogate objective function.
 ///
 /// `predict` maps a batch of encoded design points (normalized features)
@@ -146,47 +203,181 @@ pub fn explore_pareto(
     mut predict: impl FnMut(&[Vec<Elem>]) -> Vec<(Elem, Elem)>,
     config: &ExplorerConfig,
 ) -> Vec<ParetoEntry> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut seen: HashSet<ConfigPoint> = HashSet::new();
-
-    #[allow(clippy::type_complexity)] // borrows the caller's predictor closure
-    let evaluate = |points: Vec<ConfigPoint>,
-                    seen: &mut HashSet<ConfigPoint>,
-                    predict: &mut dyn FnMut(&[Vec<Elem>]) -> Vec<(Elem, Elem)>|
-     -> Vec<ParetoEntry> {
-        let fresh: Vec<ConfigPoint> = points
-            .into_iter()
-            .filter(|p| seen.insert(p.clone()))
-            .collect();
-        if fresh.is_empty() {
-            return Vec::new();
-        }
-        let encoded: Vec<Vec<Elem>> = fresh.iter().map(|p| space.encode(p)).collect();
-        let objectives = predict(&encoded);
-        fresh
-            .into_iter()
-            .zip(objectives)
-            .map(|(point, (ipc, power))| ParetoEntry { point, ipc, power })
-            .collect()
-    };
-
-    // Broad sweep.
-    let initial: Vec<ConfigPoint> = (0..config.initial_samples)
-        .map(|_| space.random_point(&mut rng))
-        .collect();
-    let mut archive = evaluate(initial, &mut seen, &mut predict);
-
-    // Hill climb around the current front.
-    for _ in 0..config.refinement_rounds {
-        let front = pareto_front(&archive);
-        let mut candidates = Vec::new();
-        for entry in front.iter().take(config.beam) {
-            candidates.extend(space.neighbors(&entry.point));
-        }
-        let fresh = evaluate(candidates, &mut seen, &mut predict);
-        archive.extend(fresh);
+    let mut explorer = Explorer::new(config);
+    while let Some(points) = explorer.propose(space) {
+        let entries = if points.is_empty() {
+            Vec::new()
+        } else {
+            let encoded: Vec<Vec<Elem>> = points.iter().map(|p| space.encode(p)).collect();
+            let objectives = predict(&encoded);
+            points
+                .into_iter()
+                .zip(objectives)
+                .map(|(point, (ipc, power))| ParetoEntry { point, ipc, power })
+                .collect()
+        };
+        explorer.record(entries);
     }
-    pareto_front(&archive)
+    explorer.front()
+}
+
+/// Resumable snapshot of an [`Explorer`] at a round boundary. Every
+/// field is plain data, so the exploration cursor can ride inside a
+/// sealed checkpoint: the RNG stream words *are* the sampling cursor
+/// (the same property `maml::pretrain` resume relies on), `seen` is the
+/// dedup set sorted for a deterministic byte encoding, and `archive`
+/// keeps evaluation order (Pareto tie-breaks are insertion-stable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerState {
+    /// RNG stream words ([`StdRng::state`]).
+    pub rng: [u64; 4],
+    /// Rounds already proposed *and* recorded (0 = nothing yet; 1 =
+    /// initial sweep done; `refinement_rounds + 1` = exploration done).
+    pub rounds_done: u64,
+    /// Every point ever proposed, sorted by indices.
+    pub seen: Vec<ConfigPoint>,
+    /// Every evaluated entry, in evaluation order.
+    pub archive: Vec<ParetoEntry>,
+}
+
+/// The exploration loop of [`explore_pareto`], unrolled into a
+/// resumable propose/record stepper so a serving layer can own the
+/// evaluation (batching, caching, deadlines) and a killed run can
+/// resume bit-identically from an [`ExplorerState`].
+///
+/// Round `0` is the broad random sweep; rounds `1..=refinement_rounds`
+/// hill-climb around the current front. Every [`propose`](Explorer::propose)
+/// must be answered by exactly one [`record`](Explorer::record) before
+/// the next propose (or a state capture).
+#[derive(Debug)]
+pub struct Explorer {
+    config: ExplorerConfig,
+    rng: StdRng,
+    seen: HashSet<ConfigPoint>,
+    archive: Vec<ParetoEntry>,
+    rounds_done: usize,
+    pending: bool,
+}
+
+impl Explorer {
+    /// A fresh explorer seeded from `config.seed`.
+    pub fn new(config: &ExplorerConfig) -> Explorer {
+        Explorer {
+            config: *config,
+            rng: StdRng::seed_from_u64(config.seed),
+            seen: HashSet::new(),
+            archive: Vec::new(),
+            rounds_done: 0,
+            pending: false,
+        }
+    }
+
+    /// The exploration budget this explorer runs under.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// Rounds fully completed (proposed and recorded).
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done as u64 - u64::from(self.pending)
+    }
+
+    /// Total rounds this configuration will run (initial sweep plus
+    /// refinements).
+    pub fn rounds_total(&self) -> u64 {
+        self.config.refinement_rounds as u64 + 1
+    }
+
+    /// True once every round has been proposed and recorded.
+    pub fn is_done(&self) -> bool {
+        !self.pending && self.rounds_done > self.config.refinement_rounds
+    }
+
+    /// The never-seen points of the next round, or `None` when the
+    /// budget is exhausted. May be `Some` and empty (every candidate
+    /// was already seen) — the caller must still [`record`](Explorer::record).
+    ///
+    /// # Panics
+    ///
+    /// When the previous propose has not been recorded yet.
+    pub fn propose(&mut self, space: &DesignSpace) -> Option<Vec<ConfigPoint>> {
+        assert!(!self.pending, "propose() called before record()");
+        if self.rounds_done > self.config.refinement_rounds {
+            return None;
+        }
+        let candidates: Vec<ConfigPoint> = if self.rounds_done == 0 {
+            (0..self.config.initial_samples)
+                .map(|_| space.random_point(&mut self.rng))
+                .collect()
+        } else {
+            let front = pareto_front(&self.archive);
+            let mut candidates = Vec::new();
+            for entry in front.iter().take(self.config.beam) {
+                candidates.extend(space.neighbors(&entry.point));
+            }
+            candidates
+        };
+        let fresh: Vec<ConfigPoint> = candidates
+            .into_iter()
+            .filter(|p| self.seen.insert(p.clone()))
+            .collect();
+        self.rounds_done += 1;
+        self.pending = true;
+        Some(fresh)
+    }
+
+    /// Feeds the evaluated entries of the last [`propose`](Explorer::propose)
+    /// back into the archive.
+    ///
+    /// # Panics
+    ///
+    /// When no propose is outstanding.
+    pub fn record(&mut self, entries: Vec<ParetoEntry>) {
+        assert!(self.pending, "record() called without a propose()");
+        self.archive.extend(entries);
+        self.pending = false;
+    }
+
+    /// The current Pareto front over everything evaluated so far.
+    pub fn front(&self) -> Vec<ParetoEntry> {
+        pareto_front(&self.archive)
+    }
+
+    /// Everything evaluated so far, in evaluation order.
+    pub fn archive(&self) -> &[ParetoEntry] {
+        &self.archive
+    }
+
+    /// Snapshot at a round boundary, for checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// When a propose is outstanding — mid-round state is not
+    /// resumable (the proposed points live only in the caller).
+    pub fn state(&self) -> ExplorerState {
+        assert!(!self.pending, "state() captured mid-round");
+        let mut seen: Vec<ConfigPoint> = self.seen.iter().cloned().collect();
+        seen.sort_by(|a, b| a.indices().cmp(b.indices()));
+        ExplorerState {
+            rng: self.rng.state(),
+            rounds_done: self.rounds_done as u64,
+            seen,
+            archive: self.archive.clone(),
+        }
+    }
+
+    /// Rebuilds an explorer from a snapshot; continues bit-identically
+    /// to the run that captured it.
+    pub fn from_state(config: &ExplorerConfig, state: &ExplorerState) -> Explorer {
+        Explorer {
+            config: *config,
+            rng: StdRng::from_state(state.rng),
+            seen: state.seen.iter().cloned().collect(),
+            archive: state.archive.clone(),
+            rounds_done: state.rounds_done as usize,
+            pending: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +476,158 @@ mod tests {
         for a in &refined {
             for b in &refined {
                 assert!(!dominates(a, b) || a.point == b.point);
+            }
+        }
+    }
+
+    /// FNV-1a over a front's points and objective bit patterns — drifts
+    /// iff any point, ordering, or f64 bit changes.
+    fn front_digest(front: &[ParetoEntry]) -> u64 {
+        let mut bytes = Vec::new();
+        for e in front {
+            for &i in e.point.indices() {
+                bytes.extend_from_slice(&(i as u64).to_le_bytes());
+            }
+            bytes.extend_from_slice(&e.ipc.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&e.power.to_bits().to_le_bytes());
+        }
+        metadse_nn::format::fnv1a(&bytes)
+    }
+
+    #[test]
+    fn standalone_explorer_digest_is_pinned() {
+        // Captured from the pre-`explore_step` implementation: the exact
+        // front (point indices, objective bits, order) for this seed and
+        // surrogate. The resumable-stepper refactor must not move it.
+        let space = DesignSpace::new();
+        let surrogate = |batch: &[Vec<f64>]| -> Vec<(f64, f64)> {
+            batch
+                .iter()
+                .map(|x| {
+                    let m: f64 = x.iter().sum::<f64>() / x.len() as f64;
+                    (x[0].mul_add(2.0, m), 1.0 + x[1] * 7.0 + m)
+                })
+                .collect()
+        };
+        let front = explore_pareto(
+            &space,
+            surrogate,
+            &ExplorerConfig {
+                initial_samples: 96,
+                refinement_rounds: 3,
+                beam: 5,
+                seed: 0xD5E,
+            },
+        );
+        assert_eq!(
+            front_digest(&front),
+            6_953_765_760_016_176_055,
+            "standalone explorer front drifted from the pinned digest"
+        );
+    }
+
+    #[test]
+    fn deltas_reconstruct_front_on_every_prefix() {
+        // Satellite property: applying the per-round deltas reproduces
+        // `pareto_front` computed from scratch after *every* prefix of
+        // rounds, and hypervolume is monotone nondecreasing for a fixed
+        // reference point.
+        let space = DesignSpace::new();
+        let surrogate = |x: &[f64]| -> (f64, f64) {
+            let m: f64 = x.iter().sum::<f64>() / x.len() as f64;
+            (x[3].mul_add(4.0, m), 1.0 + x[5] * 11.0 + m * m)
+        };
+        for seed in [3u64, 41, 0xBEEF] {
+            let mut explorer = Explorer::new(&ExplorerConfig {
+                initial_samples: 48,
+                refinement_rounds: 3,
+                beam: 4,
+                seed,
+            });
+            let mut applied: Vec<ParetoEntry> = Vec::new();
+            let mut prev_front: Vec<ParetoEntry> = Vec::new();
+            let mut prev_hv = 0.0;
+            while let Some(points) = explorer.propose(&space) {
+                let entries: Vec<ParetoEntry> = points
+                    .into_iter()
+                    .map(|point| {
+                        let (ipc, power) = surrogate(&space.encode(&point));
+                        ParetoEntry { point, ipc, power }
+                    })
+                    .collect();
+                explorer.record(entries);
+                let next_front = explorer.front();
+                apply_front_delta(&mut applied, &front_delta(&prev_front, &next_front));
+                // Delta-applied front == front recomputed from scratch
+                // over the archive prefix, bit-for-bit.
+                assert_eq!(
+                    canonical_front(applied.clone()),
+                    canonical_front(pareto_front(explorer.archive())),
+                );
+                let hv = hypervolume(&next_front, 0.0, 50.0);
+                assert!(hv >= prev_hv, "hypervolume regressed: {prev_hv} -> {hv}");
+                prev_hv = hv;
+                prev_front = next_front;
+            }
+            assert!(!applied.is_empty());
+        }
+    }
+
+    #[test]
+    fn stepper_resumes_bit_identically_from_any_round_boundary() {
+        let space = DesignSpace::new();
+        let surrogate = |x: &[f64]| -> (f64, f64) {
+            let m: f64 = x.iter().sum::<f64>() / x.len() as f64;
+            (x[0].mul_add(2.0, m), 1.0 + x[1] * 7.0 + m)
+        };
+        let config = ExplorerConfig {
+            initial_samples: 40,
+            refinement_rounds: 3,
+            beam: 4,
+            seed: 0xAB,
+        };
+        let drive = |explorer: &mut Explorer| {
+            while let Some(points) = explorer.propose(&space) {
+                let entries = points
+                    .into_iter()
+                    .map(|point| {
+                        let (ipc, power) = surrogate(&space.encode(&point));
+                        ParetoEntry { point, ipc, power }
+                    })
+                    .collect();
+                explorer.record(entries);
+            }
+        };
+        let mut straight = Explorer::new(&config);
+        drive(&mut straight);
+        let reference = canonical_front(straight.front());
+        // Interrupt at every round boundary: snapshot, rebuild, finish.
+        for stop_after in 0..=4usize {
+            let mut first = Explorer::new(&config);
+            for _ in 0..stop_after {
+                if first.is_done() {
+                    break;
+                }
+                let points = first.propose(&space).unwrap();
+                let entries = points
+                    .into_iter()
+                    .map(|point| {
+                        let (ipc, power) = surrogate(&space.encode(&point));
+                        ParetoEntry { point, ipc, power }
+                    })
+                    .collect();
+                first.record(entries);
+            }
+            let state = first.state();
+            let mut resumed = Explorer::from_state(&config, &state);
+            assert_eq!(resumed.rounds_done(), first.rounds_done());
+            drive(&mut resumed);
+            let front = canonical_front(resumed.front());
+            assert_eq!(front.len(), reference.len());
+            for (a, b) in front.iter().zip(&reference) {
+                assert_eq!(a.point, b.point);
+                assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+                assert_eq!(a.power.to_bits(), b.power.to_bits());
             }
         }
     }

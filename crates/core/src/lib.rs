@@ -49,6 +49,7 @@ pub mod wam;
 
 pub use checkpoint::{CheckpointConfig, Checkpointer, FaultMode, FaultSpec, TrainState};
 pub use evaluation::{EvalSummary, TaskScores};
+pub use explorer::{Explorer, ExplorerConfig, ExplorerState, FrontDelta, ParetoEntry};
 pub use maml::{MamlConfig, PretrainReport};
 pub use predictor::{PredictorConfig, TransformerPredictor};
 pub use servable::ServablePredictor;

@@ -235,8 +235,11 @@ impl FrontCore {
 
     fn handle(&self, request: ShardRequest) -> ShardReply {
         self.stats.received.fetch_add(1, Ordering::Relaxed);
-        let reply = match &request {
-            ShardRequest::Predict { workload, .. } => {
+        // Predicts and session ops route identically: every session op
+        // carries its workload, so a tenant's whole exploration stays
+        // pinned to the shard owning its model (and its point cache).
+        let reply = match request.routing_workload() {
+            Some(workload) => {
                 let shard = match self.route(workload) {
                     Some(shard) => Some(shard),
                     None => {
@@ -257,7 +260,7 @@ impl FrontCore {
                     )),
                 }
             }
-            ShardRequest::Workloads => {
+            None => {
                 let routes = self.routes.read().unwrap();
                 let mut list: Vec<WorkloadInfo> = routes
                     .by_workload
@@ -269,14 +272,14 @@ impl FrontCore {
             }
         };
         match &reply {
-            ShardReply::Value(_) | ShardReply::Workloads(_) => {
-                self.stats.served.fetch_add(1, Ordering::Relaxed);
-            }
             ShardReply::Error(e) if e.code == ErrorCode::Unavailable => {
                 self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
             }
             ShardReply::Error(_) => {
                 self.stats.errored.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.stats.served.fetch_add(1, Ordering::Relaxed);
             }
         }
         reply
@@ -580,9 +583,9 @@ impl FrontClient {
         match self.round_trip(&request)? {
             ShardReply::Value(w) => Ok(w.into()),
             ShardReply::Error(e) => Err(e),
-            ShardReply::Workloads(_) => Err(ShardError::new(
+            _ => Err(ShardError::new(
                 ErrorCode::BadRequest,
-                "peer answered predict with a workload list",
+                "peer answered predict with a different reply kind",
             )),
         }
     }
@@ -596,9 +599,81 @@ impl FrontClient {
         match self.round_trip(&ShardRequest::Workloads)? {
             ShardReply::Workloads(list) => Ok(list),
             ShardReply::Error(e) => Err(e),
-            ShardReply::Value(_) => Err(ShardError::new(
+            _ => Err(ShardError::new(
                 ErrorCode::BadRequest,
-                "peer answered workload listing with a value",
+                "peer answered workload listing with a different reply kind",
+            )),
+        }
+    }
+
+    /// Opens (idempotently) an exploration session for `spec`. A
+    /// session that already exists — or resumes from a checkpoint on
+    /// the owning shard — reports its `rounds_done` so the client can
+    /// continue stepping where it left off.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ShardError`] (transport failures map to `Unavailable`).
+    pub fn open_session(
+        &mut self,
+        spec: &crate::session::SessionSpec,
+    ) -> Result<crate::session::OpenInfo, ShardError> {
+        match self.round_trip(&ShardRequest::OpenSession(spec.clone()))? {
+            ShardReply::SessionOpened(info) => Ok(info),
+            ShardReply::Error(e) => Err(e),
+            _ => Err(ShardError::new(
+                ErrorCode::BadRequest,
+                "peer answered open-session with a different reply kind",
+            )),
+        }
+    }
+
+    /// Steps one exploration round (execute `rounds_done + 1` or replay
+    /// `rounds_done` — see `SessionEngine::step` for the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ShardError`]; [`ErrorCode::UnknownSession`] means the
+    /// shard lost the session (restart without persistence) — re-open,
+    /// then retry.
+    pub fn step_session(
+        &mut self,
+        workload: &str,
+        session: u64,
+        round: u64,
+    ) -> Result<crate::session::RoundReport, ShardError> {
+        let request = ShardRequest::StepSession {
+            workload: workload.to_string(),
+            session,
+            round,
+        };
+        match self.round_trip(&request)? {
+            ShardReply::SessionDelta { report, .. } => Ok(report),
+            ShardReply::Error(e) => Err(e),
+            _ => Err(ShardError::new(
+                ErrorCode::BadRequest,
+                "peer answered step-session with a different reply kind",
+            )),
+        }
+    }
+
+    /// Closes a session on its owning shard; `Ok(true)` when it was
+    /// open there.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ShardError`] (transport failures map to `Unavailable`).
+    pub fn close_session(&mut self, workload: &str, session: u64) -> Result<bool, ShardError> {
+        let request = ShardRequest::CloseSession {
+            workload: workload.to_string(),
+            session,
+        };
+        match self.round_trip(&request)? {
+            ShardReply::SessionClosed(existed) => Ok(existed),
+            ShardReply::Error(e) => Err(e),
+            _ => Err(ShardError::new(
+                ErrorCode::BadRequest,
+                "peer answered close-session with a different reply kind",
             )),
         }
     }

@@ -52,6 +52,7 @@ pub mod introspect;
 pub mod plan;
 pub mod registry;
 pub mod server;
+pub mod session;
 pub mod shard;
 pub mod stats;
 pub mod supervisor;
@@ -62,6 +63,10 @@ pub use introspect::ServeHealth;
 pub use plan::Plan;
 pub use registry::{ModelEntry, ModelRegistry, PlanCacheStats};
 pub use server::{Prediction, ServeConfig, ServeError, Server, Ticket};
+pub use session::{
+    OpenInfo, PointCache, RoundReport, SessionEngine, SessionEngineConfig, SessionError,
+    SessionSpec, SessionState,
+};
 pub use shard::{ErrorCode, ShardError, ShardOptions, ShardReply, ShardRequest, WirePrediction};
 pub use stats::{RequestTrace, ServerStats, TenantStats, TraceTable};
 

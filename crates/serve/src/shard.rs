@@ -27,12 +27,27 @@
 //! request  := 'P' predict   workload:str16 config:vec16<f64-bits>
 //!                           timeout_us:u64 (0 = none)
 //!           | 'W' workloads (no body)
+//!           | 'O' open      workload:str16 seed:u64 initial:u32
+//!                           rounds:u32 beam:u32 timeout_us:u64
+//!           | 'S' step      workload:str16 session:u64 round:u64
+//!           | 'C' close     workload:str16 session:u64
 //! reply    := 'V' value     bits:u64 generation:u64 batch:u32
 //!                           trace_id:u64 shard:u32
 //!           | 'L' list      count:u16 · (name:str16 fp:u64 gen:u64)*
+//!           | 'O' opened    session:u64 fp:u64 rounds_done:u64
+//!                           rounds_total:u64 resumed:u8
+//!           | 'D' delta     session:u64 round:u64 done:u8 hv:f64-bits
+//!                           proposed:u32 predicted:u32 hits:u32 shed:u32
+//!                           added:vec16<entry> removed:vec16<point>
+//!           | 'K' closed    existed:u8
 //!           | 'E' error     code:u8 message:str16
+//! point    := n:u16 · idx:u16 each; entry := point ipc:u64 power:u64
 //! str16    := len:u16-LE bytes; vec16 := len:u16-LE elems
 //! ```
+//!
+//! Session ops (`'O'`/`'S'`/`'C'`) carry their workload so the front
+//! door routes them statelessly exactly like predicts — sessions for a
+//! workload always land on the shard that owns its model.
 //!
 //! `f64`s travel as raw IEEE-754 bits ([`f64::to_bits`]) in both
 //! directions, so a value crossing two process boundaries arrives
@@ -100,6 +115,9 @@ pub enum ErrorCode {
     Unavailable = 7,
     /// The peer sent a frame this side cannot decode.
     BadRequest = 8,
+    /// The session id is not open on this shard (and no checkpoint was
+    /// found); re-open the session, then retry the step.
+    UnknownSession = 9,
 }
 
 impl ErrorCode {
@@ -113,6 +131,7 @@ impl ErrorCode {
             6 => ErrorCode::Artifact,
             7 => ErrorCode::Unavailable,
             8 => ErrorCode::BadRequest,
+            9 => ErrorCode::UnknownSession,
             _ => return None,
         })
     }
@@ -169,6 +188,20 @@ impl From<ServeError> for ShardError {
     }
 }
 
+impl From<crate::session::SessionError> for ShardError {
+    fn from(e: crate::session::SessionError) -> ShardError {
+        use crate::session::SessionError;
+        let code = match &e {
+            SessionError::UnknownWorkload(_) => ErrorCode::UnknownWorkload,
+            SessionError::UnknownSession(_) => ErrorCode::UnknownSession,
+            SessionError::BadRound { .. }
+            | SessionError::Exhausted
+            | SessionError::WorkloadMismatch => ErrorCode::BadRequest,
+        };
+        ShardError::new(code, e.to_string())
+    }
+}
+
 /// One request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardRequest {
@@ -183,6 +216,39 @@ pub enum ShardRequest {
     },
     /// List the workloads this process serves.
     Workloads,
+    /// Open (or idempotently re-open / resume) an exploration session.
+    OpenSession(crate::session::SessionSpec),
+    /// Execute or replay one exploration round.
+    StepSession {
+        /// Session workload (the routing key).
+        workload: String,
+        /// Session id from the open reply.
+        session: u64,
+        /// 1-based round to execute (`rounds_done + 1`) or replay
+        /// (`rounds_done`).
+        round: u64,
+    },
+    /// Close a session (final checkpoint, then release).
+    CloseSession {
+        /// Session workload (the routing key).
+        workload: String,
+        /// Session id from the open reply.
+        session: u64,
+    },
+}
+
+impl ShardRequest {
+    /// The workload a front door routes this request by; `None` for
+    /// fleet-wide requests answered by any shard.
+    pub fn routing_workload(&self) -> Option<&str> {
+        match self {
+            ShardRequest::Predict { workload, .. }
+            | ShardRequest::StepSession { workload, .. }
+            | ShardRequest::CloseSession { workload, .. } => Some(workload),
+            ShardRequest::OpenSession(spec) => Some(&spec.workload),
+            ShardRequest::Workloads => None,
+        }
+    }
 }
 
 /// One workload a shard serves, as reported by [`ShardRequest::Workloads`].
@@ -218,8 +284,39 @@ pub enum ShardReply {
     Value(WirePrediction),
     /// Workload listing.
     Workloads(Vec<WorkloadInfo>),
+    /// Session opened (or resumed).
+    SessionOpened(crate::session::OpenInfo),
+    /// One round's incremental front delta.
+    SessionDelta {
+        /// Session the round belongs to.
+        session: u64,
+        /// The round's report (delta, hypervolume, accounting).
+        report: crate::session::RoundReport,
+    },
+    /// Session closed; whether it was open here.
+    SessionClosed(bool),
     /// Typed failure.
     Error(ShardError),
+}
+
+fn put_point16(out: &mut Vec<u8>, point: &metadse_sim::ConfigPoint) -> io::Result<()> {
+    let indices = point.indices();
+    let len = u16::try_from(indices.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "point exceeds u16 length"))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    for &i in indices {
+        let idx = u16::try_from(i)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "index exceeds u16"))?;
+        out.extend_from_slice(&idx.to_le_bytes());
+    }
+    Ok(())
+}
+
+fn put_entry16(out: &mut Vec<u8>, entry: &metadse::explorer::ParetoEntry) -> io::Result<()> {
+    put_point16(out, &entry.point)?;
+    out.extend_from_slice(&entry.ipc.to_bits().to_le_bytes());
+    out.extend_from_slice(&entry.power.to_bits().to_le_bytes());
+    Ok(())
 }
 
 fn put_str16(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
@@ -277,6 +374,22 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
+    fn point16(&mut self) -> io::Result<metadse_sim::ConfigPoint> {
+        let n = self.u16()? as usize;
+        let mut indices = Vec::with_capacity(n);
+        for _ in 0..n {
+            indices.push(self.u16()? as usize);
+        }
+        Ok(metadse_sim::ConfigPoint::new(indices))
+    }
+
+    fn entry16(&mut self) -> io::Result<metadse::explorer::ParetoEntry> {
+        let point = self.point16()?;
+        let ipc = f64::from_bits(self.u64()?);
+        let power = f64::from_bits(self.u64()?);
+        Ok(metadse::explorer::ParetoEntry { point, ipc, power })
+    }
+
     fn finish(self) -> io::Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -316,6 +429,30 @@ impl ShardRequest {
                 out.extend_from_slice(&timeout_us.to_le_bytes());
             }
             ShardRequest::Workloads => out.push(b'W'),
+            ShardRequest::OpenSession(spec) => {
+                out.push(b'O');
+                put_str16(&mut out, &spec.workload)?;
+                out.extend_from_slice(&spec.seed.to_le_bytes());
+                out.extend_from_slice(&spec.initial_samples.to_le_bytes());
+                out.extend_from_slice(&spec.refinement_rounds.to_le_bytes());
+                out.extend_from_slice(&spec.beam.to_le_bytes());
+                out.extend_from_slice(&spec.round_timeout_us.to_le_bytes());
+            }
+            ShardRequest::StepSession {
+                workload,
+                session,
+                round,
+            } => {
+                out.push(b'S');
+                put_str16(&mut out, workload)?;
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            ShardRequest::CloseSession { workload, session } => {
+                out.push(b'C');
+                put_str16(&mut out, workload)?;
+                out.extend_from_slice(&session.to_le_bytes());
+            }
         }
         Ok(out)
     }
@@ -342,6 +479,23 @@ impl ShardRequest {
                 }
             }
             b'W' => ShardRequest::Workloads,
+            b'O' => ShardRequest::OpenSession(crate::session::SessionSpec {
+                workload: c.str16()?,
+                seed: c.u64()?,
+                initial_samples: c.u32()?,
+                refinement_rounds: c.u32()?,
+                beam: c.u32()?,
+                round_timeout_us: c.u64()?,
+            }),
+            b'S' => ShardRequest::StepSession {
+                workload: c.str16()?,
+                session: c.u64()?,
+                round: c.u64()?,
+            },
+            b'C' => ShardRequest::CloseSession {
+                workload: c.str16()?,
+                session: c.u64()?,
+            },
             tag => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -384,6 +538,43 @@ impl ShardReply {
                     out.extend_from_slice(&w.generation.to_le_bytes());
                 }
             }
+            ShardReply::SessionOpened(info) => {
+                out.push(b'O');
+                out.extend_from_slice(&info.session_id.to_le_bytes());
+                out.extend_from_slice(&info.fingerprint.to_le_bytes());
+                out.extend_from_slice(&info.rounds_done.to_le_bytes());
+                out.extend_from_slice(&info.rounds_total.to_le_bytes());
+                out.push(u8::from(info.resumed));
+            }
+            ShardReply::SessionDelta { session, report } => {
+                out.push(b'D');
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&report.round.to_le_bytes());
+                out.push(u8::from(report.done));
+                out.extend_from_slice(&report.hypervolume.to_bits().to_le_bytes());
+                out.extend_from_slice(&report.proposed.to_le_bytes());
+                out.extend_from_slice(&report.predicted.to_le_bytes());
+                out.extend_from_slice(&report.cache_hits.to_le_bytes());
+                out.extend_from_slice(&report.shed.to_le_bytes());
+                let added = u16::try_from(report.added.len()).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "delta added exceeds u16")
+                })?;
+                out.extend_from_slice(&added.to_le_bytes());
+                for entry in &report.added {
+                    put_entry16(&mut out, entry)?;
+                }
+                let removed = u16::try_from(report.removed.len()).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "delta removed exceeds u16")
+                })?;
+                out.extend_from_slice(&removed.to_le_bytes());
+                for point in &report.removed {
+                    put_point16(&mut out, point)?;
+                }
+            }
+            ShardReply::SessionClosed(existed) => {
+                out.push(b'K');
+                out.push(u8::from(*existed));
+            }
             ShardReply::Error(e) => {
                 out.push(b'E');
                 out.push(e.code as u8);
@@ -421,6 +612,48 @@ impl ShardReply {
                 }
                 ShardReply::Workloads(list)
             }
+            b'O' => ShardReply::SessionOpened(crate::session::OpenInfo {
+                session_id: c.u64()?,
+                fingerprint: c.u64()?,
+                rounds_done: c.u64()?,
+                rounds_total: c.u64()?,
+                resumed: c.u8()? != 0,
+            }),
+            b'D' => {
+                let session = c.u64()?;
+                let round = c.u64()?;
+                let done = c.u8()? != 0;
+                let hypervolume = f64::from_bits(c.u64()?);
+                let proposed = c.u32()?;
+                let predicted = c.u32()?;
+                let cache_hits = c.u32()?;
+                let shed = c.u32()?;
+                let n = c.u16()? as usize;
+                let mut added = Vec::with_capacity(n);
+                for _ in 0..n {
+                    added.push(c.entry16()?);
+                }
+                let n = c.u16()? as usize;
+                let mut removed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    removed.push(c.point16()?);
+                }
+                ShardReply::SessionDelta {
+                    session,
+                    report: crate::session::RoundReport {
+                        round,
+                        done,
+                        hypervolume,
+                        proposed,
+                        predicted,
+                        cache_hits,
+                        shed,
+                        added,
+                        removed,
+                    },
+                }
+            }
+            b'K' => ShardReply::SessionClosed(c.u8()? != 0),
             b'E' => {
                 let raw = c.u8()?;
                 let code = ErrorCode::from_u8(raw).ok_or_else(|| {
@@ -539,6 +772,10 @@ pub struct ShardOptions {
     pub keep: usize,
     /// In-process serving runtime tuning.
     pub config: ServeConfig,
+    /// Exploration-session checkpoint root; `None` falls back to
+    /// `METADSE_SESSION_DIR` (and in-memory-only sessions when that is
+    /// unset too).
+    pub session_dir: Option<PathBuf>,
 }
 
 impl ShardOptions {
@@ -551,6 +788,7 @@ impl ShardOptions {
             spec: ShardSpec::single(),
             keep: 4,
             config: ServeConfig::default(),
+            session_dir: None,
         }
     }
 }
@@ -563,6 +801,7 @@ impl ShardOptions {
 struct ShardResponder {
     serve: crate::introspect::ServeResponder,
     spec: ShardSpec,
+    engine: Arc<crate::session::SessionEngine>,
 }
 
 #[cfg(unix)]
@@ -586,7 +825,12 @@ impl Respond for ShardResponder {
                 workloads.len()
             ));
         }
-        self.serve.respond(command)
+        let mut response = self.serve.respond(command);
+        if command == "metrics" && response.ok {
+            // The session plane's metrics ride the same exposition.
+            response.body.push_str(&self.engine.exposition());
+        }
+        response
     }
 }
 
@@ -624,6 +868,11 @@ impl ShardServer {
             opts.spec,
         ));
         let server = Arc::new(Server::start(Arc::clone(&registry), opts.config));
+        let mut engine_config = crate::session::SessionEngineConfig::from_env();
+        if opts.session_dir.is_some() {
+            engine_config.dir = opts.session_dir.clone();
+        }
+        let engine = Arc::new(crate::session::SessionEngine::new(engine_config));
         // The supervisor's readiness barrier and CI probes speak the
         // standard introspection protocol against `<socket>.intro`.
         let responder = Arc::new(ShardResponder {
@@ -631,6 +880,7 @@ impl ShardServer {
                 shared: server.shared_handle(),
             },
             spec: opts.spec,
+            engine: Arc::clone(&engine),
         });
         let intro = obs::introspect::serve_unix(&intro_socket(&opts.socket), responder)?;
 
@@ -644,6 +894,7 @@ impl ShardServer {
         let ctx = Arc::new(ConnContext {
             server: Arc::clone(&server),
             registry: Arc::clone(&registry),
+            engine,
             spec: opts.spec,
             stop: Arc::clone(&stop),
             served: Arc::clone(&served),
@@ -727,6 +978,7 @@ impl Drop for ShardServer {
 struct ConnContext {
     server: Arc<Server>,
     registry: Arc<ModelRegistry>,
+    engine: Arc<crate::session::SessionEngine>,
     spec: ShardSpec,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
@@ -828,6 +1080,21 @@ fn handle_request(ctx: &ConnContext, request: ShardRequest) -> ShardReply {
                 .collect();
             ShardReply::Workloads(list)
         }
+        ShardRequest::OpenSession(spec) => match ctx.engine.open(&ctx.server, &spec) {
+            Ok(info) => ShardReply::SessionOpened(info),
+            Err(e) => ShardReply::Error(ShardError::from(e)),
+        },
+        ShardRequest::StepSession {
+            workload,
+            session,
+            round,
+        } => match ctx.engine.step(&ctx.server, &workload, session, round) {
+            Ok(report) => ShardReply::SessionDelta { session, report },
+            Err(e) => ShardReply::Error(ShardError::from(e)),
+        },
+        ShardRequest::CloseSession { session, .. } => {
+            ShardReply::SessionClosed(ctx.engine.close(session))
+        }
     }
 }
 
@@ -846,7 +1113,7 @@ pub const WORKER_FLAG: &str = "--shard-worker";
 /// ```text
 /// --socket PATH --registry DIR [--shard-index I --shard-count N]
 /// [--keep K] [--workers W] [--max-batch B] [--max-wait-us U]
-/// [--queue-capacity Q]
+/// [--queue-capacity Q] [--session-dir DIR]
 /// ```
 ///
 /// # Errors
@@ -859,6 +1126,7 @@ pub fn parse_worker_args(args: &[String]) -> Result<ShardOptions, String> {
     let mut count = 1usize;
     let mut keep = 4usize;
     let mut config = ServeConfig::default();
+    let mut session_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -902,6 +1170,7 @@ pub fn parse_worker_args(args: &[String]) -> Result<ShardOptions, String> {
                     .parse()
                     .map_err(|e| format!("--queue-capacity: {e}"))?;
             }
+            "--session-dir" => session_dir = Some(PathBuf::from(value("--session-dir")?)),
             other => return Err(format!("unknown shard-worker flag {other:?}")),
         }
     }
@@ -914,6 +1183,7 @@ pub fn parse_worker_args(args: &[String]) -> Result<ShardOptions, String> {
         spec,
         keep,
         config,
+        session_dir,
     })
 }
 
@@ -1003,6 +1273,23 @@ mod tests {
                 timeout_us: 0,
             },
             ShardRequest::Workloads,
+            ShardRequest::OpenSession(crate::session::SessionSpec {
+                workload: "astar".to_string(),
+                seed: 7,
+                initial_samples: 64,
+                refinement_rounds: 3,
+                beam: 4,
+                round_timeout_us: 250_000,
+            }),
+            ShardRequest::StepSession {
+                workload: "astar".to_string(),
+                session: 0xABCD,
+                round: 2,
+            },
+            ShardRequest::CloseSession {
+                workload: "astar".to_string(),
+                session: 0xABCD,
+            },
         ];
         for request in requests {
             let wire = request.encode().unwrap();
@@ -1036,6 +1323,32 @@ mod tests {
                 },
             ]),
             ShardReply::Workloads(vec![]),
+            ShardReply::SessionOpened(crate::session::OpenInfo {
+                session_id: 99,
+                fingerprint: 0xF00D,
+                rounds_done: 1,
+                rounds_total: 4,
+                resumed: true,
+            }),
+            ShardReply::SessionDelta {
+                session: 99,
+                report: crate::session::RoundReport {
+                    round: 2,
+                    done: false,
+                    hypervolume: 1.5,
+                    proposed: 10,
+                    predicted: 6,
+                    cache_hits: 3,
+                    shed: 1,
+                    added: vec![metadse::explorer::ParetoEntry {
+                        point: metadse_sim::ConfigPoint::new(vec![1, 2, 3]),
+                        ipc: 2.25,
+                        power: 4.5,
+                    }],
+                    removed: vec![metadse_sim::ConfigPoint::new(vec![0, 0, 7])],
+                },
+            },
+            ShardReply::SessionClosed(true),
             ShardReply::Error(ShardError::new(ErrorCode::Shed, "queue full")),
             ShardReply::Error(ShardError::new(ErrorCode::Unavailable, "")),
         ];
@@ -1078,6 +1391,7 @@ mod tests {
             (ErrorCode::BadArity, false),
             (ErrorCode::Artifact, false),
             (ErrorCode::BadRequest, false),
+            (ErrorCode::UnknownSession, false),
         ] {
             assert_eq!(ShardError::new(code, "x").retryable(), retryable);
         }

@@ -83,6 +83,7 @@ fn start_fleet(dir: &Path, root: &Path, count: usize) -> (Vec<ShardServer>, Fron
                 spec: ShardSpec::new(index, count).unwrap(),
                 keep: 4,
                 config: serve_config(),
+                session_dir: None,
             })
             .unwrap()
         })
@@ -350,6 +351,7 @@ fn direct_shard_connection_speaks_the_same_protocol() {
         spec: ShardSpec::single(),
         keep: 4,
         config: serve_config(),
+        session_dir: None,
     })
     .unwrap();
     wait_ready(&intro_socket(shard.socket()), Duration::from_secs(10)).unwrap();
